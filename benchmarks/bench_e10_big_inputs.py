@@ -1,0 +1,74 @@
+"""E10 (figure): the big-input regime — one-sided bigs in X2Y.
+
+The fraction of X inputs larger than q/2 is swept (a feasible instance can
+only carry bigs on one side; see DESIGN.md).  Expected shape: the
+symmetric half-split grid fails outright as soon as bigs appear; the
+best-split grid survives by surrendering capacity to X; the dedicated
+big/small scheme replicates each big against residual-capacity Y bins and
+wins increasingly as the big fraction grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import emit, run_once
+from repro.core.bounds import x2y_reducer_lower_bound
+from repro.core.instance import X2YInstance
+from repro.core.x2y import best_split_grid, big_small_x2y, half_split_grid
+from repro.exceptions import ReproError
+from repro.utils.rng import make_rng
+from repro.utils.tables import format_table
+
+M = N = 40
+Q = 100
+SEED = 10
+BIG_FRACTIONS = [0.0, 0.2, 0.4, 0.6, 0.8]
+
+
+def make_instance(big_fraction: float, rng) -> X2YInstance:
+    num_big = int(round(big_fraction * M))
+    big_sizes = [int(v) for v in rng.integers(Q // 2 + 5, (3 * Q) // 4, size=num_big)]
+    small_sizes = [int(v) for v in rng.integers(1, Q // 4, size=M - num_big)]
+    y_sizes = [int(v) for v in rng.integers(1, Q // 4, size=N)]
+    return X2YInstance(big_sizes + small_sizes, y_sizes, Q)
+
+
+def compute_rows() -> list[dict[str, object]]:
+    rng = make_rng(SEED)
+    rows = []
+    for fraction in BIG_FRACTIONS:
+        instance = make_instance(fraction, rng)
+        bound = x2y_reducer_lower_bound(instance)
+        row: dict[str, object] = {"big_fraction": fraction, "lower_bound": bound}
+        for name, algorithm in [
+            ("half_grid", half_split_grid),
+            ("best_split_grid", best_split_grid),
+            ("big_small", big_small_x2y),
+        ]:
+            try:
+                schema = algorithm(instance)
+                schema.require_valid()
+                row[name] = schema.num_reducers
+            except ReproError:
+                row[name] = None
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group="E10")
+def test_e10_big_input_regime(benchmark):
+    rows = run_once(benchmark, compute_rows)
+    emit("E10", format_table(rows, title="E10: one-sided big inputs (X2Y)"))
+
+    for row in rows:
+        # The general schemes always succeed and respect the bound.
+        assert row["big_small"] is not None
+        assert row["best_split_grid"] is not None
+        assert row["big_small"] >= row["lower_bound"]
+        if row["big_fraction"] > 0:
+            # The symmetric split cannot host any big input.
+            assert row["half_grid"] is None
+    # In the heavily big regime the dedicated scheme beats the global split.
+    heavy = [r for r in rows if r["big_fraction"] >= 0.6]
+    assert any(r["big_small"] <= r["best_split_grid"] for r in heavy)

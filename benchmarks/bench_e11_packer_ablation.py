@@ -1,0 +1,69 @@
+"""E11 (ablation): does the packing heuristic matter downstream?
+
+The bin-pairing scheme's reducer count is C(b, 2) in the bins used, so
+packing quality is *squared* in the output.  This ablation sweeps all six
+packing heuristics inside the A2A pairing scheme and the X2Y grid.
+Expected shape: decreasing-order packers (FFD/BFD) dominate the naive
+online ones (NF/WF), and the gap grows quadratically via the pairing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import emit, run_once
+from repro.binpack import HEURISTICS
+from repro.core.a2a.ffd_pairing import ffd_pairing
+from repro.core.instance import A2AInstance, X2YInstance
+from repro.core.x2y.grid import half_split_grid
+from repro.utils.tables import format_table
+from repro.workloads.distributions import sample_sizes
+
+M = 120
+Q = 240
+SEED = 11
+
+
+def compute_rows() -> list[dict[str, object]]:
+    sizes = [min(s, Q // 2) for s in sample_sizes("zipf", M, Q, seed=SEED)]
+    a2a = A2AInstance(sizes, Q)
+    xs = [min(s, Q // 2) for s in sample_sizes("zipf", M // 2, Q, seed=SEED + 1)]
+    ys = [min(s, Q // 2) for s in sample_sizes("zipf", M // 2, Q, seed=SEED + 2)]
+    x2y = X2YInstance(xs, ys, Q)
+
+    rows = []
+    for name, packer in HEURISTICS.items():
+        a2a_schema = ffd_pairing(a2a, packer=packer)
+        a2a_schema.require_valid()
+        x2y_schema = half_split_grid(x2y, packer=packer)
+        x2y_schema.require_valid()
+        rows.append(
+            {
+                "packer": name,
+                "a2a_reducers": a2a_schema.num_reducers,
+                "a2a_comm": a2a_schema.communication_cost,
+                "x2y_reducers": x2y_schema.num_reducers,
+                "x2y_comm": x2y_schema.communication_cost,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="E11")
+def test_e11_packer_ablation(benchmark):
+    rows = run_once(benchmark, compute_rows)
+    emit("E11", format_table(rows, title="E11: packing heuristic ablation"))
+
+    by_name = {r["packer"]: r for r in rows}
+    # Decreasing-order packers never lose to their online counterparts.
+    assert (
+        by_name["first_fit_decreasing"]["a2a_reducers"]
+        <= by_name["next_fit"]["a2a_reducers"]
+    )
+    assert (
+        by_name["best_fit_decreasing"]["x2y_reducers"]
+        <= by_name["worst_fit"]["x2y_reducers"]
+    )
+    # All six produce valid schemas (checked in compute) — the ablation is
+    # about cost, not correctness.
+    assert len(rows) == 6

@@ -1,0 +1,64 @@
+"""E12 (ablation): the price of online assignment.
+
+Inputs stream into :class:`OnlineA2AAssigner` (first-fit, no repacking);
+the offline FFD pairing re-solves with hindsight.  Expected shape: the
+online schema stays valid at every prefix, and its reducer overhead over
+offline stays within the first-fit/FFD packing-ratio squared (~2x-3x on
+heterogeneous sizes), shrinking on friendlier distributions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import emit, run_once
+from repro.core.a2a.ffd_pairing import ffd_pairing
+from repro.core.a2a.online import OnlineA2AAssigner
+from repro.core.instance import A2AInstance
+from repro.utils.tables import format_table
+from repro.workloads.distributions import sample_sizes
+
+M = 150
+Q = 200
+SEED = 12
+PROFILES = ["uniform", "zipf", "normal", "constant"]
+
+
+def compute_rows() -> list[dict[str, object]]:
+    rows = []
+    for profile in PROFILES:
+        sizes = [min(s, Q // 2) for s in sample_sizes(profile, M, Q, seed=SEED)]
+        assigner = OnlineA2AAssigner(Q)
+        assigner.extend(sizes)
+        online_schema = assigner.schema()
+        online_schema.require_valid()
+        offline_schema = ffd_pairing(A2AInstance(sizes, Q))
+        rows.append(
+            {
+                "profile": profile,
+                "online_bins": assigner.num_bins,
+                "online_reducers": online_schema.num_reducers,
+                "offline_reducers": offline_schema.num_reducers,
+                "overhead": round(
+                    online_schema.num_reducers / offline_schema.num_reducers, 2
+                ),
+                "online_comm": online_schema.communication_cost,
+                "offline_comm": offline_schema.communication_cost,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="E12")
+def test_e12_online_vs_offline(benchmark):
+    rows = run_once(benchmark, compute_rows)
+    emit("E12", format_table(rows, title="E12: online vs offline assignment"))
+
+    for row in rows:
+        # Online can't beat hindsight...
+        assert row["online_reducers"] >= row["offline_reducers"] * 0.99
+        # ...but stays within the first-fit guarantee squared.
+        assert row["overhead"] <= 3.5, row["profile"]
+    # On constant sizes first-fit == FFD: zero overhead.
+    constant = next(r for r in rows if r["profile"] == "constant")
+    assert constant["overhead"] == 1.0

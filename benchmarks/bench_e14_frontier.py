@@ -1,0 +1,50 @@
+"""E14 (figure): the capacity Pareto frontier — choosing q in practice.
+
+Ties the three tradeoffs together: for one workload and worker pool, each
+candidate q is evaluated on (communication cost, makespan) and the
+Pareto-optimal set is marked.  Expected shape: small q are dominated
+(replication work inflates both costs), very large q are dominated
+(starved pool inflates makespan at no communication gain), and the
+frontier sits in between — the operator's actual decision set.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import emit, run_once
+from repro.analysis.frontier import best_capacity, capacity_frontier
+from repro.utils.tables import format_table
+from repro.workloads.distributions import sample_sizes
+
+M = 150
+WORKERS = 16
+SEED = 14
+Q_VALUES = [100, 150, 250, 400, 800, 1600, 3200, 6400]
+
+
+def compute_rows() -> list[dict[str, object]]:
+    sizes = [min(s, Q_VALUES[0] // 2) for s in sample_sizes("zipf", M, 300, seed=SEED)]
+    points = capacity_frontier(sizes, Q_VALUES, WORKERS)
+    best = best_capacity(sizes, Q_VALUES, WORKERS, comm_weight=0.05)
+    rows = [p.as_row() for p in points]
+    for row in rows:
+        row["weighted_best"] = "<-" if row["q"] == best.q else ""
+    return rows
+
+
+@pytest.mark.benchmark(group="E14")
+def test_e14_capacity_frontier(benchmark):
+    rows = run_once(benchmark, compute_rows)
+    emit("E14", format_table(rows, title=f"E14: capacity frontier ({WORKERS} workers)"))
+
+    pareto = [r for r in rows if r["pareto"] == "*"]
+    dominated = [r for r in rows if r["pareto"] != "*"]
+    assert pareto, "frontier cannot be empty"
+    assert dominated, "with an 64x capacity range some point must be dominated"
+    # Communication is monotone nonincreasing in q across the sweep.
+    comms = [r["comm_cost"] for r in rows]
+    assert all(a >= b for a, b in zip(comms, comms[1:]))
+    # The weighted pick lands on the frontier.
+    chosen = next(r for r in rows if r["weighted_best"] == "<-")
+    assert chosen["pareto"] == "*"

@@ -1,0 +1,86 @@
+"""E15 (extension): the multiway (r > 2) generalization.
+
+Outputs depending on r inputs generalize the paper's pairwise model; the
+bin-combining scheme packs inputs into ``q // r`` bins and gives every
+r-combination of bins a reducer.  Expected shape: the reducer count and
+its gap to the group-covering lower bound *blow up combinatorially in r*
+(C(b, r) reducers; the known replication explosion of multiway coverage —
+exactly why the paper restricts attention to r = 2), while the end-to-end
+three-way similarity app stays exact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import emit, run_once
+from repro.apps.threeway_similarity import all_triples_above, run_threeway_similarity
+from repro.core.multiway import (
+    MultiwayInstance,
+    multiway_bin_combining,
+    multiway_reducer_lower_bound,
+)
+from repro.utils.tables import format_table
+from repro.workloads.distributions import sample_sizes
+
+M = 36
+SEED = 15
+
+
+def compute_rows() -> list[dict[str, object]]:
+    rows = []
+    for r, q in [(2, 60), (3, 90), (4, 120)]:
+        share = q // r
+        sizes = [min(s, share) for s in sample_sizes("uniform", M, q, seed=SEED)]
+        instance = MultiwayInstance(sizes, q, r)
+        schema = multiway_bin_combining(instance)
+        schema.require_valid()
+        bound = multiway_reducer_lower_bound(instance)
+        rows.append(
+            {
+                "r": r,
+                "q": q,
+                "reducers": schema.num_reducers,
+                "lower_bound": bound,
+                "ratio": round(schema.num_reducers / bound, 2),
+                "comm_cost": schema.communication_cost,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="E15")
+def test_e15_multiway(benchmark):
+    rows = run_once(benchmark, compute_rows)
+    emit("E15", format_table(rows, title="E15: multiway bin-combining (r-wise coverage)"))
+    for row in rows:
+        assert row["reducers"] >= row["lower_bound"]
+    # The combinatorial blowup in r is the expected shape: both the
+    # reducer count and the gap to the bound grow steeply with r.
+    ratios = [row["ratio"] for row in rows]
+    reducers = [row["reducers"] for row in rows]
+    assert ratios == sorted(ratios)
+    assert reducers == sorted(reducers)
+    assert reducers[-1] > 10 * reducers[0]
+
+
+@pytest.mark.benchmark(group="E15")
+def test_e15_threeway_end_to_end(benchmark):
+    from repro.workloads.documents import Document, generate_documents
+
+    def compute():
+        docs = generate_documents(12, 30, seed=SEED, vocabulary_size=60)
+        docs = [Document(d.doc_id, d.tokens[: max(1, 30 // 3)]) for d in docs]
+        run = run_threeway_similarity(docs, q=30, threshold=0.05)
+        truth = all_triples_above(docs, 0.05)
+        return run, truth
+
+    run, truth = run_once(benchmark, compute)
+    emit(
+        "E15-app",
+        f"three-way similarity: {len(truth)} true triples, "
+        f"{run.metrics.num_reducers} reducers, max load "
+        f"{run.metrics.max_reducer_load}, exact = {run.triple_set() == truth}",
+    )
+    assert run.triple_set() == truth
+    assert run.metrics.max_reducer_load <= 30

@@ -1,0 +1,68 @@
+"""E16 (hardness companion): exact solving blows up, heuristics stay flat.
+
+The paper's central theorems are NP-completeness of both mapping-schema
+problems.  As the executable companion, this bench measures the exact
+branch-and-bound's wall time as m grows against the polynomial heuristic
+on the same instances.  Expected shape: exact time grows super-
+polynomially (orders of magnitude over a few added inputs) while the
+heuristic stays microseconds — with zero-to-small optimality gap where
+both are known (E9).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.harness import emit, run_once
+from repro.core.a2a import big_small, solve_min_reducers
+from repro.core.instance import A2AInstance
+from repro.utils.rng import make_rng
+from repro.utils.tables import format_table
+
+SEED = 16
+M_VALUES = [4, 5, 6, 7, 8, 9]
+Q = 10
+
+
+def compute_rows() -> list[dict[str, object]]:
+    rng = make_rng(SEED)
+    rows = []
+    for m in M_VALUES:
+        sizes = [int(v) for v in rng.integers(1, Q // 2 + 1, size=m)]
+        instance = A2AInstance(sizes, Q)
+
+        start = time.perf_counter()
+        exact = solve_min_reducers(instance, max_nodes=5_000_000)
+        exact_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        heuristic = big_small(instance)
+        heuristic_seconds = time.perf_counter() - start
+
+        rows.append(
+            {
+                "m": m,
+                "pairs": instance.num_pairs,
+                "exact_reducers": exact.num_reducers,
+                "heuristic_reducers": heuristic.num_reducers,
+                "exact_ms": round(exact_seconds * 1000, 2),
+                "heuristic_ms": round(heuristic_seconds * 1000, 3),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="E16")
+def test_e16_solver_scaling(benchmark):
+    rows = run_once(benchmark, compute_rows)
+    emit("E16", format_table(rows, title="E16: exact vs heuristic solve time"))
+
+    for row in rows:
+        assert row["heuristic_reducers"] >= row["exact_reducers"]
+    # The hardness shape: the largest exact solve costs far more than the
+    # smallest, while the heuristic never leaves the millisecond range.
+    exact_times = [r["exact_ms"] for r in rows]
+    assert max(exact_times) > 20 * (min(exact_times) + 0.01)
+    assert max(r["heuristic_ms"] for r in rows) < 50

@@ -1,0 +1,56 @@
+"""E1 (table): A2A equal-sized inputs — grouping scheme vs. lower bound.
+
+For unit-size inputs and k = q inputs per reducer, the grouping scheme's
+reducer count is compared against the pair-covering lower bound
+ceil(C(m,2) / C(k,2)) across a grid of (m, k).  Expected shape: the scheme
+tracks the bound within a small constant factor (≈2 for even k, worse for
+tiny odd k where C(m,2) pair reducers are forced), and is exactly optimal
+when a single reducer suffices.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import emit, run_once
+from repro.core.a2a import equal_sized_grouping
+from repro.core.bounds import a2a_equal_sized_reducer_bound
+from repro.core.instance import A2AInstance
+from repro.utils.tables import format_table
+
+M_VALUES = [16, 32, 64, 128, 256, 512]
+K_VALUES = [2, 4, 8, 16, 32, 64]
+
+
+def compute_rows() -> list[dict[str, object]]:
+    rows = []
+    for m in M_VALUES:
+        for k in K_VALUES:
+            instance = A2AInstance.equal_sized(m, 1, k)
+            schema = equal_sized_grouping(instance)
+            bound = a2a_equal_sized_reducer_bound(m, k)
+            rows.append(
+                {
+                    "m": m,
+                    "k": k,
+                    "grouping": schema.num_reducers,
+                    "lower_bound": bound,
+                    "ratio": round(schema.num_reducers / bound, 3),
+                }
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="E1")
+def test_e1_a2a_equal_sized(benchmark):
+    rows = run_once(benchmark, compute_rows)
+    emit("E1", format_table(rows, title="E1: A2A equal-sized, reducers vs lower bound"))
+
+    for row in rows:
+        assert row["grouping"] >= row["lower_bound"]
+        if row["m"] <= row["k"]:
+            assert row["grouping"] == 1  # single reducer is optimal
+    # Even-k rows stay within a small constant factor of the bound.
+    even_large = [r for r in rows if r["k"] % 2 == 0 and r["k"] >= 4 and r["m"] > r["k"]]
+    assert even_large, "grid must include the even-k regime"
+    assert max(r["ratio"] for r in even_large) <= 3.0

@@ -1,0 +1,49 @@
+"""E2 (figure): A2A different-sized inputs — reducers vs. capacity q.
+
+Zipf-distributed sizes, q swept over a 16x range.  Expected shape: the
+reducer count of every algorithm falls superlinearly as q grows (each
+reducer covers ~q^2 pairs), all stay above the lower bound, and the
+structured bin-pairing scheme tracks the bound more tightly than the
+unstructured greedy baseline at large q.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import emit, run_once
+from repro.analysis.tradeoffs import sweep_a2a_reducers
+from repro.utils.tables import format_table
+from repro.workloads.distributions import zipf_sizes
+
+M = 200
+Q_VALUES = [100, 200, 400, 800, 1600]
+SEED = 1
+
+
+def make_sizes() -> list[int]:
+    # Clamp to the smallest swept q // 2 so every method runs at every q.
+    return [min(s, Q_VALUES[0] // 2) for s in zipf_sizes(M, 1.5, 200, seed=SEED)]
+
+
+def compute_rows() -> list[dict[str, object]]:
+    return sweep_a2a_reducers(
+        make_sizes(), Q_VALUES, methods=("bin_pairing", "greedy")
+    )
+
+
+@pytest.mark.benchmark(group="E2")
+def test_e2_a2a_reducers_vs_q(benchmark):
+    rows = run_once(benchmark, compute_rows)
+    emit("E2", format_table(rows, title="E2: A2A reducers vs q (zipf sizes, m=200)"))
+
+    pairing = [r["bin_pairing"] for r in rows]
+    greedy = [r["greedy"] for r in rows]
+    bounds = [r["lower_bound"] for r in rows]
+    # Monotone decrease in q for the structured scheme.
+    assert all(a >= b for a, b in zip(pairing, pairing[1:]))
+    # Everyone respects the lower bound.
+    for series in (pairing, greedy):
+        assert all(v >= b for v, b in zip(series, bounds))
+    # Superlinear drop: 16x capacity shrinks reducers by far more than 16x.
+    assert pairing[0] / pairing[-1] > 16

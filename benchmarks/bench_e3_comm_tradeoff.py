@@ -1,0 +1,42 @@
+"""E3 (figure): tradeoff (iii) — communication cost vs. capacity q.
+
+Same workload as E2.  Expected shape: the total map->reduce volume and the
+replication rate both fall as q grows (fewer reducers means fewer copies
+of each input), always staying above the residual-capacity communication
+lower bound and above shipping every input once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import emit, run_once
+from repro.analysis.tradeoffs import sweep_a2a_communication
+from repro.utils.tables import format_table
+from repro.workloads.distributions import zipf_sizes
+
+M = 200
+Q_VALUES = [100, 200, 400, 800, 1600]
+SEED = 1
+
+
+def compute_rows() -> list[dict[str, object]]:
+    sizes = [min(s, Q_VALUES[0] // 2) for s in zipf_sizes(M, 1.5, 200, seed=SEED)]
+    return sweep_a2a_communication(sizes, Q_VALUES)
+
+
+@pytest.mark.benchmark(group="E3")
+def test_e3_communication_vs_q(benchmark):
+    rows = run_once(benchmark, compute_rows)
+    emit("E3", format_table(rows, title="E3: A2A communication cost vs q"))
+
+    costs = [r["comm_cost"] for r in rows]
+    rates = [r["replication_rate"] for r in rows]
+    assert all(a >= b for a, b in zip(costs, costs[1:])), "comm falls with q"
+    assert all(a >= b for a, b in zip(rates, rates[1:])), "replication falls with q"
+    for row in rows:
+        assert row["comm_cost"] >= row["comm_lower_bound"]
+        assert row["comm_cost"] >= row["volume"]  # every input ships once
+    # The tradeoff is real: the smallest capacity costs several times more
+    # communication than the largest.
+    assert costs[0] / costs[-1] > 3

@@ -1,0 +1,53 @@
+"""E4 (figure): tradeoff (ii) — parallelism vs. capacity q.
+
+Reducer loads from the A2A schema are LPT-scheduled on a fixed worker
+pool.  Expected shape: at small q there are many light reducers (high
+parallelism but large total work from replication); at large q few heavy
+reducers starve the pool.  The makespan curve exposes the capacity knee,
+and utilization degrades once reducers are fewer than workers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import emit, run_once
+from repro.analysis.tradeoffs import sweep_a2a_parallelism
+from repro.utils.tables import format_table
+from repro.workloads.distributions import zipf_sizes
+
+M = 150
+Q_VALUES = [100, 200, 400, 800, 1600, 3200]
+WORKERS = 16
+SEED = 4
+
+
+def compute_rows() -> list[dict[str, object]]:
+    sizes = [min(s, Q_VALUES[0] // 2) for s in zipf_sizes(M, 1.5, 200, seed=SEED)]
+    return sweep_a2a_parallelism(sizes, Q_VALUES, num_workers=WORKERS)
+
+
+@pytest.mark.benchmark(group="E4")
+def test_e4_parallelism_vs_q(benchmark):
+    rows = run_once(benchmark, compute_rows)
+    emit(
+        "E4",
+        format_table(
+            rows, title=f"E4: makespan vs q on {WORKERS} workers (A2A, zipf sizes)"
+        ),
+    )
+
+    makespans = [r["makespan"] for r in rows]
+    reducers = [r["num_reducers"] for r in rows]
+    # Wave count shrinks with q (fewer reducers), monotonically.
+    waves = [r["waves"] for r in rows]
+    assert all(a >= b for a, b in zip(waves, waves[1:]))
+    # The extremes are both worse than the best interior capacity: small q
+    # pays replication work, large q starves the pool.
+    best = min(makespans)
+    assert makespans[0] > best, "tiny q should not be the makespan optimum"
+    # When reducers fall below the worker count utilization must dip.
+    starved = [r for r in rows if r["num_reducers"] < WORKERS]
+    if starved:
+        assert min(r["utilization"] for r in starved) < 0.9
+    assert reducers[0] > reducers[-1]

@@ -1,0 +1,66 @@
+"""E5 (table): X2Y grid schemes vs. lower bound across size distributions.
+
+For each size profile on both sides, the half-split grid, the best-split
+grid, the big/small scheme and the greedy baseline are compared against
+the cross-pair lower bound.  Expected shape: the grid schemes stay within
+a small constant factor of the bound on *every* distribution (the paper's
+"who wins" claim for the bin-packing approach), with best-split <= half.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import emit, run_once
+from repro.core.bounds import x2y_reducer_lower_bound
+from repro.core.instance import X2YInstance
+from repro.core.selector import X2Y_METHODS
+from repro.exceptions import ReproError
+from repro.utils.tables import format_table
+from repro.workloads.distributions import sample_sizes
+from repro.workloads.stats import gini_coefficient
+
+M = N = 60
+Q = 300
+SEED = 5
+METHODS = ["half_grid", "best_split_grid", "big_small", "greedy"]
+PROFILES = ["uniform", "zipf", "normal", "bimodal"]
+
+
+def compute_rows() -> list[dict[str, object]]:
+    rows = []
+    for profile in PROFILES:
+        xs = [min(s, Q // 2) for s in sample_sizes(profile, M, Q, seed=SEED)]
+        ys = [min(s, Q // 2) for s in sample_sizes(profile, N, Q, seed=SEED + 1)]
+        instance = X2YInstance(xs, ys, Q)
+        bound = x2y_reducer_lower_bound(instance)
+        row: dict[str, object] = {
+            "profile": profile,
+            "gini": round(gini_coefficient(xs + ys), 2),
+            "lower_bound": bound,
+        }
+        for method in METHODS:
+            try:
+                schema = X2Y_METHODS[method](instance)
+                schema.require_valid()
+                row[method] = schema.num_reducers
+                row[f"{method}_ratio"] = round(schema.num_reducers / bound, 2)
+            except ReproError:
+                row[method] = None
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group="E5")
+def test_e5_x2y_across_distributions(benchmark):
+    rows = run_once(benchmark, compute_rows)
+    columns = ["profile", "gini", "lower_bound", *METHODS, *(f"{m}_ratio" for m in METHODS)]
+    emit("E5", format_table(rows, columns=columns, title="E5: X2Y schemes vs lower bound"))
+
+    for row in rows:
+        assert row["best_split_grid"] is not None
+        assert row["best_split_grid"] >= row["lower_bound"]
+        if row["half_grid"] is not None:
+            assert row["best_split_grid"] <= row["half_grid"]
+        # Grid schemes within a small constant of the bound everywhere.
+        assert row["best_split_grid_ratio"] <= 4.0, row["profile"]

@@ -1,0 +1,65 @@
+"""E7 (table): end-to-end similarity join — schema join vs. broadcast.
+
+For a fixed corpus the capacity q is swept.  Expected shape: both methods
+return exactly the ground-truth pair set; the broadcast baseline ships the
+corpus once but overflows its single reducer at every q below the corpus
+size, while the schema join keeps max load <= q, trading replication
+(communication) that shrinks as q grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import emit, run_once
+from repro.apps.similarity_join import run_broadcast_baseline, run_similarity_join
+from repro.utils.tables import format_table
+from repro.workloads.documents import all_pairs_above, generate_documents
+
+M = 50
+THRESHOLD = 0.15
+SEED = 7
+Q_VALUES = [100, 150, 250]
+
+
+def compute_rows() -> list[dict[str, object]]:
+    documents = generate_documents(M, Q_VALUES[0], profile="zipf", seed=SEED)
+    total_size = sum(d.size for d in documents)
+    assert total_size > max(Q_VALUES), "corpus must exceed every swept q"
+    truth = all_pairs_above(documents, THRESHOLD)
+    rows = []
+    for q in Q_VALUES:
+        schema_run = run_similarity_join(documents, q, THRESHOLD)
+        naive_run = run_broadcast_baseline(documents, q, THRESHOLD)
+        assert schema_run.pair_set() == truth
+        assert naive_run.pair_set() == truth
+        rows.append(
+            {
+                "q": q,
+                "true_pairs": len(truth),
+                "schema_reducers": schema_run.metrics.num_reducers,
+                "schema_comm": schema_run.metrics.communication_cost,
+                "schema_max_load": schema_run.metrics.max_reducer_load,
+                "schema_violations": len(schema_run.metrics.capacity_violations),
+                "naive_comm": naive_run.metrics.communication_cost,
+                "naive_max_load": naive_run.metrics.max_reducer_load,
+                "naive_violations": len(naive_run.metrics.capacity_violations),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="E7")
+def test_e7_similarity_join(benchmark):
+    rows = run_once(benchmark, compute_rows)
+    emit("E7", format_table(rows, title="E7: similarity join, schema vs broadcast"))
+
+    for row in rows:
+        assert row["schema_violations"] == 0
+        assert row["schema_max_load"] <= row["q"]
+        # Corpus exceeds every swept q, so broadcast always overflows.
+        assert row["naive_violations"] == 1
+        assert row["naive_max_load"] > row["q"]
+    # Schema communication falls as q grows.
+    comms = [r["schema_comm"] for r in rows]
+    assert all(a >= b for a, b in zip(comms, comms[1:]))

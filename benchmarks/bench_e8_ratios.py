@@ -1,0 +1,51 @@
+"""E8 (figure): approximation-ratio distributions of the heuristics.
+
+Random instances from four size profiles; the achieved/lower-bound reducer
+ratio is summarized per (method, profile).  Expected shape: the structured
+bin-pairing scheme's ratio mass sits within the constant promised by the
+packing argument across every profile; greedy is competitive but with a
+heavier tail on heterogeneous (zipf/bimodal) sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import emit, run_once
+from repro.analysis.ratios import a2a_ratio_study, x2y_ratio_study
+from repro.utils.tables import format_table
+
+TRIALS = 30
+M = 50
+Q = 300
+PROFILES = ["uniform", "zipf", "normal", "bimodal"]
+
+
+def compute_rows() -> list[dict[str, object]]:
+    rows = []
+    for profile in PROFILES:
+        for method in ["bin_pairing", "greedy"]:
+            summary = a2a_ratio_study(
+                method, profile, trials=TRIALS, m=M, q=Q, seed=8
+            )
+            rows.append({"problem": "A2A", **summary.as_row()})
+    for profile in PROFILES:
+        summary = x2y_ratio_study(
+            "best_split_grid", profile, trials=TRIALS, m=30, n=30, q=Q, seed=9
+        )
+        rows.append({"problem": "X2Y", **summary.as_row()})
+    return rows
+
+
+@pytest.mark.benchmark(group="E8")
+def test_e8_approximation_ratios(benchmark):
+    rows = run_once(benchmark, compute_rows)
+    emit("E8", format_table(rows, title="E8: approximation ratios vs lower bounds"))
+
+    for row in rows:
+        assert row["solved"] == TRIALS, f"{row['method']} skipped instances"
+        assert row["mean_ratio"] >= 1.0
+    pairing = [r for r in rows if r["method"] == "bin_pairing"]
+    assert max(r["max_ratio"] for r in pairing) <= 5.0
+    grid = [r for r in rows if r["method"] == "best_split_grid"]
+    assert max(r["max_ratio"] for r in grid) <= 5.0

@@ -1,0 +1,81 @@
+"""E9 (table): heuristics vs. exact optimum on small instances.
+
+The exact branch-and-bound solvers give ground truth for m <= 8 (A2A) and
+small grids (X2Y).  Expected shape: the heuristics never beat the optimum
+(sanity), and their gap stays within a small factor — the NP-hardness of
+the problems (the paper's central result) is what makes this sampled gap,
+rather than a proof, the right scalable quality measure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import emit, run_once
+from repro.core.a2a import big_small, greedy_cover, solve_min_reducers
+from repro.core.instance import A2AInstance, X2YInstance
+from repro.core.x2y import best_split_grid, solve_min_reducers_x2y
+from repro.utils.rng import spawn_rngs
+from repro.utils.tables import format_table
+
+TRIALS = 8
+SEED = 9
+
+
+def compute_rows() -> list[dict[str, object]]:
+    rows = []
+    for trial, rng in enumerate(spawn_rngs(SEED, TRIALS)):
+        q = 12
+        m = int(rng.integers(6, 9))
+        sizes = [int(v) for v in rng.integers(1, q // 2 + 1, size=m)]
+        instance = A2AInstance(sizes, q)
+        exact = solve_min_reducers(instance, max_nodes=2_000_000)
+        pairing = big_small(instance)
+        greedy = greedy_cover(instance)
+        rows.append(
+            {
+                "trial": trial,
+                "problem": "A2A",
+                "m": m,
+                "exact": exact.num_reducers,
+                "bin_pairing": pairing.num_reducers,
+                "greedy": greedy.num_reducers,
+                "pairing_gap": round(pairing.num_reducers / exact.num_reducers, 2),
+                "greedy_gap": round(greedy.num_reducers / exact.num_reducers, 2),
+            }
+        )
+    for trial, rng in enumerate(spawn_rngs(SEED + 1, TRIALS)):
+        q = 10
+        m = int(rng.integers(3, 5))
+        n = int(rng.integers(3, 5))
+        xs = [int(v) for v in rng.integers(1, q // 2 + 1, size=m)]
+        ys = [int(v) for v in rng.integers(1, q // 2 + 1, size=n)]
+        instance = X2YInstance(xs, ys, q)
+        exact = solve_min_reducers_x2y(instance, max_nodes=2_000_000)
+        grid = best_split_grid(instance)
+        rows.append(
+            {
+                "trial": trial,
+                "problem": "X2Y",
+                "m": m * n,
+                "exact": exact.num_reducers,
+                "bin_pairing": grid.num_reducers,
+                "greedy": None,
+                "pairing_gap": round(grid.num_reducers / exact.num_reducers, 2),
+                "greedy_gap": None,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="E9")
+def test_e9_exact_optimality_gap(benchmark):
+    rows = run_once(benchmark, compute_rows)
+    emit("E9", format_table(rows, title="E9: heuristics vs exact optimum (small m)"))
+
+    for row in rows:
+        assert row["bin_pairing"] >= row["exact"], "heuristic beat the optimum?!"
+        assert row["pairing_gap"] <= 3.5, row
+        if row["greedy"] is not None:
+            assert row["greedy"] >= row["exact"]
+            assert row["greedy_gap"] <= 3.5, row

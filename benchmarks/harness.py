@@ -1,0 +1,33 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every bench regenerates one reconstructed table/figure (E1-E16 in
+DESIGN.md).  The regenerated rows are printed to stdout (visible with
+``pytest -s``) and persisted under ``benchmarks/results/<id>.txt`` so the
+artifacts survive the run; EXPERIMENTS.md records the reference outputs.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(experiment_id: str, text: str) -> None:
+    """Print an experiment's regenerated table and persist it to disk."""
+    banner = f"\n===== {experiment_id} =====\n{text}\n"
+    print(banner)
+    sys.stdout.flush()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment_id.lower()}.txt").write_text(banner)
+
+
+def run_once(benchmark, fn):
+    """Time *fn* exactly once through pytest-benchmark and return its result.
+
+    The experiments are deterministic computations, often seconds long, so
+    one round is both sufficient and honest; pytest-benchmark still records
+    the wall time in its table.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Similarity join of documents on the simulated MapReduce cluster.
+
+The paper's A2A motivating example: every pair of web pages must be
+compared because the similarity function admits no LSH shortcut.  This
+demo generates a heavy-tailed corpus, runs the schema-driven join next to
+the naive broadcast baseline, checks both against brute-force ground
+truth, and prints the cost comparison.
+
+Run:  python examples/similarity_join_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.apps.similarity_join import run_broadcast_baseline, run_similarity_join
+from repro.mapreduce.cluster import schedule_loads
+from repro.utils.tables import format_table
+from repro.workloads.documents import all_pairs_above, generate_documents
+
+M_DOCS = 60
+CAPACITY = 120
+THRESHOLD = 0.15
+WORKERS = 8
+SEED = 7
+
+
+def main() -> None:
+    documents = generate_documents(
+        M_DOCS, CAPACITY, profile="zipf", seed=SEED
+    )
+    total_size = sum(d.size for d in documents)
+    print(
+        f"corpus: {M_DOCS} documents, total size {total_size}, "
+        f"reducer capacity q = {CAPACITY}, threshold {THRESHOLD}"
+    )
+
+    schema_run = run_similarity_join(documents, CAPACITY, THRESHOLD)
+    naive_run = run_broadcast_baseline(documents, CAPACITY, THRESHOLD)
+    truth = all_pairs_above(documents, THRESHOLD)
+
+    assert schema_run.pair_set() == truth, "schema join must match ground truth"
+    assert naive_run.pair_set() == truth, "baseline must match ground truth"
+    print(f"similar pairs found: {len(truth)} (both methods exact)")
+    print()
+
+    rows = []
+    for name, run in [("schema join", schema_run), ("broadcast baseline", naive_run)]:
+        makespan = schedule_loads(
+            list(run.metrics.reducer_loads.values()), WORKERS
+        ).makespan
+        rows.append(
+            {
+                "method": name,
+                "reducers": run.metrics.num_reducers,
+                "comm_cost": run.metrics.communication_cost,
+                "max_load": run.metrics.max_reducer_load,
+                "over_capacity": len(run.metrics.capacity_violations),
+                f"makespan({WORKERS}w)": makespan,
+            }
+        )
+    print(format_table(rows, title="schema-driven join vs. broadcast"))
+    print()
+    print(
+        "The broadcast baseline ships each document once (cheap) but piles "
+        "everything onto one reducer, blowing the capacity; the mapping "
+        "schema replicates documents (higher communication) to keep every "
+        f"reducer within q = {CAPACITY} and the cluster busy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Skew join with heavy hitters on the simulated MapReduce cluster.
+
+The paper's X2Y motivating example: a join key occurring many times
+overloads its reducer under conventional hash partitioning.  This demo
+sweeps the skew exponent, comparing the hash join baseline against the
+schema-based skew join (X2Y mapping schemas for heavy keys), and shows
+the baseline's max reducer load exploding while the schema join stays
+within capacity — at the price of some extra communication.
+
+Run:  python examples/skew_join_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.apps.skew_join import hash_join, naive_join, schema_skew_join
+from repro.utils.tables import format_table
+from repro.workloads.relations import generate_join_workload
+
+TUPLES_PER_SIDE = 400
+NUM_KEYS = 12
+CAPACITY = 80
+SEED = 23
+
+
+def main() -> None:
+    print(
+        f"join workload: |X| = |Y| = {TUPLES_PER_SIDE} tuples, "
+        f"{NUM_KEYS} join keys, reducer capacity q = {CAPACITY}"
+    )
+    print()
+
+    rows = []
+    for skew in [0.0, 0.4, 0.8, 1.2, 1.6]:
+        x, y = generate_join_workload(
+            TUPLES_PER_SIDE, TUPLES_PER_SIDE, NUM_KEYS, skew, seed=SEED
+        )
+        truth = naive_join(x, y)
+        baseline = hash_join(x, y, CAPACITY)
+        schema_based = schema_skew_join(x, y, CAPACITY)
+        assert baseline.triple_set() == truth
+        assert schema_based.triple_set() == truth
+
+        rows.append(
+            {
+                "skew": skew,
+                "join_rows": len(truth),
+                "heavy_keys": len(schema_based.heavy_keys),
+                "hash_max_load": baseline.metrics.max_reducer_load,
+                "hash_violations": len(baseline.metrics.capacity_violations),
+                "schema_max_load": schema_based.metrics.max_reducer_load,
+                "schema_comm": schema_based.metrics.communication_cost,
+                "hash_comm": baseline.metrics.communication_cost,
+            }
+        )
+
+    print(format_table(rows, title="hash join vs. schema-based skew join"))
+    print()
+    print(
+        "As skew grows the heavy hitter's reducer load explodes under hash "
+        f"partitioning (far beyond q = {CAPACITY}), while the schema-based "
+        "join caps every reducer at q by spreading each heavy key over an "
+        "X2Y mapping schema; both joins return identical outputs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Distributed outer (tensor) product of block-partitioned vectors.
+
+The paper's third X2Y example: every block of ``u`` must meet every block
+of ``v`` to produce its tile of the outer-product matrix.  This demo uses
+different-sized blocks, compares the auto-selected scheme against the
+greedy baseline, and validates the distributed result against the dense
+computation.
+
+Run:  python examples/tensor_product_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.tensor_product import distributed_outer_product
+from repro.core.bounds import x2y_reducer_lower_bound
+from repro.core.instance import X2YInstance
+from repro.utils.tables import format_table
+from repro.workloads.vectors import dense_outer_product, generate_block_vector
+
+NUM_BLOCKS_U = 8
+NUM_BLOCKS_V = 6
+CAPACITY = 60
+SEED = 42
+
+
+def main() -> None:
+    u = generate_block_vector("u", NUM_BLOCKS_U, CAPACITY, profile="zipf", seed=SEED)
+    v = generate_block_vector("v", NUM_BLOCKS_V, CAPACITY, profile="uniform", seed=SEED + 1)
+    print(
+        f"u: {NUM_BLOCKS_U} blocks, {u.dimension} entries | "
+        f"v: {NUM_BLOCKS_V} blocks, {v.dimension} entries | q = {CAPACITY}"
+    )
+    instance = X2YInstance(
+        [b.size for b in u.blocks], [b.size for b in v.blocks], CAPACITY
+    )
+    print(f"reducer lower bound: {x2y_reducer_lower_bound(instance)}")
+    print()
+
+    expected = dense_outer_product(u, v)
+    rows = []
+    for method in ["auto", "best_split_grid", "greedy"]:
+        run = distributed_outer_product(u, v, CAPACITY, method=method)
+        assert np.allclose(run.dense(), expected), f"{method} produced wrong matrix"
+        rows.append(
+            {
+                "method": f"{method} ({run.schema.algorithm})",
+                "reducers": run.schema.num_reducers,
+                "comm_cost": run.metrics.communication_cost,
+                "max_load": run.metrics.max_reducer_load,
+                "entries": len(run.entries),
+            }
+        )
+    print(format_table(rows, title="distributed outer product (all exact)"))
+    print()
+    print(
+        f"every method reproduces the full {u.dimension} x {v.dimension} "
+        "matrix exactly once per entry; they differ only in reducer count "
+        "and communication."
+    )
+
+
+if __name__ == "__main__":
+    main()

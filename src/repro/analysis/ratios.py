@@ -1,0 +1,122 @@
+"""Approximation-ratio studies: heuristics vs. lower bounds and exact optima.
+
+The NP-completeness of both problems (the paper's hardness results) makes
+the *ratio to a lower bound* the honest quality measure at scale, with the
+exact branch-and-bound providing true optima on small instances (E9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean, median
+
+from repro.core.bounds import a2a_reducer_lower_bound, x2y_reducer_lower_bound
+from repro.core.instance import A2AInstance, X2YInstance
+from repro.core.selector import A2A_METHODS, X2Y_METHODS
+from repro.exceptions import ReproError
+from repro.utils.rng import SeedLike, spawn_rngs
+from repro.workloads.distributions import sample_sizes
+
+
+@dataclass(frozen=True)
+class RatioSummary:
+    """Distribution summary of achieved / lower-bound reducer counts."""
+
+    method: str
+    profile: str
+    trials: int
+    feasible_trials: int
+    mean_ratio: float
+    median_ratio: float
+    max_ratio: float
+
+    def as_row(self) -> dict[str, object]:
+        """Dict form for table rendering."""
+        return {
+            "method": self.method,
+            "profile": self.profile,
+            "trials": self.trials,
+            "solved": self.feasible_trials,
+            "mean_ratio": round(self.mean_ratio, 3),
+            "median_ratio": round(self.median_ratio, 3),
+            "max_ratio": round(self.max_ratio, 3),
+        }
+
+
+def a2a_ratio_study(
+    method: str,
+    profile: str,
+    *,
+    trials: int = 50,
+    m: int = 60,
+    q: int = 400,
+    seed: SeedLike = 0,
+) -> RatioSummary:
+    """Ratio of a method's reducer count to the instance lower bound.
+
+    Instances the method cannot solve (e.g. bin_pairing facing big inputs)
+    are skipped and reported through ``feasible_trials``.
+    """
+    rngs = spawn_rngs(seed if isinstance(seed, int) else None, trials)
+    ratios = []
+    for rng in rngs:
+        sizes = sample_sizes(profile, m, q, seed=rng)
+        # Clamp so every pair fits: the study measures quality, not
+        # feasibility edge cases (those have dedicated tests).
+        half = q // 2
+        sizes = [min(s, half) for s in sizes]
+        instance = A2AInstance(sizes, q)
+        try:
+            schema = A2A_METHODS[method](instance)
+        except ReproError:
+            continue
+        bound = a2a_reducer_lower_bound(instance)
+        ratios.append(schema.num_reducers / max(1, bound))
+    if not ratios:
+        return RatioSummary(method, profile, trials, 0, 0.0, 0.0, 0.0)
+    return RatioSummary(
+        method=method,
+        profile=profile,
+        trials=trials,
+        feasible_trials=len(ratios),
+        mean_ratio=mean(ratios),
+        median_ratio=median(ratios),
+        max_ratio=max(ratios),
+    )
+
+
+def x2y_ratio_study(
+    method: str,
+    profile: str,
+    *,
+    trials: int = 50,
+    m: int = 40,
+    n: int = 40,
+    q: int = 400,
+    seed: SeedLike = 0,
+) -> RatioSummary:
+    """X2Y version of :func:`a2a_ratio_study`."""
+    rngs = spawn_rngs(seed if isinstance(seed, int) else None, trials)
+    ratios = []
+    half = q // 2
+    for rng in rngs:
+        x_sizes = [min(s, half) for s in sample_sizes(profile, m, q, seed=rng)]
+        y_sizes = [min(s, half) for s in sample_sizes(profile, n, q, seed=rng)]
+        instance = X2YInstance(x_sizes, y_sizes, q)
+        try:
+            schema = X2Y_METHODS[method](instance)
+        except ReproError:
+            continue
+        bound = x2y_reducer_lower_bound(instance)
+        ratios.append(schema.num_reducers / max(1, bound))
+    if not ratios:
+        return RatioSummary(method, profile, trials, 0, 0.0, 0.0, 0.0)
+    return RatioSummary(
+        method=method,
+        profile=profile,
+        trials=trials,
+        feasible_trials=len(ratios),
+        mean_ratio=mean(ratios),
+        median_ratio=median(ratios),
+        max_ratio=max(ratios),
+    )

@@ -1,0 +1,27 @@
+"""End-to-end applications on the simulated MapReduce cluster."""
+
+from repro.apps.common_friends import CommonFriendsRun, run_common_friends
+from repro.apps.similarity_join import (
+    SimilarityJoinRun,
+    run_broadcast_baseline,
+    run_similarity_join,
+)
+from repro.apps.skew_join import SkewJoinRun, hash_join, naive_join, schema_skew_join
+from repro.apps.tensor_product import OuterProductRun, distributed_outer_product
+from repro.apps.threeway_similarity import ThreeWayRun, run_threeway_similarity
+
+__all__ = [
+    "CommonFriendsRun",
+    "run_common_friends",
+    "SimilarityJoinRun",
+    "run_broadcast_baseline",
+    "run_similarity_join",
+    "SkewJoinRun",
+    "hash_join",
+    "naive_join",
+    "schema_skew_join",
+    "OuterProductRun",
+    "ThreeWayRun",
+    "run_threeway_similarity",
+    "distributed_outer_product",
+]

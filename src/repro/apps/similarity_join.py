@@ -1,0 +1,132 @@
+"""Similarity join on the simulated MapReduce cluster.
+
+The paper's A2A motivating application: every pair of documents must be
+compared (the similarity function admits no LSH shortcut).  The schema
+decides which reducers each document travels to; each reducer compares the
+pairs it canonically owns and emits those above the threshold.
+
+Also provides the naive broadcast baseline (all documents to one reducer)
+used by E7 to show what the schema machinery buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.common import a2a_memberships, canonical_meeting
+from repro.core.instance import A2AInstance
+from repro.core.schema import A2ASchema
+from repro.core.selector import solve_a2a
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.metrics import JobMetrics
+from repro.workloads.documents import Document, jaccard
+
+
+@dataclass(frozen=True)
+class SimilarityJoinRun:
+    """Result of a distributed similarity join.
+
+    Attributes:
+        pairs: ``(doc_id_a, doc_id_b, similarity)`` for every pair at or
+            above the threshold, each emitted exactly once.
+        schema: the mapping schema used.
+        metrics: simulator metrics of the run.
+    """
+
+    pairs: tuple[tuple[int, int, float], ...]
+    schema: A2ASchema
+    metrics: JobMetrics
+
+    def pair_set(self) -> set[tuple[int, int]]:
+        """Just the id pairs, for comparison against ground truth."""
+        return {(a, b) for a, b, _ in self.pairs}
+
+
+def run_similarity_join(
+    documents: list[Document],
+    q: int,
+    threshold: float,
+    *,
+    method: str = "auto",
+) -> SimilarityJoinRun:
+    """Run the schema-driven similarity join end to end.
+
+    Documents are indexed by list position (their ``doc_id`` is reported in
+    the output but positions drive the schema).  Capacity is enforced
+    strictly: a correct schema never overflows, so an exception here means
+    a bug, not a workload property.
+    """
+    instance = A2AInstance([d.size for d in documents], q)
+    schema = solve_a2a(instance, method)
+    memberships = a2a_memberships(schema)
+    position = {id(doc): i for i, doc in enumerate(documents)}
+
+    def map_fn(doc: Document):
+        for r in memberships[position[id(doc)]]:
+            yield r, doc
+
+    def reduce_fn(key, docs: list[Document]):
+        by_position = sorted(docs, key=lambda d: position[id(d)])
+        for a_idx, doc_a in enumerate(by_position):
+            i = position[id(doc_a)]
+            for doc_b in by_position[a_idx + 1:]:
+                j = position[id(doc_b)]
+                if canonical_meeting(memberships[i], memberships[j]) != key:
+                    continue
+                similarity = jaccard(doc_a, doc_b)
+                if similarity >= threshold:
+                    yield (doc_a.doc_id, doc_b.doc_id, similarity)
+
+    job = MapReduceJob(
+        map_fn=map_fn,
+        reduce_fn=reduce_fn,
+        reducer_capacity=q,
+        strict_capacity=True,
+    )
+    result = job.run(documents)
+    return SimilarityJoinRun(
+        pairs=tuple(result.outputs), schema=schema, metrics=result.metrics
+    )
+
+
+def run_broadcast_baseline(
+    documents: list[Document],
+    q: int,
+    threshold: float,
+) -> SimilarityJoinRun:
+    """Naive baseline: ship every document to a single reducer.
+
+    Runs with non-strict capacity so the (expected) overflow is *measured*
+    rather than fatal — E7 reports the violation count and max load.
+    The schema recorded is the trivial one-reducer schema.
+    """
+    instance = A2AInstance([d.size for d in documents], max(q, instance_total(documents)))
+    schema = A2ASchema.from_lists(
+        instance, [list(range(len(documents)))], algorithm="broadcast"
+    )
+
+    def map_fn(doc: Document):
+        yield 0, doc
+
+    def reduce_fn(key, docs: list[Document]):
+        for a_idx in range(len(docs)):
+            for b_idx in range(a_idx + 1, len(docs)):
+                similarity = jaccard(docs[a_idx], docs[b_idx])
+                if similarity >= threshold:
+                    yield (docs[a_idx].doc_id, docs[b_idx].doc_id, similarity)
+
+    job = MapReduceJob(
+        map_fn=map_fn,
+        reduce_fn=reduce_fn,
+        reducer_capacity=q,
+        strict_capacity=False,
+    )
+    result = job.run(documents)
+    return SimilarityJoinRun(
+        pairs=tuple(result.outputs), schema=schema, metrics=result.metrics
+    )
+
+
+def instance_total(documents: list[Document]) -> int:
+    """Total size of a document list (helper for the baseline's capacity)."""
+    return sum(d.size for d in documents)

@@ -1,0 +1,177 @@
+"""Skew join of X(A, B) and Y(B, C) on the simulated cluster.
+
+The paper's X2Y motivating application.  A conventional repartition join
+sends every tuple with join key ``b`` to reducer ``hash(b)``; a heavy
+hitter overloads its reducer far beyond the capacity ``q``.  The
+schema-based join detects heavy keys and replaces their single reducer
+with an X2Y mapping schema over the key's tuples, so every reducer stays
+within ``q`` while the join output remains exactly the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.common import canonical_meeting, x2y_memberships
+from repro.core.instance import X2YInstance
+from repro.core.schema import X2YSchema
+from repro.core.selector import solve_x2y
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.metrics import JobMetrics
+from repro.workloads.relations import Relation, Tuple2, heavy_hitters
+
+
+@dataclass(frozen=True)
+class SkewJoinRun:
+    """Result of a distributed join run.
+
+    Attributes:
+        triples: the join output ``(a, b, c)`` = (X payload, key, Y payload).
+        metrics: simulator metrics.
+        heavy_keys: join keys handled by X2Y schemas (empty for the
+            baseline).
+        schemas: the per-heavy-key schemas, keyed by join key.
+    """
+
+    triples: tuple[tuple[int, int, int], ...]
+    metrics: JobMetrics
+    heavy_keys: tuple[int, ...] = ()
+    schemas: dict[int, X2YSchema] | None = None
+
+    def triple_set(self) -> set[tuple[int, int, int]]:
+        """The output as a set for comparison against ground truth."""
+        return set(self.triples)
+
+
+def naive_join(x: Relation, y: Relation) -> set[tuple[int, int, int]]:
+    """Ground-truth join computed centrally (no capacity concerns)."""
+    y_by_key: dict[int, list[Tuple2]] = {}
+    for t in y.tuples:
+        y_by_key.setdefault(t.key, []).append(t)
+    output = set()
+    for tx in x.tuples:
+        for ty in y_by_key.get(tx.key, []):
+            output.add((tx.payload, tx.key, ty.payload))
+    return output
+
+
+def hash_join(x: Relation, y: Relation, q: int) -> SkewJoinRun:
+    """Conventional repartition join: one reducer per join key.
+
+    Runs with non-strict capacity so heavy hitters *overflow measurably*
+    instead of crashing — E6 reports exactly that overflow.
+    """
+
+    def map_fn(record: tuple[str, Tuple2]):
+        side, t = record
+        yield t.key, (side, t)
+
+    def reduce_fn(key, values):
+        x_tuples = [t for side, t in values if side == "x"]
+        y_tuples = [t for side, t in values if side == "y"]
+        for tx in x_tuples:
+            for ty in y_tuples:
+                yield (tx.payload, key, ty.payload)
+
+    job = MapReduceJob(
+        map_fn=map_fn,
+        reduce_fn=reduce_fn,
+        size_of=lambda value: value[1].size,
+        reducer_capacity=q,
+        strict_capacity=False,
+    )
+    records = [("x", t) for t in x.tuples] + [("y", t) for t in y.tuples]
+    result = job.run(records)
+    return SkewJoinRun(triples=tuple(result.outputs), metrics=result.metrics)
+
+
+def schema_skew_join(
+    x: Relation,
+    y: Relation,
+    q: int,
+    *,
+    method: str = "auto",
+) -> SkewJoinRun:
+    """Skew-aware join: X2Y mapping schemas for heavy keys, hashing for light.
+
+    A key is *heavy* when its combined tuple load exceeds ``q``.  For each
+    heavy key the tuples of X and Y (with their individual sizes —
+    different-sized inputs, per the paper) form an :class:`X2YInstance`
+    solved by *method*; its reducers get composite ids ``("hh", key, r)``.
+    Light keys keep the conventional per-key reducer ``("light", key)``.
+    Capacity is enforced strictly: by construction nothing overflows.
+    """
+    heavy = heavy_hitters(x, y, q)
+    heavy_set = set(heavy)
+
+    plans: dict[int, tuple[X2YSchema, list[list[int]], list[list[int]]]] = {}
+    x_by_key: dict[int, list[Tuple2]] = {}
+    for t in x.tuples:
+        x_by_key.setdefault(t.key, []).append(t)
+    y_by_key: dict[int, list[Tuple2]] = {}
+    for t in y.tuples:
+        y_by_key.setdefault(t.key, []).append(t)
+
+    for key in heavy:
+        x_tuples = x_by_key.get(key, [])
+        y_tuples = y_by_key.get(key, [])
+        if not x_tuples or not y_tuples:
+            # One-sided heavy keys produce no join output at all; skip them
+            # entirely rather than ship dead weight.
+            continue
+        instance = X2YInstance(
+            [t.size for t in x_tuples], [t.size for t in y_tuples], q
+        )
+        schema = solve_x2y(instance, method)
+        plans[key] = (schema, *x2y_memberships(schema))
+
+    x_index = {key: {id(t): i for i, t in enumerate(ts)} for key, ts in x_by_key.items()}
+    y_index = {key: {id(t): j for j, t in enumerate(ts)} for key, ts in y_by_key.items()}
+
+    def map_fn(record: tuple[str, Tuple2]):
+        side, t = record
+        if t.key not in heavy_set:
+            yield ("light", t.key), (side, t)
+            return
+        if t.key not in plans:
+            return  # one-sided heavy key: no partner, no output
+        _, x_members, y_members = plans[t.key]
+        if side == "x":
+            for r in x_members[x_index[t.key][id(t)]]:
+                yield ("hh", t.key, r), (side, t)
+        else:
+            for r in y_members[y_index[t.key][id(t)]]:
+                yield ("hh", t.key, r), (side, t)
+
+    def reduce_fn(key, values):
+        x_tuples = [t for side, t in values if side == "x"]
+        y_tuples = [t for side, t in values if side == "y"]
+        if key[0] == "light":
+            for tx in x_tuples:
+                for ty in y_tuples:
+                    yield (tx.payload, tx.key, ty.payload)
+            return
+        _, join_key, r = key
+        _, x_members, y_members = plans[join_key]
+        for tx in x_tuples:
+            i = x_index[join_key][id(tx)]
+            for ty in y_tuples:
+                j = y_index[join_key][id(ty)]
+                if canonical_meeting(x_members[i], y_members[j]) == r:
+                    yield (tx.payload, join_key, ty.payload)
+
+    job = MapReduceJob(
+        map_fn=map_fn,
+        reduce_fn=reduce_fn,
+        size_of=lambda value: value[1].size,
+        reducer_capacity=q,
+        strict_capacity=True,
+    )
+    records = [("x", t) for t in x.tuples] + [("y", t) for t in y.tuples]
+    result = job.run(records)
+    return SkewJoinRun(
+        triples=tuple(result.outputs),
+        metrics=result.metrics,
+        heavy_keys=tuple(heavy),
+        schemas={key: plan[0] for key, plan in plans.items()},
+    )

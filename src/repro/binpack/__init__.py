@@ -1,0 +1,46 @@
+"""Bin-packing substrate.
+
+The paper's different-sized-input schemes reduce reducer assignment to bin
+packing (pack inputs into ``q/2``-capacity bins, then pair bins into
+reducers).  This package provides the packing algorithms, exact solver and
+lower bounds that those schemes — and the tests certifying them — build on.
+"""
+
+from repro.binpack.packing import Bin, PackingResult
+from repro.binpack.ffd import first_fit, first_fit_decreasing
+from repro.binpack.bfd import best_fit, best_fit_decreasing
+from repro.binpack.nextfit import next_fit, worst_fit
+from repro.binpack.exact import pack_exact
+from repro.binpack.lower_bounds import (
+    best_lower_bound,
+    l1_bound,
+    l2_bound,
+    large_item_bound,
+)
+
+#: Registry of the heuristic packers by name, used by ablation benches.
+HEURISTICS = {
+    "first_fit": first_fit,
+    "first_fit_decreasing": first_fit_decreasing,
+    "best_fit": best_fit,
+    "best_fit_decreasing": best_fit_decreasing,
+    "next_fit": next_fit,
+    "worst_fit": worst_fit,
+}
+
+__all__ = [
+    "Bin",
+    "PackingResult",
+    "first_fit",
+    "first_fit_decreasing",
+    "best_fit",
+    "best_fit_decreasing",
+    "next_fit",
+    "worst_fit",
+    "pack_exact",
+    "l1_bound",
+    "l2_bound",
+    "large_item_bound",
+    "best_lower_bound",
+    "HEURISTICS",
+]

@@ -1,0 +1,96 @@
+"""Exact bin packing via branch-and-bound.
+
+Used as ground truth for small instances in tests and in the E9 optimality-
+gap experiment.  The search branches on the placement of items in decreasing
+size order, prunes with the L2 lower bound, and breaks bin symmetry by only
+allowing an item to open the first empty bin.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.binpack.packing import PackingResult, validate_packing_inputs
+from repro.binpack.ffd import first_fit_decreasing
+from repro.binpack.lower_bounds import best_lower_bound
+from repro.exceptions import SolverLimitError
+
+
+def pack_exact(
+    sizes: Sequence[int],
+    capacity: int,
+    *,
+    max_nodes: int = 2_000_000,
+) -> PackingResult:
+    """Return a provably bin-minimal packing.
+
+    Raises :class:`SolverLimitError` if the search exceeds *max_nodes*
+    branch-and-bound nodes; at default settings instances of a few dozen
+    items solve instantly, which is all the test-suite and E9 need.
+    """
+    validated, cap = validate_packing_inputs(tuple(sizes), capacity)
+    order = sorted(range(len(validated)), key=lambda i: validated[i], reverse=True)
+
+    incumbent = first_fit_decreasing(validated, cap)
+    best_bins: list[list[int]] = [list(b) for b in incumbent.bins]
+    best_count = incumbent.num_bins
+    lower = best_lower_bound(validated, cap)
+    if best_count == lower:
+        return PackingResult(validated, cap, incumbent.bins, "exact")
+
+    loads: list[int] = []
+    assignment: list[list[int]] = []
+    nodes = 0
+
+    def search(pos: int) -> None:
+        nonlocal best_count, best_bins, nodes
+        nodes += 1
+        if nodes > max_nodes:
+            raise SolverLimitError(
+                f"exact bin packing exceeded {max_nodes} nodes on {len(validated)} items"
+            )
+        if best_count == lower:
+            return
+        if pos == len(order):
+            if len(assignment) < best_count:
+                best_count = len(assignment)
+                best_bins = [list(b) for b in assignment]
+            return
+        if len(assignment) >= best_count:
+            # Even without opening new bins we cannot beat the incumbent.
+            remaining = sum(validated[order[i]] for i in range(pos, len(order)))
+            slack = sum(cap - load for load in loads)
+            if remaining > slack:
+                return
+        index = order[pos]
+        size = validated[index]
+        tried_residuals: set[int] = set()
+        for b, load in enumerate(loads):
+            if load + size > cap:
+                continue
+            residual = cap - load
+            if residual in tried_residuals:
+                # Placing into any bin with the same residual is symmetric.
+                continue
+            tried_residuals.add(residual)
+            loads[b] += size
+            assignment[b].append(index)
+            search(pos + 1)
+            assignment[b].pop()
+            loads[b] -= size
+        if len(assignment) + 1 < best_count:
+            loads.append(size)
+            assignment.append([index])
+            search(pos + 1)
+            assignment.pop()
+            loads.pop()
+
+    search(0)
+    result = PackingResult(
+        sizes=validated,
+        capacity=cap,
+        bins=tuple(tuple(b) for b in best_bins),
+        algorithm="exact",
+    )
+    result.validate()
+    return result

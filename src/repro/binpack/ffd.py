@@ -1,0 +1,71 @@
+"""First-Fit and First-Fit-Decreasing bin packing.
+
+FFD is the workhorse of the paper's different-sized-input schemes: packing
+inputs into bins of capacity ``q/2`` with FFD and then pairing bins yields
+the 2-approximation mapping schemas for A2A and X2Y.  FFD uses at most
+``(11/9) OPT + 6/9`` bins, which is what makes the pairing schemes' reducer
+count provably close to the lower bound.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.binpack.packing import Bin, PackingResult, validate_packing_inputs
+
+
+def first_fit(sizes: Sequence[int], capacity: int) -> PackingResult:
+    """Pack items in the given order, each into the first bin where it fits.
+
+    Opens a new bin when no existing bin has room.  Runs in O(n * bins) —
+    adequate for the instance sizes this library targets (tens of thousands
+    of inputs).
+    """
+    validated, cap = validate_packing_inputs(tuple(sizes), capacity)
+    bins: list[Bin] = []
+    for index, size in enumerate(validated):
+        placed = False
+        for bin_ in bins:
+            if bin_.fits(size):
+                bin_.add(index, size)
+                placed = True
+                break
+        if not placed:
+            fresh = Bin(capacity=cap)
+            fresh.add(index, size)
+            bins.append(fresh)
+    return PackingResult(
+        sizes=validated,
+        capacity=cap,
+        bins=tuple(tuple(b.items) for b in bins),
+        algorithm="first_fit",
+    )
+
+
+def first_fit_decreasing(sizes: Sequence[int], capacity: int) -> PackingResult:
+    """First-Fit-Decreasing: sort by size descending, then first-fit.
+
+    The classic 11/9-approximation.  The returned bins reference items by
+    their indices in the *original* (unsorted) ``sizes`` sequence.
+    """
+    validated, cap = validate_packing_inputs(tuple(sizes), capacity)
+    order = sorted(range(len(validated)), key=lambda i: validated[i], reverse=True)
+    bins: list[Bin] = []
+    for index in order:
+        size = validated[index]
+        placed = False
+        for bin_ in bins:
+            if bin_.fits(size):
+                bin_.add(index, size)
+                placed = True
+                break
+        if not placed:
+            fresh = Bin(capacity=cap)
+            fresh.add(index, size)
+            bins.append(fresh)
+    return PackingResult(
+        sizes=validated,
+        capacity=cap,
+        bins=tuple(tuple(b.items) for b in bins),
+        algorithm="first_fit_decreasing",
+    )

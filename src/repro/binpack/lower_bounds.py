@@ -1,0 +1,71 @@
+"""Lower bounds on the number of bins needed.
+
+These bounds serve two purposes: (1) they certify the quality of the packing
+heuristics in tests, and (2) they feed the *reducer-count* lower bounds in
+:mod:`repro.core.bounds`, because the paper's bin-pairing schemes inherit
+their guarantees from the packing lower bounds.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from math import ceil
+
+from repro.binpack.packing import validate_packing_inputs
+
+
+def l1_bound(sizes: Sequence[int], capacity: int) -> int:
+    """The volume (L1) bound: ``ceil(sum(sizes) / capacity)``.
+
+    Every bin holds at most ``capacity`` units, so at least this many bins
+    are needed.  Always >= 1 for a non-empty instance.
+    """
+    validated, cap = validate_packing_inputs(tuple(sizes), capacity)
+    if not validated:
+        return 0
+    return ceil(sum(validated) / cap)
+
+
+def large_item_bound(sizes: Sequence[int], capacity: int) -> int:
+    """Items larger than ``capacity/2`` are pairwise incompatible.
+
+    No two of them share a bin, so the count of such items lower-bounds the
+    bin count.
+    """
+    validated, cap = validate_packing_inputs(tuple(sizes), capacity)
+    return sum(1 for s in validated if 2 * s > cap)
+
+
+def l2_bound(sizes: Sequence[int], capacity: int) -> int:
+    """Martello & Toth's L2 bound, maximized over all thresholds.
+
+    For a threshold ``t`` in ``[0, capacity/2]``, partition items into
+    big (> capacity - t), medium (in (capacity/2, capacity - t]) and small
+    (in [t, capacity/2]).  Big items each need their own bin; medium items
+    cannot share with each other; small volume that does not fit in the
+    mediums' residual space forces extra bins.  L2 dominates L1 and the
+    large-item bound.
+    """
+    validated, cap = validate_packing_inputs(tuple(sizes), capacity)
+    if not validated:
+        return 0
+    best = l1_bound(validated, cap)
+    thresholds = sorted({s for s in validated if 2 * s <= cap} | {0})
+    for t in thresholds:
+        big = [s for s in validated if s > cap - t]
+        medium = [s for s in validated if cap - t >= s > cap // 2]
+        small = [s for s in validated if cap // 2 >= s >= t]
+        residual = sum(cap - s for s in medium)
+        overflow = sum(small) - residual
+        extra = ceil(overflow / cap) if overflow > 0 else 0
+        best = max(best, len(big) + len(medium) + extra)
+    return best
+
+
+def best_lower_bound(sizes: Sequence[int], capacity: int) -> int:
+    """The strongest of all implemented bounds."""
+    return max(
+        l1_bound(sizes, capacity),
+        large_item_bound(sizes, capacity),
+        l2_bound(sizes, capacity),
+    )

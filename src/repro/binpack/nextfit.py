@@ -1,0 +1,57 @@
+"""Next-Fit and Worst-Fit bin packing.
+
+Next-fit is the simplest online heuristic (2-approximation, O(n)); worst-fit
+spreads load across bins.  Both serve as cheap baselines in the packing
+ablation: the paper's schemes only need *some* packing into ``q/2`` bins,
+and these quantify how much the packing quality matters downstream.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.binpack.packing import Bin, PackingResult, validate_packing_inputs
+
+
+def next_fit(sizes: Sequence[int], capacity: int) -> PackingResult:
+    """Keep a single open bin; close it whenever the next item does not fit."""
+    validated, cap = validate_packing_inputs(tuple(sizes), capacity)
+    bins: list[Bin] = []
+    current: Bin | None = None
+    for index, size in enumerate(validated):
+        if current is None or not current.fits(size):
+            current = Bin(capacity=cap)
+            bins.append(current)
+        current.add(index, size)
+    return PackingResult(
+        sizes=validated,
+        capacity=cap,
+        bins=tuple(tuple(b.items) for b in bins),
+        algorithm="next_fit",
+    )
+
+
+def worst_fit(sizes: Sequence[int], capacity: int) -> PackingResult:
+    """Place each item into the feasible bin with the *most* residual capacity.
+
+    Produces balanced bin loads, which translates into balanced reducer
+    loads after pairing — useful when the downstream metric is parallelism
+    rather than bin count.
+    """
+    validated, cap = validate_packing_inputs(tuple(sizes), capacity)
+    bins: list[Bin] = []
+    for index, size in enumerate(validated):
+        best: Bin | None = None
+        for bin_ in bins:
+            if bin_.fits(size) and (best is None or bin_.residual > best.residual):
+                best = bin_
+        if best is None:
+            best = Bin(capacity=cap)
+            bins.append(best)
+        best.add(index, size)
+    return PackingResult(
+        sizes=validated,
+        capacity=cap,
+        bins=tuple(tuple(b.items) for b in bins),
+        algorithm="worst_fit",
+    )

@@ -1,0 +1,116 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``solve-a2a --sizes 3,5,2,7 --q 12 [--method auto]`` — build, verify and
+  print a mapping schema (add ``--json`` for the wire format).
+* ``solve-x2y --x-sizes 4,5 --y-sizes 3,3 --q 10`` — the X2Y counterpart.
+* ``sweep --sizes ... --q-values 10,20,40`` — the reducer-count tradeoff
+  table for an A2A input set.
+* ``verify --file schema.json`` — re-verify a persisted schema.
+
+Exit status is 0 on success, 1 on infeasible/invalid input, mirroring
+what a scheduler wrapping this tool would need.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import io as repro_io
+from repro.analysis.tradeoffs import sweep_a2a_reducers
+from repro.core.costs import summarize
+from repro.core.instance import A2AInstance, X2YInstance
+from repro.core.selector import A2A_METHODS, X2Y_METHODS, solve_a2a, solve_x2y
+from repro.exceptions import ReproError
+from repro.utils.tables import format_table
+
+
+def _parse_sizes(text: str) -> list[int]:
+    """Parse a comma-separated size list, e.g. ``3,5,2``."""
+    try:
+        return [int(part) for part in text.split(",") if part.strip()]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad size list {text!r}") from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mapping schemas for different-sized MapReduce inputs "
+        "(Afrati et al., EDBT 2015)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    a2a = commands.add_parser("solve-a2a", help="solve an all-to-all instance")
+    a2a.add_argument("--sizes", type=_parse_sizes, required=True)
+    a2a.add_argument("--q", type=int, required=True)
+    a2a.add_argument(
+        "--method", default="auto", choices=["auto", *sorted(A2A_METHODS)]
+    )
+    a2a.add_argument("--json", action="store_true", help="print the JSON schema")
+
+    x2y = commands.add_parser("solve-x2y", help="solve an X-to-Y instance")
+    x2y.add_argument("--x-sizes", type=_parse_sizes, required=True)
+    x2y.add_argument("--y-sizes", type=_parse_sizes, required=True)
+    x2y.add_argument("--q", type=int, required=True)
+    x2y.add_argument(
+        "--method", default="auto", choices=["auto", *sorted(X2Y_METHODS)]
+    )
+    x2y.add_argument("--json", action="store_true", help="print the JSON schema")
+
+    sweep = commands.add_parser("sweep", help="A2A reducer-count sweep over q")
+    sweep.add_argument("--sizes", type=_parse_sizes, required=True)
+    sweep.add_argument("--q-values", type=_parse_sizes, required=True)
+
+    verify = commands.add_parser("verify", help="verify a persisted schema")
+    verify.add_argument("--file", required=True)
+
+    return parser
+
+
+def _print_schema(schema, as_json: bool) -> None:
+    if as_json:
+        print(repro_io.dumps(schema, indent=2))
+        return
+    print(f"algorithm : {schema.algorithm}")
+    print(f"reducers  : {schema.num_reducers}")
+    print(format_table([summarize(schema).as_row()]))
+    for index, reducer in enumerate(schema.reducers):
+        print(f"  reducer {index}: {reducer}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "solve-a2a":
+            schema = solve_a2a(A2AInstance(args.sizes, args.q), args.method)
+            schema.require_valid()
+            _print_schema(schema, args.json)
+        elif args.command == "solve-x2y":
+            schema = solve_x2y(
+                X2YInstance(args.x_sizes, args.y_sizes, args.q), args.method
+            )
+            schema.require_valid()
+            _print_schema(schema, args.json)
+        elif args.command == "sweep":
+            rows = sweep_a2a_reducers(args.sizes, args.q_values)
+            print(format_table(rows, title="A2A reducers vs q"))
+        elif args.command == "verify":
+            with open(args.file) as handle:
+                loaded = repro_io.loads(handle.read())
+            report = loaded.verify()  # type: ignore[union-attr]
+            print(report.summary())
+            if not report.valid:
+                return 1
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Core model: instances, schemas, verification, costs, bounds, algorithms.
+
+This package is the paper's primary contribution: the two mapping-schema
+problems (A2A and X2Y), the validity conditions, the cost/tradeoff metrics,
+lower bounds, and the assignment algorithms.
+"""
+
+from repro.core.instance import A2AInstance, X2YInstance
+from repro.core.schema import A2ASchema, X2YSchema
+from repro.core.verify import VerificationReport, verify_a2a, verify_x2y
+from repro.core.costs import CostSummary, parallelism_degree, skew, summarize
+from repro.core.selector import A2A_METHODS, X2Y_METHODS, solve_a2a, solve_x2y
+from repro.core import a2a, bounds, x2y
+
+__all__ = [
+    "A2AInstance",
+    "X2YInstance",
+    "A2ASchema",
+    "X2YSchema",
+    "VerificationReport",
+    "verify_a2a",
+    "verify_x2y",
+    "CostSummary",
+    "summarize",
+    "parallelism_degree",
+    "skew",
+    "solve_a2a",
+    "solve_x2y",
+    "A2A_METHODS",
+    "X2Y_METHODS",
+    "a2a",
+    "x2y",
+    "bounds",
+]

@@ -1,0 +1,110 @@
+"""A2A schemes for equal-sized inputs (the paper's tractable special case).
+
+With every input of size ``w`` and ``k = q // w`` inputs fitting per
+reducer, the grouping scheme splits the inputs into groups of ``k // 2``
+and assigns every pair of groups to one reducer.  Each reducer then holds
+at most ``k`` inputs (load <= q), every same-group pair meets wherever the
+group appears, and every cross-group pair meets at that pair's reducer.
+The scheme uses ``C(t, 2)`` reducers for ``t = ceil(m / (k // 2))`` groups,
+within a small constant factor of the ``ceil(C(m,2)/C(k,2))`` lower bound
+(factor ~2 for even ``k``).
+"""
+
+from __future__ import annotations
+
+from repro.core.instance import A2AInstance
+from repro.core.schema import A2ASchema
+from repro.exceptions import InfeasibleInstanceError, InvalidInstanceError
+
+
+def _require_equal_sizes(instance: A2AInstance) -> int:
+    """Return the common size, or raise if sizes differ."""
+    unique = set(instance.sizes)
+    if len(unique) != 1:
+        raise InvalidInstanceError(
+            f"equal-sized scheme requires identical sizes, got {len(unique)} distinct values"
+        )
+    return instance.sizes[0]
+
+
+def inputs_per_reducer(instance: A2AInstance) -> int:
+    """``k = q // w``: how many equal-sized inputs fit in one reducer."""
+    w = _require_equal_sizes(instance)
+    return instance.q // w
+
+
+def group_inputs(m: int, group_size: int) -> list[tuple[int, ...]]:
+    """Split input indices ``0..m-1`` into consecutive groups of *group_size*.
+
+    The final group may be smaller.  Exposed for tests and for the X2Y
+    equal-sized scheme which groups both sides the same way.
+    """
+    if group_size <= 0:
+        raise InvalidInstanceError(f"group_size must be positive, got {group_size}")
+    return [
+        tuple(range(start, min(start + group_size, m)))
+        for start in range(0, m, group_size)
+    ]
+
+
+def equal_sized_grouping(instance: A2AInstance) -> A2ASchema:
+    """The grouping scheme for equal-sized A2A inputs.
+
+    Cases:
+
+    * ``m <= k``: a single reducer holds everything (optimal).
+    * ``k == 1`` and ``m >= 2``: infeasible — no reducer fits any pair.
+    * otherwise: groups of ``k // 2`` inputs, one reducer per pair of
+      groups (and a single reducer if only one group forms).
+
+    Returns a verified-constructible schema; ``schema.require_valid()`` is
+    exercised by the tests rather than re-run here.
+    """
+    w = _require_equal_sizes(instance)
+    k = instance.q // w
+    m = instance.m
+
+    if m == 1:
+        return A2ASchema.from_lists(instance, [[0]], algorithm="equal_grouping")
+    if k < 2:
+        raise InfeasibleInstanceError(
+            f"capacity q={instance.q} fits only k={k} input(s) of size {w}; "
+            "no pair of inputs can ever meet",
+            offending_pair=(0, 1),
+        )
+    if m <= k:
+        return A2ASchema.from_lists(
+            instance, [list(range(m))], algorithm="equal_grouping"
+        )
+
+    group_size = max(1, k // 2)
+    groups = group_inputs(m, group_size)
+    if len(groups) == 1:
+        return A2ASchema.from_lists(instance, [groups[0]], algorithm="equal_grouping")
+
+    reducers = [
+        groups[a] + groups[b]
+        for a in range(len(groups))
+        for b in range(a + 1, len(groups))
+    ]
+    return A2ASchema.from_lists(instance, reducers, algorithm="equal_grouping")
+
+
+def equal_sized_reducer_count(m: int, k: int) -> int:
+    """Closed-form reducer count of :func:`equal_sized_grouping`.
+
+    Used by E1 to report the analytic curve next to the constructed one.
+    """
+    if m <= 0:
+        return 0
+    if m == 1:
+        return 1
+    if k < 2:
+        raise InfeasibleInstanceError(f"k={k} cannot host any pair")
+    if m <= k:
+        return 1
+    group_size = max(1, k // 2)
+    t = -(-m // group_size)  # ceil division
+    if t == 1:
+        return 1
+    return t * (t - 1) // 2

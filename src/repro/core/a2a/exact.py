@@ -1,0 +1,120 @@
+"""Exact minimum-reducer solver for small A2A instances.
+
+The A2A mapping-schema problem is NP-complete (the paper's main hardness
+result), so exact solving is only for ground truth on small instances: the
+E9 experiment measures the heuristics' optimality gap against this solver.
+
+The solver runs iterative deepening on the reducer budget ``z`` starting
+from the instance lower bound.  For a fixed ``z`` it covers required pairs
+one at a time with depth-first search: take the first uncovered pair and
+try every way of making it meet (grow an existing reducer, or open a new
+one), pruning on capacity and on budget, with symmetry breaking on new
+reducers.
+"""
+
+from __future__ import annotations
+
+from repro.core.bounds import a2a_reducer_lower_bound
+from repro.core.instance import A2AInstance
+from repro.core.schema import A2ASchema
+from repro.exceptions import SolverLimitError
+
+
+def solve_min_reducers(
+    instance: A2AInstance,
+    *,
+    max_nodes: int = 500_000,
+    max_reducers: int | None = None,
+) -> A2ASchema:
+    """Return a schema with the provably minimum number of reducers.
+
+    Raises :class:`SolverLimitError` when the node budget is exhausted, and
+    :class:`repro.exceptions.InfeasibleInstanceError` for infeasible
+    instances.  Intended for ``m`` up to roughly 10-12.
+    """
+    instance.check_feasible()
+    m = instance.m
+    if m == 1:
+        return A2ASchema.from_lists(instance, [[0]], algorithm="exact")
+
+    sizes = instance.sizes
+    q = instance.q
+    all_pairs = list(instance.pairs())
+    # Hardest pairs first: large joint size constrains placement most.
+    all_pairs.sort(key=lambda p: sizes[p[0]] + sizes[p[1]], reverse=True)
+
+    lower = a2a_reducer_lower_bound(instance)
+    ceiling = max_reducers if max_reducers is not None else len(all_pairs)
+    nodes = 0
+
+    def is_covered(i: int, j: int, members: list[set[int]]) -> bool:
+        return any(i in r and j in r for r in members)
+
+    def search(
+        pair_pos: int,
+        members: list[set[int]],
+        loads: list[int],
+        budget: int,
+    ) -> list[set[int]] | None:
+        nonlocal nodes
+        nodes += 1
+        if nodes > max_nodes:
+            raise SolverLimitError(
+                f"A2A exact solver exceeded {max_nodes} nodes at m={m}"
+            )
+        while pair_pos < len(all_pairs) and is_covered(*all_pairs[pair_pos], members):
+            pair_pos += 1
+        if pair_pos == len(all_pairs):
+            return [set(r) for r in members]
+        i, j = all_pairs[pair_pos]
+
+        # Option A: host the pair inside an existing reducer.
+        seen_signatures: set[tuple[int, frozenset[int]]] = set()
+        for r, reducer in enumerate(members):
+            has_i, has_j = i in reducer, j in reducer
+            extra = 0
+            if not has_i:
+                extra += sizes[i]
+            if not has_j:
+                extra += sizes[j]
+            if loads[r] + extra > q:
+                continue
+            signature = (loads[r], frozenset(reducer))
+            if signature in seen_signatures:
+                continue  # identical reducer state: symmetric branch
+            seen_signatures.add(signature)
+            added = []
+            if not has_i:
+                reducer.add(i)
+                added.append(i)
+            if not has_j:
+                reducer.add(j)
+                added.append(j)
+            loads[r] += extra
+            result = search(pair_pos + 1, members, loads, budget)
+            loads[r] -= extra
+            for element in added:
+                reducer.discard(element)
+            if result is not None:
+                return result
+
+        # Option B: open a new reducer holding exactly this pair.
+        if budget > 0:
+            members.append({i, j})
+            loads.append(sizes[i] + sizes[j])
+            result = search(pair_pos + 1, members, loads, budget - 1)
+            members.pop()
+            loads.pop()
+            if result is not None:
+                return result
+        return None
+
+    for target in range(max(1, lower), ceiling + 1):
+        solution = search(0, [], [], target)
+        if solution is not None:
+            return A2ASchema.from_lists(
+                instance, [sorted(r) for r in solution], algorithm="exact"
+            )
+    raise SolverLimitError(
+        f"no schema found within the reducer ceiling {ceiling} (m={m})"
+    )

@@ -1,0 +1,80 @@
+"""Greedy pair-cover baseline for A2A.
+
+A straightforward comparator for the paper's structured schemes: repeatedly
+open a reducer, seed it with the uncovered pair of largest joint degree,
+then keep adding the input with the best (newly covered pairs / size) ratio
+until nothing fits or nothing helps.  No approximation guarantee, but a
+natural "what a practitioner would try first" baseline for E2/E8.
+"""
+
+from __future__ import annotations
+
+from repro.core.instance import A2AInstance
+from repro.core.schema import A2ASchema
+
+
+def greedy_cover(instance: A2AInstance, *, max_reducers: int | None = None) -> A2ASchema:
+    """Cover all pairs greedily.
+
+    *max_reducers* optionally caps the schema size (a safety valve for
+    adversarial instances); by default the loop runs until every pair is
+    covered, which always terminates because each iteration covers at least
+    the seeding pair.
+
+    Raises :class:`repro.exceptions.InfeasibleInstanceError` for infeasible
+    instances.
+    """
+    instance.check_feasible()
+    m = instance.m
+    if m == 1:
+        return A2ASchema.from_lists(instance, [[0]], algorithm="greedy_cover")
+
+    sizes = instance.sizes
+    q = instance.q
+    uncovered: set[tuple[int, int]] = set(instance.pairs())
+    # degree[i] = number of uncovered pairs touching input i.
+    degree = [m - 1] * m
+    reducers: list[list[int]] = []
+
+    while uncovered:
+        if max_reducers is not None and len(reducers) >= max_reducers:
+            break
+        # Seed with the uncovered pair of maximum joint degree that co-fits;
+        # feasibility guarantees at least one uncovered pair fits (all do).
+        seed = max(uncovered, key=lambda p: (degree[p[0]] + degree[p[1]], -sizes[p[0]] - sizes[p[1]]))
+        members = {seed[0], seed[1]}
+        load = sizes[seed[0]] + sizes[seed[1]]
+
+        while True:
+            best_gain = 0.0
+            best_input = -1
+            best_new = 0
+            for i in range(m):
+                if i in members or load + sizes[i] > q:
+                    continue
+                new_pairs = sum(
+                    1 for j in members if (min(i, j), max(i, j)) in uncovered
+                )
+                if new_pairs == 0:
+                    continue
+                gain = new_pairs / sizes[i]
+                if gain > best_gain:
+                    best_gain = gain
+                    best_input = i
+                    best_new = new_pairs
+            if best_input < 0 or best_new == 0:
+                break
+            members.add(best_input)
+            load += sizes[best_input]
+
+        reducer = sorted(members)
+        reducers.append(reducer)
+        for a_pos, i in enumerate(reducer):
+            for j in reducer[a_pos + 1:]:
+                pair = (i, j)
+                if pair in uncovered:
+                    uncovered.discard(pair)
+                    degree[i] -= 1
+                    degree[j] -= 1
+
+    return A2ASchema.from_lists(instance, reducers, algorithm="greedy_cover")

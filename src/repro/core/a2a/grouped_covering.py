@@ -1,0 +1,83 @@
+"""Grouped-covering A2A scheme: more than two groups per reducer.
+
+The plain grouping scheme (:mod:`repro.core.a2a.equal`) puts exactly two
+groups of ``k // 2`` inputs in each reducer.  But when ``k = q // w`` is
+large, a reducer can host ``s = k // g`` groups of size ``g`` for *smaller*
+``g`` — and then covering all pairs of groups with s-element blocks is a
+covering-design problem, solved by :mod:`repro.covering`.  With a good
+design the reducer count approaches ``C(t,2) / C(s,2)``, which for ``s=3``
+(Steiner triple systems) is a 3x improvement over plain pairing.
+
+The scheme sweeps candidate group sizes ``g`` and keeps the cheapest valid
+construction, so it never does worse than the plain grouping scheme.
+"""
+
+from __future__ import annotations
+
+from repro.core.a2a.equal import _require_equal_sizes, group_inputs
+from repro.core.instance import A2AInstance
+from repro.core.schema import A2ASchema
+from repro.covering.designs import pair_cover
+from repro.exceptions import InfeasibleInstanceError
+
+
+def grouped_covering(instance: A2AInstance, *, max_group_candidates: int = 8) -> A2ASchema:
+    """Equal-sized A2A scheme built from pair-covering designs.
+
+    Requires uniform input sizes (raises
+    :class:`repro.exceptions.InvalidInstanceError` otherwise) and a
+    capacity hosting at least two inputs (raises
+    :class:`InfeasibleInstanceError` if ``k < 2`` with ``m >= 2``).
+
+    Sweeps group sizes ``g`` from ``k // 2`` downward (up to
+    *max_group_candidates* values); for each, builds a covering design over
+    the ``t = ceil(m / g)`` groups with block size ``s = k // g`` and turns
+    each block into a reducer.  Returns the construction using the fewest
+    reducers.
+    """
+    w = _require_equal_sizes(instance)
+    k = instance.q // w
+    m = instance.m
+
+    if m == 1:
+        return A2ASchema.from_lists(instance, [[0]], algorithm="grouped_covering")
+    if k < 2:
+        raise InfeasibleInstanceError(
+            f"capacity q={instance.q} fits only k={k} input(s) of size {w}; "
+            "no pair of inputs can ever meet",
+            offending_pair=(0, 1),
+        )
+    if m <= k:
+        return A2ASchema.from_lists(
+            instance, [list(range(m))], algorithm="grouped_covering"
+        )
+
+    best: list[list[int]] | None = None
+    candidates = range(max(1, k // 2), 0, -1)
+    tried = 0
+    for g in candidates:
+        if tried >= max_group_candidates:
+            break
+        s = k // g
+        if s < 2:
+            continue
+        groups = group_inputs(m, g)
+        t = len(groups)
+        # The greedy design is quadratic in t; only pay for large t when
+        # the exact (cheap) Steiner construction applies.
+        if t > 300 and not (s == 3 and t % 6 == 3):
+            continue
+        tried += 1
+        if t == 1:
+            construction = [list(groups[0])]
+        else:
+            blocks = pair_cover(t, s)
+            construction = [
+                [i for group_index in block for i in groups[group_index]]
+                for block in blocks
+            ]
+        if best is None or len(construction) < len(best):
+            best = construction
+
+    assert best is not None  # k >= 2 guarantees g = k//2 >= 1 with s >= 2
+    return A2ASchema.from_lists(instance, best, algorithm="grouped_covering")

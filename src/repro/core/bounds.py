@@ -1,0 +1,191 @@
+"""Lower bounds on reducer count, replication and communication cost.
+
+The heuristics in :mod:`repro.core.a2a` and :mod:`repro.core.x2y` are judged
+against these bounds throughout the tests and experiments.  Each bound is a
+direct consequence of the mapping-schema constraints:
+
+* volume: every input must be shipped at least once and no reducer holds
+  more than ``q``;
+* pair covering: a reducer holding ``t`` inputs covers at most ``C(t, 2)``
+  pairs (A2A) or ``a * b`` cross pairs (X2Y);
+* residual capacity: a reducer containing input ``i`` has only ``q - w_i``
+  room for partners, so input ``i`` needs many copies to meet everyone.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+from repro.core.instance import A2AInstance, X2YInstance
+
+
+def a2a_volume_bound(instance: A2AInstance) -> int:
+    """``ceil(total size / q)``: every input is assigned at least once."""
+    return ceil(instance.total_size / instance.q)
+
+
+def a2a_pair_cover_bound(instance: A2AInstance) -> int:
+    """Pair-covering bound: ``C(m,2) / C(t,2)`` with ``t`` the max inputs per reducer.
+
+    ``t`` is computed from the smallest sizes, so the per-reducer pair count
+    ``C(t, 2)`` is an upper bound over all feasible reducers.  Returns 1 for
+    single-input instances (one reducer still needed to emit the input).
+    """
+    m = instance.m
+    if m < 2:
+        return 1 if m else 0
+    t = instance.max_inputs_per_reducer()
+    if t < 2:
+        # No reducer can hold two inputs; instance is infeasible, bound is
+        # infinite in spirit — report a huge sentinel so callers notice.
+        return instance.num_pairs + 1
+    per_reducer = t * (t - 1) // 2
+    return ceil(instance.num_pairs / per_reducer)
+
+
+def a2a_replication_lower_bounds(instance: A2AInstance) -> tuple[int, ...]:
+    """Per-input minimum replication.
+
+    Input ``i`` must share reducers with all other inputs, whose total size
+    is ``W - w_i``; each reducer holding ``i`` has residual capacity
+    ``q - w_i``.  Hence ``r_i >= ceil((W - w_i) / (q - w_i))`` (and at least
+    1 always).  For ``m == 1`` the bound is simply 1.
+    """
+    total = instance.total_size
+    bounds = []
+    for w in instance.sizes:
+        others = total - w
+        residual = instance.q - w
+        if others == 0:
+            bounds.append(1)
+        elif residual <= 0:
+            # Cannot host any partner: infeasible instance; sentinel bound.
+            bounds.append(others + 1)
+        else:
+            bounds.append(max(1, ceil(others / residual)))
+    return tuple(bounds)
+
+
+def a2a_communication_lower_bound(instance: A2AInstance) -> int:
+    """Communication lower bound: ``sum_i w_i * r_i`` with per-input bounds."""
+    reps = a2a_replication_lower_bounds(instance)
+    return sum(w * r for w, r in zip(instance.sizes, reps))
+
+
+def a2a_reducer_lower_bound(instance: A2AInstance) -> int:
+    """Strongest implemented lower bound on the number of reducers.
+
+    Takes the max of the volume bound, the pair-covering bound, and the
+    communication bound divided by ``q`` (no reducer absorbs more than ``q``
+    of the mandatory communication).
+    """
+    comm = a2a_communication_lower_bound(instance)
+    return max(
+        a2a_volume_bound(instance),
+        a2a_pair_cover_bound(instance),
+        ceil(comm / instance.q),
+    )
+
+
+def a2a_equal_sized_reducer_bound(m: int, k: int) -> int:
+    """Specialized bound for equal-sized inputs.
+
+    With ``k = q // w`` inputs fitting per reducer, each reducer covers at
+    most ``C(k, 2)`` pairs, so ``z >= ceil(C(m,2) / C(k,2))``.
+    """
+    if m < 2:
+        return 1 if m else 0
+    if k < 2:
+        return m * (m - 1) // 2 + 1
+    return ceil((m * (m - 1)) / (k * (k - 1)))
+
+
+def x2y_volume_bound(instance: X2YInstance) -> int:
+    """``ceil(total size / q)`` for X2Y."""
+    return ceil(instance.total_size / instance.q)
+
+
+def x2y_pair_cover_bound(instance: X2YInstance) -> int:
+    """Cross-pair covering bound.
+
+    A reducer with ``a`` X-inputs and ``b`` Y-inputs covers ``a * b`` pairs.
+    The maximum feasible ``a * b`` is found by taking the ``a`` smallest X
+    sizes and filling the remaining capacity with the smallest Y sizes,
+    maximized over ``a``.
+    """
+    xs = sorted(instance.x_sizes)
+    ys = sorted(instance.y_sizes)
+    q = instance.q
+
+    # Prefix sums of the smallest sizes on each side.
+    x_prefix = [0]
+    for w in xs:
+        x_prefix.append(x_prefix[-1] + w)
+    y_prefix = [0]
+    for w in ys:
+        y_prefix.append(y_prefix[-1] + w)
+
+    def max_fit(prefix: list[int], budget: int) -> int:
+        """Largest count whose smallest-prefix sum fits in *budget*."""
+        lo, hi = 0, len(prefix) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if prefix[mid] <= budget:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    best = 0
+    for a in range(1, len(xs) + 1):
+        if x_prefix[a] > q:
+            break
+        b = max_fit(y_prefix, q - x_prefix[a])
+        best = max(best, a * b)
+    if best == 0:
+        return instance.num_pairs + 1  # infeasible sentinel
+    return ceil(instance.num_pairs / best)
+
+
+def x2y_replication_lower_bounds(
+    instance: X2YInstance,
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Per-input replication bounds for both sides.
+
+    An X input of size ``w`` must meet all of Y (total ``W_Y``) and each of
+    its reducers has residual ``q - w`` for Y inputs, so
+    ``r >= ceil(W_Y / (q - w))``; symmetrically for Y inputs.
+    """
+    total_y = sum(instance.y_sizes)
+    total_x = sum(instance.x_sizes)
+    q = instance.q
+
+    def side(sizes: tuple[int, ...], other_total: int) -> tuple[int, ...]:
+        bounds = []
+        for w in sizes:
+            residual = q - w
+            if residual <= 0:
+                bounds.append(other_total + 1)
+            else:
+                bounds.append(max(1, ceil(other_total / residual)))
+        return tuple(bounds)
+
+    return side(instance.x_sizes, total_y), side(instance.y_sizes, total_x)
+
+
+def x2y_communication_lower_bound(instance: X2YInstance) -> int:
+    """``sum w_i r_i`` over both sides with the replication bounds above."""
+    x_reps, y_reps = x2y_replication_lower_bounds(instance)
+    return sum(w * r for w, r in zip(instance.x_sizes, x_reps)) + sum(
+        w * r for w, r in zip(instance.y_sizes, y_reps)
+    )
+
+
+def x2y_reducer_lower_bound(instance: X2YInstance) -> int:
+    """Strongest implemented lower bound on reducer count for X2Y."""
+    comm = x2y_communication_lower_bound(instance)
+    return max(
+        x2y_volume_bound(instance),
+        x2y_pair_cover_bound(instance),
+        ceil(comm / instance.q),
+    )

@@ -1,0 +1,169 @@
+"""Problem instances for the two mapping-schema problems.
+
+An instance is exactly what the paper's problem statements specify: the
+input sizes plus the common reducer capacity ``q``.  Instances are immutable
+and validated on construction; feasibility (can *any* schema exist?) is a
+separate, explicit check because the paper treats it as part of the decision
+problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations, product
+from typing import Iterator
+
+from repro.exceptions import InfeasibleInstanceError
+from repro.utils.validation import check_capacity, check_sizes
+
+
+@dataclass(frozen=True)
+class A2AInstance:
+    """An all-to-all (A2A) mapping-schema instance.
+
+    ``m`` inputs with sizes ``w_1..w_m`` and reducer capacity ``q``; every
+    unordered pair of distinct inputs must be assigned to at least one
+    reducer in common.  Similarity join is the canonical application.
+    """
+
+    sizes: tuple[int, ...]
+    q: int
+
+    def __init__(self, sizes, q):
+        object.__setattr__(self, "sizes", check_sizes(sizes))
+        object.__setattr__(self, "q", check_capacity(q, self.sizes))
+
+    @classmethod
+    def equal_sized(cls, m: int, w: int, q: int) -> "A2AInstance":
+        """Instance with *m* inputs all of size *w* (the paper's special case)."""
+        if m <= 0:
+            raise InfeasibleInstanceError(f"m must be positive, got {m}")
+        return cls([w] * m, q)
+
+    @property
+    def m(self) -> int:
+        """Number of inputs."""
+        return len(self.sizes)
+
+    @property
+    def total_size(self) -> int:
+        """Sum of all input sizes (the minimum data that must be shipped once)."""
+        return sum(self.sizes)
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of required pairs: C(m, 2)."""
+        return self.m * (self.m - 1) // 2
+
+    def pairs(self) -> Iterator[tuple[int, int]]:
+        """Iterate all required pairs ``(i, j)`` with ``i < j``."""
+        return combinations(range(self.m), 2)
+
+    def max_inputs_per_reducer(self) -> int:
+        """Largest number of inputs that can share one reducer.
+
+        Computed greedily from the smallest sizes; this is the ``t`` used by
+        the pair-covering lower bound.
+        """
+        budget = self.q
+        count = 0
+        for size in sorted(self.sizes):
+            if size > budget:
+                break
+            budget -= size
+            count += 1
+        return count
+
+    def is_feasible(self) -> bool:
+        """Whether any mapping schema exists.
+
+        For A2A this holds iff the two largest inputs fit together in one
+        reducer (every pair must meet somewhere).  A single input is trivially
+        feasible.
+        """
+        if self.m < 2:
+            return True
+        largest_two = sorted(self.sizes, reverse=True)[:2]
+        return sum(largest_two) <= self.q
+
+    def check_feasible(self) -> None:
+        """Raise :class:`InfeasibleInstanceError` if no schema can exist."""
+        if self.is_feasible():
+            return
+        ranked = sorted(range(self.m), key=lambda i: self.sizes[i], reverse=True)
+        pair = (ranked[0], ranked[1])
+        raise InfeasibleInstanceError(
+            f"inputs {pair[0]} and {pair[1]} have sizes "
+            f"{self.sizes[pair[0]]} + {self.sizes[pair[1]]} > q = {self.q}; "
+            "this pair can never meet at any reducer",
+            offending_pair=pair,
+        )
+
+
+@dataclass(frozen=True)
+class X2YInstance:
+    """An X-to-Y (X2Y) mapping-schema instance.
+
+    Two disjoint input sets ``X`` (sizes ``w_1..w_m``) and ``Y`` (sizes
+    ``w'_1..w'_n``) with reducer capacity ``q``; every cross pair
+    ``(x_i, y_j)`` must be assigned to at least one reducer in common.
+    Skew join and outer/tensor product are the canonical applications.
+    """
+
+    x_sizes: tuple[int, ...]
+    y_sizes: tuple[int, ...]
+    q: int
+
+    def __init__(self, x_sizes, y_sizes, q):
+        object.__setattr__(self, "x_sizes", check_sizes(x_sizes, "x_sizes"))
+        object.__setattr__(self, "y_sizes", check_sizes(y_sizes, "y_sizes"))
+        object.__setattr__(
+            self, "q", check_capacity(q, self.x_sizes + self.y_sizes)
+        )
+
+    @classmethod
+    def equal_sized(cls, m: int, w: int, n: int, w_prime: int, q: int) -> "X2YInstance":
+        """Instance with equal sizes on each side (w on X, w' on Y)."""
+        if m <= 0 or n <= 0:
+            raise InfeasibleInstanceError(f"m and n must be positive, got {m}, {n}")
+        return cls([w] * m, [w_prime] * n, q)
+
+    @property
+    def m(self) -> int:
+        """Number of X inputs."""
+        return len(self.x_sizes)
+
+    @property
+    def n(self) -> int:
+        """Number of Y inputs."""
+        return len(self.y_sizes)
+
+    @property
+    def total_size(self) -> int:
+        """Sum of all input sizes across both sets."""
+        return sum(self.x_sizes) + sum(self.y_sizes)
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of required cross pairs: m * n."""
+        return self.m * self.n
+
+    def pairs(self) -> Iterator[tuple[int, int]]:
+        """Iterate all required cross pairs ``(i, j)``: x-index, y-index."""
+        return product(range(self.m), range(self.n))
+
+    def is_feasible(self) -> bool:
+        """Whether any schema exists: the largest X and largest Y must co-fit."""
+        return max(self.x_sizes) + max(self.y_sizes) <= self.q
+
+    def check_feasible(self) -> None:
+        """Raise :class:`InfeasibleInstanceError` if no schema can exist."""
+        if self.is_feasible():
+            return
+        i = max(range(self.m), key=lambda k: self.x_sizes[k])
+        j = max(range(self.n), key=lambda k: self.y_sizes[k])
+        raise InfeasibleInstanceError(
+            f"x[{i}] (size {self.x_sizes[i]}) and y[{j}] (size {self.y_sizes[j]}) "
+            f"sum to more than q = {self.q}; this cross pair can never meet",
+            offending_pair=(i, j),
+        )

@@ -1,0 +1,103 @@
+"""One-call facade: pick a mapping-schema algorithm from instance shape.
+
+``solve_a2a`` and ``solve_x2y`` are the library's front doors.  With
+``method="auto"`` they dispatch on the structure the paper's algorithms
+key on — uniform sizes, presence of big inputs — and otherwise they look
+the method up by name, so experiments can sweep algorithms uniformly.
+"""
+
+from __future__ import annotations
+
+from repro.core.a2a import (
+    big_small,
+    equal_sized_grouping,
+    ffd_pairing,
+    greedy_cover,
+    grouped_covering,
+    solve_min_reducers,
+)
+from repro.core.instance import A2AInstance, X2YInstance
+from repro.core.schema import A2ASchema, X2YSchema
+from repro.core.x2y import (
+    best_split_grid,
+    big_small_x2y,
+    equal_sized_grid,
+    greedy_cover_x2y,
+    half_split_grid,
+    solve_min_reducers_x2y,
+)
+
+#: Name -> callable registries; the benches iterate these.
+A2A_METHODS = {
+    "equal_grouping": equal_sized_grouping,
+    "grouped_covering": grouped_covering,
+    "bin_pairing": ffd_pairing,
+    "big_small": big_small,
+    "greedy": greedy_cover,
+    "exact": solve_min_reducers,
+}
+
+X2Y_METHODS = {
+    "equal_grid": equal_sized_grid,
+    "half_grid": half_split_grid,
+    "best_split_grid": best_split_grid,
+    "big_small": big_small_x2y,
+    "greedy": greedy_cover_x2y,
+    "exact": solve_min_reducers_x2y,
+}
+
+
+def solve_a2a(instance: A2AInstance, method: str = "auto") -> A2ASchema:
+    """Build a mapping schema for an A2A instance.
+
+    ``method="auto"`` picks: for uniform sizes, the better of the plain
+    grouping scheme and the covering-design scheme; the big/small scheme
+    when some input exceeds ``q // 2``; the bin-pairing scheme otherwise.
+    Named methods come from :data:`A2A_METHODS`.
+    """
+    instance.check_feasible()
+    if method == "auto":
+        if len(set(instance.sizes)) == 1:
+            candidates = [equal_sized_grouping(instance), grouped_covering(instance)]
+            return min(candidates, key=lambda s: s.num_reducers)
+        half = instance.q // 2
+        if any(w > half for w in instance.sizes):
+            return big_small(instance)
+        return ffd_pairing(instance)
+    if method not in A2A_METHODS:
+        raise ValueError(
+            f"unknown A2A method {method!r}; choose from "
+            f"{sorted(A2A_METHODS)} or 'auto'"
+        )
+    return A2A_METHODS[method](instance)
+
+
+def solve_x2y(instance: X2YInstance, method: str = "auto") -> X2YSchema:
+    """Build a mapping schema for an X2Y instance.
+
+    ``method="auto"`` picks: the equal-sized grid when both sides are
+    uniform; otherwise the best-split grid, except that when big inputs
+    (> q // 2) are present it builds both the best-split grid and the
+    big/small scheme and keeps whichever uses fewer reducers.  (A feasible
+    instance can only have big inputs on *one* side: two inputs above q/2
+    that must meet would exceed the capacity.)  Named methods come from
+    :data:`X2Y_METHODS`.
+    """
+    instance.check_feasible()
+    if method == "auto":
+        if len(set(instance.x_sizes)) == 1 and len(set(instance.y_sizes)) == 1:
+            return equal_sized_grid(instance)
+        half = instance.q // 2
+        has_big = any(w > half for w in instance.x_sizes) or any(
+            w > half for w in instance.y_sizes
+        )
+        if has_big:
+            candidates = [big_small_x2y(instance), best_split_grid(instance)]
+            return min(candidates, key=lambda s: s.num_reducers)
+        return best_split_grid(instance)
+    if method not in X2Y_METHODS:
+        raise ValueError(
+            f"unknown X2Y method {method!r}; choose from "
+            f"{sorted(X2Y_METHODS)} or 'auto'"
+        )
+    return X2Y_METHODS[method](instance)

@@ -1,0 +1,154 @@
+"""Structural verification of mapping schemas.
+
+A schema is valid iff (i) no reducer's total assigned size exceeds ``q`` and
+(ii) every required pair meets at some reducer — the two conditions of the
+paper's mapping-schema definition.  Verification returns a structured report
+rather than a bare bool so tests and callers can see *which* constraint broke.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.exceptions import InvalidSchemaError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
+    from repro.core.schema import A2ASchema, X2YSchema
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of verifying a mapping schema against its instance.
+
+    Attributes:
+        valid: ``True`` iff both conditions hold.
+        capacity_violations: ``(reducer_index, load)`` for each overloaded
+            reducer.
+        uncovered_pairs: required pairs that meet at no reducer.  For A2A a
+            pair is ``(i, j)`` with ``i < j``; for X2Y it is
+            ``(x_index, y_index)``.
+        duplicate_assignments: ``(reducer_index, input_key)`` where the same
+            input appears twice in one reducer (wasted capacity; flagged but
+            only treated as invalid if it causes an overflow).
+        num_reducers: size of the schema checked.
+    """
+
+    valid: bool
+    capacity_violations: tuple[tuple[int, int], ...] = ()
+    uncovered_pairs: tuple[tuple[int, int], ...] = ()
+    duplicate_assignments: tuple[tuple[int, object], ...] = ()
+    num_reducers: int = 0
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        if self.valid:
+            return f"valid schema with {self.num_reducers} reducers"
+        return (
+            f"INVALID schema ({self.num_reducers} reducers): "
+            f"{len(self.capacity_violations)} capacity violations, "
+            f"{len(self.uncovered_pairs)} uncovered pairs"
+        )
+
+
+#: Cap on how many violations a report enumerates; verification is used in
+#: hot loops by tests and benches, and the first few violations carry all
+#: the diagnostic value.
+_MAX_REPORTED = 50
+
+
+def verify_a2a(schema: "A2ASchema") -> VerificationReport:
+    """Verify an A2A schema: capacities and all-pairs coverage."""
+    instance = schema.instance
+    sizes = instance.sizes
+    capacity_violations: list[tuple[int, int]] = []
+    duplicates: list[tuple[int, object]] = []
+
+    covered: set[int] = set()
+    m = instance.m
+    for r_index, reducer in enumerate(schema.reducers):
+        seen_here: set[int] = set()
+        load = 0
+        for i in reducer:
+            if i in seen_here:
+                duplicates.append((r_index, i))
+                continue
+            seen_here.add(i)
+            load += sizes[i]
+        if load > instance.q and len(capacity_violations) < _MAX_REPORTED:
+            capacity_violations.append((r_index, load))
+        members = sorted(seen_here)
+        for a_pos, i in enumerate(members):
+            base = i * m
+            for j in members[a_pos + 1:]:
+                covered.add(base + j)
+
+    uncovered: list[tuple[int, int]] = []
+    for i, j in instance.pairs():
+        if i * m + j not in covered:
+            uncovered.append((i, j))
+            if len(uncovered) >= _MAX_REPORTED:
+                break
+
+    valid = not capacity_violations and not uncovered
+    return VerificationReport(
+        valid=valid,
+        capacity_violations=tuple(capacity_violations),
+        uncovered_pairs=tuple(uncovered),
+        duplicate_assignments=tuple(duplicates[:_MAX_REPORTED]),
+        num_reducers=schema.num_reducers,
+    )
+
+
+def verify_x2y(schema: "X2YSchema") -> VerificationReport:
+    """Verify an X2Y schema: capacities and all-cross-pairs coverage."""
+    instance = schema.instance
+    capacity_violations: list[tuple[int, int]] = []
+    duplicates: list[tuple[int, object]] = []
+
+    n = instance.n
+    covered: set[int] = set()
+    for r_index, (x_part, y_part) in enumerate(schema.reducers):
+        load = 0
+        x_seen: set[int] = set()
+        y_seen: set[int] = set()
+        for i in x_part:
+            if i in x_seen:
+                duplicates.append((r_index, ("x", i)))
+                continue
+            x_seen.add(i)
+            load += instance.x_sizes[i]
+        for j in y_part:
+            if j in y_seen:
+                duplicates.append((r_index, ("y", j)))
+                continue
+            y_seen.add(j)
+            load += instance.y_sizes[j]
+        if load > instance.q and len(capacity_violations) < _MAX_REPORTED:
+            capacity_violations.append((r_index, load))
+        for i in x_seen:
+            base = i * n
+            for j in y_seen:
+                covered.add(base + j)
+
+    uncovered: list[tuple[int, int]] = []
+    for i, j in instance.pairs():
+        if i * n + j not in covered:
+            uncovered.append((i, j))
+            if len(uncovered) >= _MAX_REPORTED:
+                break
+
+    valid = not capacity_violations and not uncovered
+    return VerificationReport(
+        valid=valid,
+        capacity_violations=tuple(capacity_violations),
+        uncovered_pairs=tuple(uncovered),
+        duplicate_assignments=tuple(duplicates[:_MAX_REPORTED]),
+        num_reducers=schema.num_reducers,
+    )
+
+
+def require_valid(report: VerificationReport, context: str = "schema") -> None:
+    """Raise :class:`InvalidSchemaError` unless *report* says valid."""
+    if not report.valid:
+        raise InvalidSchemaError(f"{context}: {report.summary()}", report=report)

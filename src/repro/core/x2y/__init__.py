@@ -1,0 +1,32 @@
+"""X2Y mapping-schema algorithms.
+
+* :func:`half_split_grid` / :func:`grid_with_split` / :func:`best_split_grid`
+  — the bin-packing grid schemes.
+* :func:`equal_sized_grid` — grouped grid for uniform sizes per side.
+* :func:`big_small_x2y` — the general scheme with big-input handling.
+* :func:`greedy_cover_x2y` — unstructured greedy baseline.
+* :func:`solve_min_reducers_x2y` — exact branch-and-bound for small instances.
+"""
+
+from repro.core.x2y.grid import best_split_grid, grid_with_split, half_split_grid
+from repro.core.x2y.equal import (
+    best_group_shape,
+    equal_sized_grid,
+    equal_sized_reducer_count,
+)
+from repro.core.x2y.big import big_small_x2y, split_big_small_x2y
+from repro.core.x2y.greedy import greedy_cover_x2y
+from repro.core.x2y.exact import solve_min_reducers_x2y
+
+__all__ = [
+    "best_split_grid",
+    "grid_with_split",
+    "half_split_grid",
+    "best_group_shape",
+    "equal_sized_grid",
+    "equal_sized_reducer_count",
+    "big_small_x2y",
+    "split_big_small_x2y",
+    "greedy_cover_x2y",
+    "solve_min_reducers_x2y",
+]

@@ -1,0 +1,96 @@
+"""General X2Y scheme with dedicated big-input handling.
+
+Like the A2A big/small scheme, inputs larger than ``q // 2`` get special
+treatment: a big X input cannot share a half-capacity bin, so it is
+replicated against bins of Y packed into its *residual* capacity
+``q - w``.  The four pair classes are covered separately:
+
+1. big-X x big-Y: one dedicated reducer per cross pair (in a *feasible*
+   instance this class is empty — two inputs above q/2 that must meet
+   would overflow q — but the code handles it so near-boundary integer
+   cases stay safe);
+2. big-X x small-Y: per big X, pack the small Ys into ``q - w`` bins;
+3. small-X x big-Y: symmetric;
+4. small-X x small-Y: the half-split grid on the smalls.
+
+When neither side has big inputs this reduces exactly to the half-split
+grid.  Compared to :func:`repro.core.x2y.grid.best_split_grid` — which is
+also fully general — this scheme can win when one side's bigs would force
+the global split to starve the other side; ``solve_x2y(..., "auto")``
+simply builds both and keeps the cheaper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.binpack.ffd import first_fit_decreasing
+from repro.binpack.packing import PackingResult
+from repro.core.instance import X2YInstance
+from repro.core.schema import X2YSchema
+
+Packer = Callable[[Sequence[int], int], PackingResult]
+
+
+def split_big_small_x2y(
+    instance: X2YInstance,
+) -> tuple[list[int], list[int], list[int], list[int]]:
+    """Partition both sides into big (> q//2) and small indices.
+
+    Returns ``(big_x, small_x, big_y, small_y)``.
+    """
+    half = instance.q // 2
+    big_x = [i for i, w in enumerate(instance.x_sizes) if w > half]
+    small_x = [i for i, w in enumerate(instance.x_sizes) if w <= half]
+    big_y = [j for j, w in enumerate(instance.y_sizes) if w > half]
+    small_y = [j for j, w in enumerate(instance.y_sizes) if w <= half]
+    return big_x, small_x, big_y, small_y
+
+
+def big_small_x2y(
+    instance: X2YInstance,
+    packer: Packer = first_fit_decreasing,
+) -> X2YSchema:
+    """Build a valid schema for any feasible X2Y instance.
+
+    Raises :class:`repro.exceptions.InfeasibleInstanceError` if the largest
+    X and largest Y inputs cannot co-fit.
+    """
+    instance.check_feasible()
+    xs, ys = instance.x_sizes, instance.y_sizes
+    q = instance.q
+    big_x, small_x, big_y, small_y = split_big_small_x2y(instance)
+    reducers: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+
+    # 1. big-X x big-Y cross pairs, one reducer each.
+    for i in big_x:
+        for j in big_y:
+            reducers.append(((i,), (j,)))
+
+    # 2. each big X meets all small Ys via residual-capacity bins.
+    for i in big_x:
+        if not small_y:
+            break
+        packing = packer([ys[j] for j in small_y], q - xs[i])
+        for bin_items in packing.bins:
+            reducers.append(((i,), tuple(small_y[j] for j in bin_items)))
+
+    # 3. each big Y meets all small Xs, symmetrically.
+    for j in big_y:
+        if not small_x:
+            break
+        packing = packer([xs[i] for i in small_x], q - ys[j])
+        for bin_items in packing.bins:
+            reducers.append((tuple(small_x[i] for i in bin_items), (j,)))
+
+    # 4. small-X x small-Y via the half-split grid.
+    if small_x and small_y:
+        half = q // 2
+        x_packing = packer([xs[i] for i in small_x], half)
+        y_packing = packer([ys[j] for j in small_y], q - half)
+        for x_bin in x_packing.bins:
+            mapped_x = tuple(small_x[i] for i in x_bin)
+            for y_bin in y_packing.bins:
+                reducers.append((mapped_x, tuple(small_y[j] for j in y_bin)))
+
+    return X2YSchema.from_lists(instance, reducers, algorithm="big_small_x2y")

@@ -1,0 +1,17 @@
+"""Covering designs: pair covers used by the grouped-covering A2A scheme."""
+
+from repro.covering.designs import (
+    greedy_pair_cover,
+    pair_cover,
+    schonheim_lower_bound,
+    steiner_triple_system,
+    validate_pair_cover,
+)
+
+__all__ = [
+    "greedy_pair_cover",
+    "pair_cover",
+    "schonheim_lower_bound",
+    "steiner_triple_system",
+    "validate_pair_cover",
+]

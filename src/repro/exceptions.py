@@ -1,0 +1,68 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class InvalidInstanceError(ReproError, ValueError):
+    """An instance definition violates the model.
+
+    Raised when input sizes are not positive integers, the reducer capacity
+    is not a positive integer, or an instance is empty where the operation
+    requires at least one input.
+    """
+
+
+class InfeasibleInstanceError(ReproError):
+    """No mapping schema can exist for the instance.
+
+    The canonical cause is a required pair of inputs whose combined size
+    exceeds the reducer capacity ``q``: such a pair can never meet at any
+    reducer, so condition (ii) of the mapping-schema definition is
+    unsatisfiable.
+    """
+
+    def __init__(self, message: str, *, offending_pair: tuple[int, int] | None = None):
+        super().__init__(message)
+        #: The first pair of input indices found to be unsatisfiable, if any.
+        self.offending_pair = offending_pair
+
+
+class InvalidSchemaError(ReproError):
+    """A mapping schema violates capacity or coverage constraints.
+
+    Carries the structured :class:`repro.core.verify.VerificationReport`
+    that describes every violation found, so callers can inspect exactly
+    which reducers overflow and which pairs are uncovered.
+    """
+
+    def __init__(self, message: str, report: object | None = None):
+        super().__init__(message)
+        #: The verification report that triggered the error (may be ``None``).
+        self.report = report
+
+
+class CapacityExceededError(ReproError):
+    """A simulated reducer received more input than its capacity ``q``.
+
+    Raised by the MapReduce simulator when a reduce task's total value size
+    exceeds the configured reducer capacity and strict enforcement is on.
+    """
+
+    def __init__(self, message: str, *, key: object = None, load: int = 0, capacity: int = 0):
+        super().__init__(message)
+        self.key = key
+        self.load = load
+        self.capacity = capacity
+
+
+class SolverLimitError(ReproError):
+    """An exact solver exceeded its configured node or size budget."""

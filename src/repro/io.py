@@ -1,0 +1,108 @@
+"""JSON serialization of instances and schemas.
+
+Mapping schemas are plans computed ahead of job submission; a production
+deployment computes them in a driver and ships them to mappers.  This
+module gives instances and schemas a stable JSON wire format with strict
+round-tripping, so plans can be persisted, diffed and replayed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.instance import A2AInstance, X2YInstance
+from repro.core.schema import A2ASchema, X2YSchema
+from repro.exceptions import InvalidInstanceError
+
+_FORMAT_VERSION = 1
+
+
+def instance_to_dict(instance: A2AInstance | X2YInstance) -> dict[str, Any]:
+    """Serialize an instance to a JSON-safe dict."""
+    if isinstance(instance, A2AInstance):
+        return {
+            "version": _FORMAT_VERSION,
+            "kind": "a2a",
+            "sizes": list(instance.sizes),
+            "q": instance.q,
+        }
+    if isinstance(instance, X2YInstance):
+        return {
+            "version": _FORMAT_VERSION,
+            "kind": "x2y",
+            "x_sizes": list(instance.x_sizes),
+            "y_sizes": list(instance.y_sizes),
+            "q": instance.q,
+        }
+    raise InvalidInstanceError(f"cannot serialize {type(instance).__name__}")
+
+
+def instance_from_dict(payload: dict[str, Any]) -> A2AInstance | X2YInstance:
+    """Deserialize an instance; raises :class:`InvalidInstanceError` on bad input."""
+    kind = payload.get("kind")
+    if kind == "a2a":
+        return A2AInstance(payload["sizes"], payload["q"])
+    if kind == "x2y":
+        return X2YInstance(payload["x_sizes"], payload["y_sizes"], payload["q"])
+    raise InvalidInstanceError(f"unknown instance kind {kind!r}")
+
+
+def schema_to_dict(schema: A2ASchema | X2YSchema) -> dict[str, Any]:
+    """Serialize a schema (with its instance) to a JSON-safe dict."""
+    if isinstance(schema, A2ASchema):
+        return {
+            "version": _FORMAT_VERSION,
+            "kind": "a2a",
+            "instance": instance_to_dict(schema.instance),
+            "algorithm": schema.algorithm,
+            "reducers": [list(r) for r in schema.reducers],
+        }
+    if isinstance(schema, X2YSchema):
+        return {
+            "version": _FORMAT_VERSION,
+            "kind": "x2y",
+            "instance": instance_to_dict(schema.instance),
+            "algorithm": schema.algorithm,
+            "reducers": [
+                {"x": list(x_part), "y": list(y_part)}
+                for x_part, y_part in schema.reducers
+            ],
+        }
+    raise InvalidInstanceError(f"cannot serialize {type(schema).__name__}")
+
+
+def schema_from_dict(payload: dict[str, Any]) -> A2ASchema | X2YSchema:
+    """Deserialize a schema; raises :class:`InvalidInstanceError` on bad input."""
+    kind = payload.get("kind")
+    instance = instance_from_dict(payload["instance"])
+    algorithm = payload.get("algorithm", "unspecified")
+    if kind == "a2a":
+        assert isinstance(instance, A2AInstance)
+        return A2ASchema.from_lists(instance, payload["reducers"], algorithm=algorithm)
+    if kind == "x2y":
+        assert isinstance(instance, X2YInstance)
+        reducers = [(r["x"], r["y"]) for r in payload["reducers"]]
+        return X2YSchema.from_lists(instance, reducers, algorithm=algorithm)
+    raise InvalidInstanceError(f"unknown schema kind {kind!r}")
+
+
+def dumps(obj: A2AInstance | X2YInstance | A2ASchema | X2YSchema, **kwargs) -> str:
+    """Serialize an instance or schema to a JSON string."""
+    if isinstance(obj, (A2ASchema, X2YSchema)):
+        return json.dumps(schema_to_dict(obj), **kwargs)
+    return json.dumps(instance_to_dict(obj), **kwargs)
+
+
+def loads(text: str) -> A2AInstance | X2YInstance | A2ASchema | X2YSchema:
+    """Deserialize a JSON string produced by :func:`dumps`.
+
+    Dispatches on the presence of a ``reducers`` field (schema) versus a
+    bare instance payload.
+    """
+    payload = json.loads(text)
+    if not isinstance(payload, dict):
+        raise InvalidInstanceError("expected a JSON object")
+    if "reducers" in payload:
+        return schema_from_dict(payload)
+    return instance_from_dict(payload)

@@ -1,0 +1,19 @@
+"""Simulated MapReduce substrate: jobs, capacity-checked reducers, cluster."""
+
+from repro.mapreduce.types import MapFn, ReduceFn, SizeFn, default_size
+from repro.mapreduce.metrics import JobMetrics
+from repro.mapreduce.job import JobResult, MapReduceJob
+from repro.mapreduce.cluster import ScheduleResult, SimulatedCluster, schedule_loads
+
+__all__ = [
+    "MapFn",
+    "ReduceFn",
+    "SizeFn",
+    "default_size",
+    "JobMetrics",
+    "JobResult",
+    "MapReduceJob",
+    "ScheduleResult",
+    "SimulatedCluster",
+    "schedule_loads",
+]

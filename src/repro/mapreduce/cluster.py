@@ -1,0 +1,133 @@
+"""Cluster scheduling model: turn reducer loads into makespan.
+
+The paper's parallelism tradeoff (ii) says larger capacities mean fewer,
+heavier reducers and therefore less parallelism.  This module quantifies
+that: given the reduce-task loads of a schema or job and a worker pool, it
+schedules tasks with Longest-Processing-Time-first (the classic 4/3-
+approximation for makespan) and reports the resulting makespan in
+simulated time units (1 unit of load = 1 unit of time by default).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import InvalidInstanceError
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of scheduling reduce tasks on a finite worker pool.
+
+    Attributes:
+        makespan: time until the last worker finishes (max worker busy time).
+        worker_loads: total load per worker after assignment.
+        num_tasks: tasks scheduled.
+        num_workers: pool size.
+        waves: ``ceil(num_tasks / num_workers)`` — the task-wave count a
+            slot-based scheduler (Hadoop-style) would need.
+    """
+
+    makespan: float
+    worker_loads: tuple[float, ...]
+    num_tasks: int
+    num_workers: int
+    waves: int
+
+    @property
+    def utilization(self) -> float:
+        """Mean worker busy time / makespan; 1.0 is a perfectly full pool."""
+        if self.makespan <= 0 or not self.worker_loads:
+            return 0.0
+        return (sum(self.worker_loads) / len(self.worker_loads)) / self.makespan
+
+
+def schedule_loads(
+    loads: Sequence[int | float],
+    num_workers: int,
+    *,
+    time_per_unit: float = 1.0,
+    worker_speeds: Sequence[float] | None = None,
+) -> ScheduleResult:
+    """LPT-schedule reduce tasks with the given *loads* on *num_workers*.
+
+    Each task's duration on worker ``w`` is ``load * time_per_unit /
+    speed_w``.  *worker_speeds* models a heterogeneous pool (default: all
+    1.0); tasks go to the worker that would finish them earliest, in
+    LPT order.  Returns the :class:`ScheduleResult` with *busy times* per
+    worker; an empty task list yields a zero makespan.
+    """
+    if num_workers <= 0:
+        raise InvalidInstanceError(f"num_workers must be positive, got {num_workers}")
+    if time_per_unit <= 0:
+        raise InvalidInstanceError(
+            f"time_per_unit must be positive, got {time_per_unit}"
+        )
+    if worker_speeds is None:
+        speeds = [1.0] * num_workers
+    else:
+        speeds = [float(s) for s in worker_speeds]
+        if len(speeds) != num_workers:
+            raise InvalidInstanceError(
+                f"worker_speeds has {len(speeds)} entries for {num_workers} workers"
+            )
+        if any(s <= 0 for s in speeds):
+            raise InvalidInstanceError("worker speeds must be positive")
+
+    tasks = sorted((float(load) * time_per_unit for load in loads), reverse=True)
+    busy = [0.0] * num_workers
+    for duration in tasks:
+        # Pick the worker that would *finish this task* earliest.
+        best_worker = min(
+            range(num_workers), key=lambda w: busy[w] + duration / speeds[w]
+        )
+        busy[best_worker] += duration / speeds[best_worker]
+    worker_loads = tuple(sorted(busy, reverse=True))
+    num_tasks = len(tasks)
+    return ScheduleResult(
+        makespan=worker_loads[0] if worker_loads else 0.0,
+        worker_loads=worker_loads,
+        num_tasks=num_tasks,
+        num_workers=num_workers,
+        waves=-(-num_tasks // num_workers) if num_tasks else 0,
+    )
+
+
+@dataclass(frozen=True)
+class SimulatedCluster:
+    """A worker pool with a common reducer capacity.
+
+    Thin convenience wrapper tying the capacity ``q`` (used when building
+    schemas and jobs) to the worker count (used when scheduling), so
+    experiments carry one object around.
+    """
+
+    num_workers: int
+    reducer_capacity: int
+    time_per_unit: float = 1.0
+    worker_speeds: tuple[float, ...] | None = None
+
+    def __post_init__(self):
+        if self.num_workers <= 0:
+            raise InvalidInstanceError(
+                f"num_workers must be positive, got {self.num_workers}"
+            )
+        if self.reducer_capacity <= 0:
+            raise InvalidInstanceError(
+                f"reducer_capacity must be positive, got {self.reducer_capacity}"
+            )
+        if self.worker_speeds is not None and len(self.worker_speeds) != self.num_workers:
+            raise InvalidInstanceError(
+                f"worker_speeds has {len(self.worker_speeds)} entries "
+                f"for {self.num_workers} workers"
+            )
+
+    def schedule(self, loads: Sequence[int | float]) -> ScheduleResult:
+        """Schedule reduce-task *loads* on this cluster's workers."""
+        return schedule_loads(
+            loads,
+            self.num_workers,
+            time_per_unit=self.time_per_unit,
+            worker_speeds=self.worker_speeds,
+        )

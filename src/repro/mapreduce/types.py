@@ -1,0 +1,39 @@
+"""Basic types for the MapReduce simulator.
+
+The simulator implements the abstract model the paper defines its metrics
+on: mappers emit key-value pairs, the shuffle groups values by key, and a
+*reducer* is one application of the reduce function to a key and its value
+list, bounded by the capacity ``q`` on the sum of value sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable
+
+#: A mapper takes one input record and yields (key, value) pairs.
+MapFn = Callable[[Any], Iterable[tuple[Hashable, Any]]]
+
+#: A reducer takes a key and the full list of its values and yields outputs.
+ReduceFn = Callable[[Hashable, list[Any]], Iterable[Any]]
+
+#: Sizes a value for capacity/communication accounting.
+SizeFn = Callable[[Any], int]
+
+
+def default_size(value: Any) -> int:
+    """Default value-size function.
+
+    Preference order: an explicit ``size`` attribute (the convention used by
+    :mod:`repro.workloads` objects), then ``len`` for sized containers, then
+    1 for scalars.  Never returns less than 1 so every shipped value costs
+    something, matching the paper's accounting where each copy of an input
+    contributes its size.
+    """
+    size_attr = getattr(value, "size", None)
+    if isinstance(size_attr, int) and size_attr > 0:
+        return size_attr
+    try:
+        length = len(value)  # type: ignore[arg-type]
+    except TypeError:
+        return 1
+    return max(1, length)

@@ -1,0 +1,19 @@
+"""Shared utilities: validation helpers, seeded RNG plumbing, ASCII tables."""
+
+from repro.utils.validation import (
+    check_capacity,
+    check_positive_int,
+    check_sizes,
+)
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.tables import format_series, format_table
+
+__all__ = [
+    "check_capacity",
+    "check_positive_int",
+    "check_sizes",
+    "make_rng",
+    "spawn_rngs",
+    "format_series",
+    "format_table",
+]

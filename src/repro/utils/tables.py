@@ -1,0 +1,60 @@
+"""Plain-text rendering of result tables and figure series.
+
+The benchmark harness regenerates each paper table/figure as text: tables as
+aligned ASCII grids, figures as labelled series (x, y per algorithm).  These
+helpers keep that formatting in one place so every bench prints uniformly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def _cell(value: object) -> str:
+    """Format a single table cell."""
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render *rows* (a list of dicts) as an aligned ASCII table.
+
+    Columns default to the keys of the first row, in insertion order.  Rows
+    missing a column render an empty cell rather than raising, so sweeps with
+    heterogeneous outputs still print.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [[_cell(row.get(c, "")) for c in cols] for row in rows]
+    widths = [max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(cols)]
+    sep = "-+-".join("-" * w for w in widths)
+    header = " | ".join(c.ljust(w) for c, w in zip(cols, widths))
+    body = "\n".join(" | ".join(cell.ljust(w) for cell, w in zip(r, widths)) for r in rendered)
+    parts = [title, header, sep, body] if title else [header, sep, body]
+    return "\n".join(p for p in parts if p is not None)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a "figure" as a table with one x column and one column per series.
+
+    This is the textual stand-in for the paper's plots: the x axis is the
+    swept parameter and each series is one algorithm/metric.
+    """
+    rows = []
+    for i, x in enumerate(x_values):
+        row: dict[str, object] = {x_label: x}
+        for name, values in series.items():
+            row[name] = values[i] if i < len(values) else ""
+        rows.append(row)
+    return format_table(rows, columns=[x_label, *series.keys()], title=title)

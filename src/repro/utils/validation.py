@@ -1,0 +1,61 @@
+"""Input validation helpers shared across the library.
+
+The model in the paper works with *sizes*: positive quantities attached to
+inputs, bounded per reducer by the capacity ``q``.  We represent sizes as
+positive integers (abstract size units) so capacity checks are exact; these
+helpers centralize the coercion and error reporting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.exceptions import InvalidInstanceError
+
+
+def check_positive_int(value: object, name: str) -> int:
+    """Coerce *value* to a positive ``int`` or raise :class:`InvalidInstanceError`.
+
+    Accepts ints and integer-valued floats/numpy scalars; rejects bools,
+    non-integral floats, zero and negatives.
+    """
+    if isinstance(value, bool):
+        raise InvalidInstanceError(f"{name} must be a positive integer, got bool {value!r}")
+    try:
+        as_int = int(value)  # type: ignore[call-overload]
+    except (TypeError, ValueError) as exc:
+        raise InvalidInstanceError(f"{name} must be a positive integer, got {value!r}") from exc
+    if as_int != value:
+        raise InvalidInstanceError(f"{name} must be integral, got {value!r}")
+    if as_int <= 0:
+        raise InvalidInstanceError(f"{name} must be positive, got {as_int}")
+    return as_int
+
+
+def check_sizes(sizes: Iterable[object], name: str = "sizes") -> tuple[int, ...]:
+    """Validate an iterable of input sizes and return it as a tuple of ints.
+
+    Raises :class:`InvalidInstanceError` if the iterable is empty or any
+    element is not a positive integer.
+    """
+    validated = tuple(check_positive_int(s, f"{name}[{i}]") for i, s in enumerate(sizes))
+    if not validated:
+        raise InvalidInstanceError(f"{name} must contain at least one input size")
+    return validated
+
+
+def check_capacity(q: object, sizes: Sequence[int] = ()) -> int:
+    """Validate the reducer capacity ``q`` against the given input sizes.
+
+    Every input must individually fit in a reducer (``w_i <= q``); otherwise
+    no assignment at all is possible and the instance is malformed rather
+    than merely infeasible.
+    """
+    capacity = check_positive_int(q, "q")
+    for i, size in enumerate(sizes):
+        if size > capacity:
+            raise InvalidInstanceError(
+                f"input {i} has size {size} > reducer capacity {capacity}; "
+                "it cannot be assigned to any reducer"
+            )
+    return capacity

@@ -1,0 +1,162 @@
+"""Input-size distributions for experiments.
+
+The paper's whole point is that inputs have *different* sizes; these
+generators produce the size profiles the experiments sweep: uniform,
+Zipf (heavy-tailed, the skew-join regime), normal (mild variation),
+bimodal (a big/small mixture stressing the big-input handling) and
+constant (the equal-sized special case).  All sizes are integers >= 1 and
+all randomness is driven by an explicit seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidInstanceError
+from repro.utils.rng import SeedLike, make_rng
+
+
+def constant_sizes(m: int, w: int = 1) -> list[int]:
+    """*m* inputs all of size *w* (the equal-sized special case)."""
+    if m <= 0:
+        raise InvalidInstanceError(f"m must be positive, got {m}")
+    if w <= 0:
+        raise InvalidInstanceError(f"w must be positive, got {w}")
+    return [w] * m
+
+
+def uniform_sizes(
+    m: int, low: int = 1, high: int = 100, seed: SeedLike = None
+) -> list[int]:
+    """*m* sizes drawn uniformly from ``[low, high]`` inclusive."""
+    if m <= 0:
+        raise InvalidInstanceError(f"m must be positive, got {m}")
+    if not 1 <= low <= high:
+        raise InvalidInstanceError(f"need 1 <= low <= high, got [{low}, {high}]")
+    rng = make_rng(seed)
+    return [int(v) for v in rng.integers(low, high + 1, size=m)]
+
+
+def zipf_sizes(
+    m: int,
+    alpha: float = 1.5,
+    max_size: int = 1000,
+    seed: SeedLike = None,
+) -> list[int]:
+    """*m* sizes from a Zipf(alpha) distribution, clipped to ``[1, max_size]``.
+
+    The heavy tail produces a few very large inputs among many small ones —
+    the regime where naive equal-share assignment fails and the paper's
+    schemes matter.  ``alpha`` must exceed 1 (numpy's Zipf requirement).
+    """
+    if m <= 0:
+        raise InvalidInstanceError(f"m must be positive, got {m}")
+    if alpha <= 1.0:
+        raise InvalidInstanceError(f"alpha must be > 1, got {alpha}")
+    if max_size < 1:
+        raise InvalidInstanceError(f"max_size must be >= 1, got {max_size}")
+    rng = make_rng(seed)
+    raw = rng.zipf(alpha, size=m)
+    return [int(min(v, max_size)) for v in raw]
+
+
+def normal_sizes(
+    m: int,
+    mean: float = 50.0,
+    stdev: float = 15.0,
+    seed: SeedLike = None,
+) -> list[int]:
+    """*m* sizes from a rounded normal, clipped below at 1."""
+    if m <= 0:
+        raise InvalidInstanceError(f"m must be positive, got {m}")
+    if stdev < 0:
+        raise InvalidInstanceError(f"stdev must be >= 0, got {stdev}")
+    rng = make_rng(seed)
+    raw = rng.normal(mean, stdev, size=m)
+    return [max(1, int(round(v))) for v in raw]
+
+
+def bimodal_sizes(
+    m: int,
+    small_mean: float = 10.0,
+    big_mean: float = 200.0,
+    big_fraction: float = 0.1,
+    stdev: float = 3.0,
+    seed: SeedLike = None,
+) -> list[int]:
+    """A small/big mixture: *big_fraction* of inputs near *big_mean*.
+
+    This is the stress profile for the big-input handling (E10): with
+    ``big_mean`` close to the capacity, the big mode lands above ``q/2``.
+    """
+    if m <= 0:
+        raise InvalidInstanceError(f"m must be positive, got {m}")
+    if not 0.0 <= big_fraction <= 1.0:
+        raise InvalidInstanceError(
+            f"big_fraction must be in [0, 1], got {big_fraction}"
+        )
+    rng = make_rng(seed)
+    is_big = rng.random(m) < big_fraction
+    sizes = np.where(
+        is_big,
+        rng.normal(big_mean, stdev, size=m),
+        rng.normal(small_mean, stdev, size=m),
+    )
+    return [max(1, int(round(v))) for v in sizes]
+
+
+#: Named profiles with capacity-relative defaults, used by sweeps/benches:
+#: each callable takes (m, q, seed) and scales its parameters to q so one
+#: sweep works across capacities.
+def _uniform_profile(m: int, q: int, seed: SeedLike) -> list[int]:
+    return uniform_sizes(m, low=1, high=max(1, q // 4), seed=seed)
+
+
+def _zipf_profile(m: int, q: int, seed: SeedLike) -> list[int]:
+    return zipf_sizes(m, alpha=1.5, max_size=max(1, q // 3), seed=seed)
+
+
+def _normal_profile(m: int, q: int, seed: SeedLike) -> list[int]:
+    return normal_sizes(m, mean=q / 8, stdev=q / 32, seed=seed)
+
+
+def _bimodal_profile(m: int, q: int, seed: SeedLike) -> list[int]:
+    # The big mode sits just below q/2 so that two big inputs still co-fit:
+    # any pair of inputs strictly above q/2 is unconditionally infeasible
+    # for A2A (they can never meet), which would make the profile useless
+    # for all-pairs workloads.  The dedicated big-input experiments build
+    # one-sided X2Y instances instead.
+    return bimodal_sizes(
+        m,
+        small_mean=q / 16,
+        big_mean=0.45 * q,
+        big_fraction=0.1,
+        stdev=q / 64,
+        seed=seed,
+    )
+
+
+def _constant_profile(m: int, q: int, seed: SeedLike) -> list[int]:
+    return constant_sizes(m, w=max(1, q // 8))
+
+
+SIZE_PROFILES = {
+    "uniform": _uniform_profile,
+    "zipf": _zipf_profile,
+    "normal": _normal_profile,
+    "bimodal": _bimodal_profile,
+    "constant": _constant_profile,
+}
+
+
+def sample_sizes(profile: str, m: int, q: int, seed: SeedLike = None) -> list[int]:
+    """Draw *m* sizes from a named capacity-relative profile.
+
+    Guarantees every size is feasible on its own (``<= q``) by clipping.
+    """
+    if profile not in SIZE_PROFILES:
+        raise InvalidInstanceError(
+            f"unknown size profile {profile!r}; choose from {sorted(SIZE_PROFILES)}"
+        )
+    sizes = SIZE_PROFILES[profile](m, q, seed)
+    return [min(s, q) for s in sizes]

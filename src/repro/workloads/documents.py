@@ -1,0 +1,93 @@
+"""Synthetic document corpora for the similarity-join application.
+
+The paper motivates A2A with similarity join over web pages: every pair of
+documents must be compared because the similarity function admits no
+shortcut.  Real web pages only matter through their *sizes* (the mapping
+schema) and token multisets (the reduce-side function), so the substitute
+is a token-document generator with a configurable size distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import InvalidInstanceError
+from repro.utils.rng import SeedLike, make_rng
+from repro.workloads.distributions import sample_sizes
+
+
+@dataclass(frozen=True)
+class Document:
+    """A document: an id plus a token tuple; its *size* is the token count.
+
+    Token count doubling as assignment size keeps the simulator's byte
+    accounting and the mapping-schema sizes consistent by construction.
+    """
+
+    doc_id: int
+    tokens: tuple[str, ...]
+
+    @property
+    def size(self) -> int:
+        """Assignment size of the document (number of tokens)."""
+        return len(self.tokens)
+
+
+def jaccard(a: Document, b: Document) -> float:
+    """Jaccard similarity of two documents' token sets.
+
+    Deliberately has no locality-sensitive shortcut here — the all-pairs
+    requirement is the premise of the A2A problem.
+    """
+    set_a, set_b = set(a.tokens), set(b.tokens)
+    union = set_a | set_b
+    if not union:
+        return 1.0
+    return len(set_a & set_b) / len(union)
+
+
+def generate_documents(
+    m: int,
+    q: int,
+    *,
+    profile: str = "zipf",
+    vocabulary_size: int = 500,
+    seed: SeedLike = None,
+) -> list[Document]:
+    """Generate *m* documents whose sizes follow a named profile.
+
+    Sizes are drawn from :func:`repro.workloads.distributions.sample_sizes`
+    relative to the reducer capacity *q*, then each document is filled with
+    that many tokens from a ``vocabulary_size``-word vocabulary.  A shared
+    seed makes corpus and sizes reproducible together.
+    """
+    if vocabulary_size <= 0:
+        raise InvalidInstanceError(
+            f"vocabulary_size must be positive, got {vocabulary_size}"
+        )
+    rng = make_rng(seed)
+    sizes = sample_sizes(profile, m, q, seed=rng)
+    vocabulary = [f"tok{v}" for v in range(vocabulary_size)]
+    documents = []
+    for doc_id, size in enumerate(sizes):
+        token_ids = rng.integers(0, vocabulary_size, size=size)
+        documents.append(
+            Document(doc_id=doc_id, tokens=tuple(vocabulary[t] for t in token_ids))
+        )
+    return documents
+
+
+def all_pairs_above(
+    documents: list[Document], threshold: float
+) -> set[tuple[int, int]]:
+    """Ground-truth similarity join: brute force over all pairs.
+
+    Used by tests and E7 to check the MapReduce pipeline emits exactly the
+    right pair set.
+    """
+    results: set[tuple[int, int]] = set()
+    for i in range(len(documents)):
+        for j in range(i + 1, len(documents)):
+            if jaccard(documents[i], documents[j]) >= threshold:
+                results.add((documents[i].doc_id, documents[j].doc_id))
+    return results

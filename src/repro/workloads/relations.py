@@ -1,0 +1,159 @@
+"""Synthetic relations with heavy hitters for the skew-join application.
+
+The paper motivates X2Y with skew join: a join-key value occurring many
+times ("heavy hitter") forces all its tuples from both relations together.
+Production skewed relations are substituted with generated relations whose
+key frequencies follow a truncated Zipf profile, parameterized by a skew
+exponent — skew 0 is uniform, larger values concentrate tuples on few keys.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import InvalidInstanceError
+from repro.utils.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class Tuple2:
+    """A binary tuple of a relation such as X(A, B) or Y(B, C).
+
+    ``key`` is the join attribute value (B); ``payload`` is the other
+    attribute (A or C); ``size`` is the tuple's assignment size in the
+    mapping-schema sense (payload width in size units).
+    """
+
+    key: int
+    payload: int
+    size: int = 1
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A named list of binary tuples joined on ``key``."""
+
+    name: str
+    tuples: tuple[Tuple2, ...] = field(default_factory=tuple)
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def key_counts(self) -> Counter:
+        """Multiplicity of each join-key value."""
+        return Counter(t.key for t in self.tuples)
+
+    def key_loads(self) -> dict[int, int]:
+        """Total tuple size per join-key value."""
+        loads: dict[int, int] = {}
+        for t in self.tuples:
+            loads[t.key] = loads.get(t.key, 0) + t.size
+        return loads
+
+    def tuples_for(self, key: int) -> list[Tuple2]:
+        """All tuples carrying the given join key."""
+        return [t for t in self.tuples if t.key == key]
+
+
+def zipf_key_sequence(
+    count: int, num_keys: int, skew: float, rng: np.random.Generator
+) -> list[int]:
+    """Draw *count* join-key values from a truncated Zipf over *num_keys* keys.
+
+    ``skew = 0`` is uniform; larger skews concentrate probability on the
+    low-numbered keys (key 0 becomes the heavy hitter).
+    """
+    if num_keys <= 0:
+        raise InvalidInstanceError(f"num_keys must be positive, got {num_keys}")
+    if skew < 0:
+        raise InvalidInstanceError(f"skew must be >= 0, got {skew}")
+    ranks = np.arange(1, num_keys + 1, dtype=float)
+    weights = ranks ** (-skew)
+    probabilities = weights / weights.sum()
+    return [int(k) for k in rng.choice(num_keys, size=count, p=probabilities)]
+
+
+def generate_skewed_relation(
+    name: str,
+    num_tuples: int,
+    num_keys: int,
+    skew: float,
+    *,
+    tuple_size: int = 1,
+    size_jitter: int = 0,
+    seed: SeedLike = None,
+) -> Relation:
+    """Generate a relation whose join-key frequencies follow Zipf(*skew*).
+
+    ``tuple_size`` (optionally jittered by up to ``size_jitter``) sets each
+    tuple's assignment size, so experiments can combine frequency skew with
+    size heterogeneity.
+    """
+    if num_tuples <= 0:
+        raise InvalidInstanceError(f"num_tuples must be positive, got {num_tuples}")
+    if tuple_size <= 0:
+        raise InvalidInstanceError(f"tuple_size must be positive, got {tuple_size}")
+    if size_jitter < 0:
+        raise InvalidInstanceError(f"size_jitter must be >= 0, got {size_jitter}")
+    rng = make_rng(seed)
+    keys = zipf_key_sequence(num_tuples, num_keys, skew, rng)
+    tuples = []
+    for index, key in enumerate(keys):
+        jitter = int(rng.integers(0, size_jitter + 1)) if size_jitter else 0
+        tuples.append(Tuple2(key=key, payload=index, size=tuple_size + jitter))
+    return Relation(name=name, tuples=tuple(tuples))
+
+
+def generate_join_workload(
+    num_tuples_x: int,
+    num_tuples_y: int,
+    num_keys: int,
+    skew: float,
+    *,
+    tuple_size: int = 1,
+    size_jitter: int = 0,
+    seed: SeedLike = None,
+) -> tuple[Relation, Relation]:
+    """Generate the X(A, B) and Y(B, C) pair for a skew-join experiment.
+
+    Both relations share the key space and the skew profile, which is the
+    worst case for hash partitioning: the heavy hitter is heavy on *both*
+    sides, so its join output is quadratic in its frequency.
+    """
+    rng = make_rng(seed)
+    x = generate_skewed_relation(
+        "X",
+        num_tuples_x,
+        num_keys,
+        skew,
+        tuple_size=tuple_size,
+        size_jitter=size_jitter,
+        seed=rng,
+    )
+    y = generate_skewed_relation(
+        "Y",
+        num_tuples_y,
+        num_keys,
+        skew,
+        tuple_size=tuple_size,
+        size_jitter=size_jitter,
+        seed=rng,
+    )
+    return x, y
+
+
+def heavy_hitters(x: Relation, y: Relation, q: int) -> list[int]:
+    """Join keys whose combined tuple load exceeds the reducer capacity.
+
+    These are exactly the keys a conventional per-key join reducer cannot
+    process within capacity ``q`` — the keys the X2Y machinery takes over.
+    """
+    x_loads = x.key_loads()
+    y_loads = y.key_loads()
+    keys = set(x_loads) | set(y_loads)
+    return sorted(
+        k for k in keys if x_loads.get(k, 0) + y_loads.get(k, 0) > q
+    )

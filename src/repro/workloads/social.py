@@ -1,0 +1,74 @@
+"""Synthetic social network for the common-friends application.
+
+The paper names "computing common friends on a social networking site" as
+an A2A example: for every pair of users, the common friends of the pair
+must be computed, and a user's friend list is the different-sized input.
+This generator produces users with heavy-tailed friend-list sizes over a
+shared population, mirroring real friendship-degree distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import InvalidInstanceError
+from repro.utils.rng import SeedLike, make_rng
+from repro.workloads.distributions import sample_sizes
+
+
+@dataclass(frozen=True)
+class User:
+    """A user: an id plus a friend set; its *size* is the friend count."""
+
+    user_id: int
+    friends: frozenset[int]
+
+    @property
+    def size(self) -> int:
+        """Assignment size of the user (friend-list length)."""
+        return len(self.friends)
+
+
+def common_friends(a: User, b: User) -> frozenset[int]:
+    """The friends shared by two users (the reduce-side function)."""
+    return a.friends & b.friends
+
+
+def generate_users(
+    num_users: int,
+    q: int,
+    *,
+    population: int = 1000,
+    profile: str = "zipf",
+    seed: SeedLike = None,
+) -> list[User]:
+    """Generate *num_users* users with profile-distributed friend counts.
+
+    Friend ids are drawn from a shared ``population`` so pairs of users
+    actually overlap; sizes are drawn relative to the capacity *q* via
+    :func:`repro.workloads.distributions.sample_sizes` (each count is also
+    capped by the population).
+    """
+    if num_users <= 0:
+        raise InvalidInstanceError(f"num_users must be positive, got {num_users}")
+    if population <= 0:
+        raise InvalidInstanceError(f"population must be positive, got {population}")
+    rng = make_rng(seed)
+    sizes = sample_sizes(profile, num_users, q, seed=rng)
+    users = []
+    for user_id, size in enumerate(sizes):
+        count = min(size, population)
+        friends = rng.choice(population, size=count, replace=False)
+        users.append(User(user_id=user_id, friends=frozenset(int(f) for f in friends)))
+    return users
+
+
+def all_common_friends(users: list[User]) -> dict[tuple[int, int], frozenset[int]]:
+    """Ground truth: common friends of every user pair, brute force."""
+    result: dict[tuple[int, int], frozenset[int]] = {}
+    for i in range(len(users)):
+        for j in range(i + 1, len(users)):
+            result[(users[i].user_id, users[j].user_id)] = common_friends(
+                users[i], users[j]
+            )
+    return result

@@ -1,0 +1,104 @@
+"""Descriptive statistics of input-size profiles.
+
+The shape of the size distribution decides which assignment scheme wins
+(uniformity -> grouping, heavy tail -> bin packing, bigs -> residual
+handling).  These statistics summarize a workload before solving, and the
+reported numbers make experiment tables self-describing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from statistics import mean, pstdev
+
+from repro.exceptions import InvalidInstanceError
+
+
+@dataclass(frozen=True)
+class SizeStats:
+    """Summary of one size profile against a capacity ``q``.
+
+    Attributes:
+        count: number of inputs.
+        total: sum of sizes.
+        minimum / maximum / average: the obvious ones.
+        cv: coefficient of variation (stdev / mean); 0 means equal-sized.
+        gini: Gini coefficient of the sizes in [0, 1); heavy tails score
+            high.
+        big_fraction: fraction of inputs strictly above ``q / 2`` (the
+            inputs needing residual-capacity handling).
+        max_per_reducer: how many of the smallest inputs co-fit in one
+            reducer (the ``t`` in the pair-covering bound).
+    """
+
+    count: int
+    total: int
+    minimum: int
+    maximum: int
+    average: float
+    cv: float
+    gini: float
+    big_fraction: float
+    max_per_reducer: int
+
+    def as_row(self) -> dict[str, object]:
+        """Dict form for table rendering."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": round(self.average, 2),
+            "cv": round(self.cv, 3),
+            "gini": round(self.gini, 3),
+            "big_frac": round(self.big_fraction, 3),
+            "t_max": self.max_per_reducer,
+        }
+
+
+def gini_coefficient(sizes: Sequence[int]) -> float:
+    """Gini coefficient of a non-empty positive sequence.
+
+    0 for equal sizes, approaching 1 as one input dominates.  Uses the
+    sorted-rank formula: ``G = (2 * sum(i * x_i) / (n * sum(x))) - (n+1)/n``
+    with 1-based ranks over ascending sizes.
+    """
+    if not sizes:
+        raise InvalidInstanceError("sizes must be non-empty")
+    ordered = sorted(sizes)
+    n = len(ordered)
+    total = sum(ordered)
+    if total <= 0:
+        raise InvalidInstanceError("sizes must be positive")
+    weighted = sum(rank * size for rank, size in enumerate(ordered, start=1))
+    return (2.0 * weighted) / (n * total) - (n + 1.0) / n
+
+
+def size_stats(sizes: Sequence[int], q: int) -> SizeStats:
+    """Compute :class:`SizeStats` for *sizes* against capacity *q*."""
+    if not sizes:
+        raise InvalidInstanceError("sizes must be non-empty")
+    if q <= 0:
+        raise InvalidInstanceError(f"q must be positive, got {q}")
+    average = mean(sizes)
+    spread = pstdev(sizes) if len(sizes) > 1 else 0.0
+    half = q / 2
+    budget = q
+    fit = 0
+    for size in sorted(sizes):
+        if size > budget:
+            break
+        budget -= size
+        fit += 1
+    return SizeStats(
+        count=len(sizes),
+        total=sum(sizes),
+        minimum=min(sizes),
+        maximum=max(sizes),
+        average=average,
+        cv=(spread / average) if average else 0.0,
+        gini=gini_coefficient(sizes),
+        big_fraction=sum(1 for s in sizes if s > half) / len(sizes),
+        max_per_reducer=fit,
+    )

@@ -1,0 +1,89 @@
+"""Block-partitioned vectors for the tensor/outer-product application.
+
+The paper lists outer (tensor) product as an X2Y example: every block of
+vector ``u`` must meet every block of vector ``v``.  Blocks may hold
+different numbers of entries — exactly the different-sized-inputs setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import InvalidInstanceError
+from repro.utils.rng import SeedLike, make_rng
+from repro.workloads.distributions import sample_sizes
+
+
+@dataclass(frozen=True)
+class VectorBlock:
+    """A contiguous block of vector entries.
+
+    ``offset`` is the index of the first entry in the full vector; the
+    block's assignment size is its entry count.
+    """
+
+    block_id: int
+    offset: int
+    values: tuple[float, ...]
+
+    @property
+    def size(self) -> int:
+        """Assignment size: number of entries."""
+        return len(self.values)
+
+
+@dataclass(frozen=True)
+class BlockVector:
+    """A vector split into variable-sized blocks."""
+
+    name: str
+    blocks: tuple[VectorBlock, ...]
+
+    @property
+    def dimension(self) -> int:
+        """Total number of entries across blocks."""
+        return sum(b.size for b in self.blocks)
+
+    def dense(self) -> list[float]:
+        """Reassemble the full vector in entry order."""
+        entries = [0.0] * self.dimension
+        for block in self.blocks:
+            for k, v in enumerate(block.values):
+                entries[block.offset + k] = v
+        return entries
+
+
+def generate_block_vector(
+    name: str,
+    num_blocks: int,
+    q: int,
+    *,
+    profile: str = "uniform",
+    seed: SeedLike = None,
+) -> BlockVector:
+    """Generate a block vector whose block sizes follow a named profile.
+
+    Block sizes are drawn relative to the reducer capacity *q* via
+    :func:`repro.workloads.distributions.sample_sizes`; entry values are
+    standard normal.
+    """
+    if num_blocks <= 0:
+        raise InvalidInstanceError(f"num_blocks must be positive, got {num_blocks}")
+    rng = make_rng(seed)
+    sizes = sample_sizes(profile, num_blocks, q, seed=rng)
+    blocks = []
+    offset = 0
+    for block_id, size in enumerate(sizes):
+        values = tuple(float(v) for v in rng.normal(size=size))
+        blocks.append(VectorBlock(block_id=block_id, offset=offset, values=values))
+        offset += size
+    return BlockVector(name=name, blocks=tuple(blocks))
+
+
+def dense_outer_product(u: BlockVector, v: BlockVector) -> list[list[float]]:
+    """Ground-truth outer product ``u v^T`` computed densely.
+
+    Used by tests and E-benches to validate the distributed computation.
+    """
+    du, dv = u.dense(), v.dense()
+    return [[a * b for b in dv] for a in du]

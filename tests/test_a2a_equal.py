@@ -1,0 +1,111 @@
+"""Unit tests for the equal-sized A2A grouping scheme."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.a2a.equal import (
+    equal_sized_grouping,
+    equal_sized_reducer_count,
+    group_inputs,
+    inputs_per_reducer,
+)
+from repro.core.bounds import a2a_equal_sized_reducer_bound
+from repro.core.instance import A2AInstance
+from repro.exceptions import InfeasibleInstanceError, InvalidInstanceError
+
+
+class TestGroupInputs:
+    def test_even_split(self):
+        assert group_inputs(6, 2) == [(0, 1), (2, 3), (4, 5)]
+
+    def test_ragged_tail(self):
+        assert group_inputs(5, 2) == [(0, 1), (2, 3), (4,)]
+
+    def test_group_larger_than_m(self):
+        assert group_inputs(3, 10) == [(0, 1, 2)]
+
+    def test_rejects_nonpositive_group(self):
+        with pytest.raises(InvalidInstanceError):
+            group_inputs(5, 0)
+
+
+class TestInputsPerReducer:
+    def test_k_value(self, equal_a2a):
+        assert inputs_per_reducer(equal_a2a) == 4
+
+    def test_rejects_mixed_sizes(self, small_a2a):
+        with pytest.raises(InvalidInstanceError, match="identical sizes"):
+            inputs_per_reducer(small_a2a)
+
+
+class TestEqualSizedGrouping:
+    def test_produces_valid_schema(self, equal_a2a):
+        schema = equal_sized_grouping(equal_a2a)
+        assert schema.verify().valid
+
+    def test_single_reducer_when_all_fit(self):
+        instance = A2AInstance.equal_sized(4, 2, 8)
+        schema = equal_sized_grouping(instance)
+        assert schema.num_reducers == 1
+
+    def test_single_input(self):
+        instance = A2AInstance.equal_sized(1, 5, 5)
+        schema = equal_sized_grouping(instance)
+        assert schema.num_reducers == 1
+        assert schema.verify().valid
+
+    def test_infeasible_when_k_is_one(self):
+        instance = A2AInstance.equal_sized(3, 5, 7)  # k = 1
+        with pytest.raises(InfeasibleInstanceError):
+            equal_sized_grouping(instance)
+
+    def test_k_equals_two_gives_all_pairs(self):
+        instance = A2AInstance.equal_sized(5, 3, 6)  # k = 2, groups of 1
+        schema = equal_sized_grouping(instance)
+        assert schema.num_reducers == 10  # C(5,2)
+        assert schema.verify().valid
+
+    def test_reducer_count_matches_closed_form(self, equal_a2a):
+        schema = equal_sized_grouping(equal_a2a)
+        k = inputs_per_reducer(equal_a2a)
+        assert schema.num_reducers == equal_sized_reducer_count(equal_a2a.m, k)
+
+    def test_within_factor_of_lower_bound_even_k(self):
+        # k even: the scheme is within ~2x + rounding of the pair bound.
+        for m, w, q in [(16, 1, 4), (40, 2, 16), (64, 5, 40), (100, 1, 10)]:
+            instance = A2AInstance.equal_sized(m, w, q)
+            schema = equal_sized_grouping(instance)
+            assert schema.verify().valid
+            k = q // w
+            bound = a2a_equal_sized_reducer_bound(m, k)
+            assert schema.num_reducers <= 3 * bound + 2, (m, k)
+
+    def test_loads_never_exceed_q(self):
+        instance = A2AInstance.equal_sized(30, 3, 13)  # k = 4, odd remainder
+        schema = equal_sized_grouping(instance)
+        assert schema.max_load <= instance.q
+
+    def test_rejects_mixed_sizes(self, small_a2a):
+        with pytest.raises(InvalidInstanceError):
+            equal_sized_grouping(small_a2a)
+
+    def test_odd_k_still_valid(self):
+        instance = A2AInstance.equal_sized(20, 2, 10)  # k = 5
+        schema = equal_sized_grouping(instance)
+        assert schema.verify().valid
+
+
+class TestClosedFormCount:
+    def test_small_cases(self):
+        assert equal_sized_reducer_count(1, 4) == 1
+        assert equal_sized_reducer_count(4, 4) == 1
+        assert equal_sized_reducer_count(0, 4) == 0
+
+    def test_grouped_case(self):
+        # m=20, k=4 -> groups of 2 -> t=10 -> C(10,2) = 45.
+        assert equal_sized_reducer_count(20, 4) == 45
+
+    def test_infeasible_k(self):
+        with pytest.raises(InfeasibleInstanceError):
+            equal_sized_reducer_count(5, 1)

@@ -1,0 +1,109 @@
+"""Tests for the analysis harness (sweeps and ratio studies)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ratios import a2a_ratio_study, x2y_ratio_study
+from repro.analysis.tradeoffs import (
+    sweep_a2a_communication,
+    sweep_a2a_parallelism,
+    sweep_a2a_reducers,
+    sweep_x2y_reducers,
+)
+from repro.workloads.distributions import sample_sizes
+
+
+@pytest.fixture(scope="module")
+def sizes():
+    raw = sample_sizes("uniform", 40, 100, seed=50)
+    return [min(s, 50) for s in raw]  # every pair co-fits at the smallest q
+
+
+class TestSweepA2AReducers:
+    def test_row_per_q(self, sizes):
+        rows = sweep_a2a_reducers(sizes, [100, 200, 400])
+        assert [r["q"] for r in rows] == [100, 200, 400]
+
+    def test_reducers_decrease_with_q(self, sizes):
+        rows = sweep_a2a_reducers(sizes, [100, 400], methods=("bin_pairing",))
+        assert rows[0]["bin_pairing"] >= rows[1]["bin_pairing"]
+
+    def test_methods_at_least_lower_bound(self, sizes):
+        rows = sweep_a2a_reducers(sizes, [120, 240])
+        for row in rows:
+            for method in ("bin_pairing", "big_small", "greedy"):
+                if row[method] is not None:
+                    assert row[method] >= row["lower_bound"]
+
+    def test_infeasible_method_records_none(self):
+        # bin_pairing cannot handle a big input; the sweep must not crash.
+        rows = sweep_a2a_reducers([30, 4, 4], [52], methods=("bin_pairing",))
+        assert rows[0]["bin_pairing"] is None
+
+
+class TestSweepA2ACommunication:
+    def test_comm_cost_decreases_with_q(self, sizes):
+        rows = sweep_a2a_communication(sizes, [100, 200, 400])
+        costs = [r["comm_cost"] for r in rows]
+        assert costs[0] >= costs[-1]
+
+    def test_cost_at_least_lower_bound_and_volume(self, sizes):
+        for row in sweep_a2a_communication(sizes, [150, 300]):
+            assert row["comm_cost"] >= row["comm_lower_bound"]
+            assert row["comm_cost"] >= row["volume"]
+
+    def test_replication_rate_consistent(self, sizes):
+        for row in sweep_a2a_communication(sizes, [150]):
+            assert row["replication_rate"] == pytest.approx(
+                row["comm_cost"] / row["volume"], abs=0.001
+            )
+
+
+class TestSweepA2AParallelism:
+    def test_waves_shrink_with_q(self, sizes):
+        rows = sweep_a2a_parallelism(sizes, [100, 400], num_workers=8)
+        assert rows[0]["waves"] >= rows[-1]["waves"]
+
+    def test_columns_present(self, sizes):
+        row = sweep_a2a_parallelism(sizes, [200], num_workers=4)[0]
+        assert {"q", "num_reducers", "makespan", "waves", "utilization"} <= set(row)
+
+
+class TestSweepX2YReducers:
+    def test_basic_sweep(self):
+        xs = sample_sizes("uniform", 20, 80, seed=51)
+        ys = sample_sizes("uniform", 20, 80, seed=52)
+        xs = [min(s, 40) for s in xs]
+        ys = [min(s, 40) for s in ys]
+        rows = sweep_x2y_reducers(xs, ys, [80, 160])
+        assert rows[0]["best_split_grid"] >= rows[1]["best_split_grid"]
+        for row in rows:
+            assert row["best_split_grid"] >= row["lower_bound"]
+
+
+class TestRatioStudies:
+    def test_a2a_bin_pairing_ratio_reasonable(self):
+        summary = a2a_ratio_study(
+            "bin_pairing", "uniform", trials=10, m=30, q=200, seed=0
+        )
+        assert summary.feasible_trials == 10
+        assert 1.0 <= summary.mean_ratio <= 6.0
+
+    def test_a2a_ratio_reproducible(self):
+        a = a2a_ratio_study("greedy", "zipf", trials=5, m=20, q=150, seed=1)
+        b = a2a_ratio_study("greedy", "zipf", trials=5, m=20, q=150, seed=1)
+        assert a == b
+
+    def test_x2y_grid_ratio_reasonable(self):
+        summary = x2y_ratio_study(
+            "best_split_grid", "uniform", trials=8, m=15, n=15, q=150, seed=2
+        )
+        assert summary.feasible_trials == 8
+        assert summary.max_ratio < 8.0
+
+    def test_as_row(self):
+        summary = a2a_ratio_study("bin_pairing", "normal", trials=4, m=15, q=120)
+        row = summary.as_row()
+        assert row["method"] == "bin_pairing"
+        assert row["solved"] == summary.feasible_trials

@@ -1,0 +1,96 @@
+"""Unit tests for bin-packing lower bounds and the exact solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.binpack import (
+    best_lower_bound,
+    first_fit_decreasing,
+    l1_bound,
+    l2_bound,
+    large_item_bound,
+    pack_exact,
+)
+from repro.exceptions import SolverLimitError
+
+
+class TestL1Bound:
+    def test_exact_division(self):
+        assert l1_bound([5, 5, 5, 5], 10) == 2
+
+    def test_rounds_up(self):
+        assert l1_bound([5, 5, 1], 10) == 2
+
+    def test_single_item(self):
+        assert l1_bound([3], 10) == 1
+
+
+class TestLargeItemBound:
+    def test_counts_items_above_half(self):
+        assert large_item_bound([6, 6, 6, 2], 10) == 3
+
+    def test_half_exactly_not_large(self):
+        assert large_item_bound([5, 5], 10) == 0
+
+
+class TestL2Bound:
+    def test_dominates_l1(self):
+        sizes = [6, 6, 6, 2, 2, 2]
+        assert l2_bound(sizes, 10) >= l1_bound(sizes, 10)
+
+    def test_detects_pairwise_incompatible(self):
+        # Three items of 6: L1 says 2, L2 must say 3.
+        assert l2_bound([6, 6, 6], 10) == 3
+
+    def test_small_items_force_extra_bins(self):
+        # Medium 6s leave residual 4 each; 3 smalls of 5 > residual -> extra.
+        sizes = [6, 6, 5, 5, 5]
+        assert l2_bound(sizes, 10) >= 3
+
+
+class TestBestLowerBound:
+    def test_max_of_all(self):
+        sizes = [6, 6, 6]
+        assert best_lower_bound(sizes, 10) == 3
+
+    def test_never_exceeds_ffd(self):
+        sizes = [7, 3, 6, 4, 5, 5, 2, 9, 1, 8]
+        assert best_lower_bound(sizes, 10) <= first_fit_decreasing(sizes, 10).num_bins
+
+
+class TestPackExact:
+    def test_matches_known_optimum(self):
+        # Perfect pairs: optimal is 3 bins.
+        result = pack_exact([7, 3, 6, 4, 5, 5], 10)
+        assert result.num_bins == 3
+
+    def test_beats_ffd_on_ffd_adversary(self):
+        # Classic: FFD uses 3 bins, optimum is 2? Construct a case where
+        # FFD is suboptimal: capacity 12, sizes 6,5,4,4,3,2 -> opt 2 bins.
+        sizes = [6, 5, 4, 4, 3, 2]
+        exact = pack_exact(sizes, 12)
+        assert exact.num_bins == 2
+        assert exact.num_bins <= first_fit_decreasing(sizes, 12).num_bins
+
+    def test_exact_is_valid_packing(self):
+        result = pack_exact([9, 8, 2, 7, 3, 1, 6, 4], 10)
+        result.validate()
+
+    def test_single_item(self):
+        assert pack_exact([4], 10).num_bins == 1
+
+    def test_all_singletons(self):
+        assert pack_exact([9, 9, 9], 10).num_bins == 3
+
+    def test_node_limit_raises(self):
+        # FFD is suboptimal here so the search actually runs; a ludicrously
+        # small node budget must trip the limit.
+        sizes = [6, 5, 4, 4, 3, 2]
+        with pytest.raises(SolverLimitError):
+            pack_exact(sizes, 12, max_nodes=1)
+
+    def test_exact_never_below_lower_bound(self):
+        sizes = [5, 5, 4, 4, 3, 3, 2, 2]
+        result = pack_exact(sizes, 9)
+        assert result.num_bins >= best_lower_bound(sizes, 9)

@@ -1,0 +1,77 @@
+"""Property-based tests (hypothesis) for the bin-packing substrate."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.binpack import (
+    HEURISTICS,
+    best_lower_bound,
+    first_fit_decreasing,
+    next_fit,
+    pack_exact,
+)
+
+sizes_and_capacity = st.integers(1, 30).flatmap(
+    lambda cap: st.tuples(
+        st.lists(st.integers(1, cap), min_size=1, max_size=40),
+        st.just(cap),
+    )
+)
+
+small_sizes_and_capacity = st.integers(2, 15).flatmap(
+    lambda cap: st.tuples(
+        st.lists(st.integers(1, cap), min_size=1, max_size=9),
+        st.just(cap),
+    )
+)
+
+
+@given(sizes_and_capacity)
+def test_every_heuristic_produces_valid_partition(case):
+    sizes, cap = case
+    for packer in HEURISTICS.values():
+        packer(sizes, cap).validate()
+
+
+@given(sizes_and_capacity)
+def test_heuristics_respect_lower_bound(case):
+    sizes, cap = case
+    bound = best_lower_bound(sizes, cap)
+    for packer in HEURISTICS.values():
+        assert packer(sizes, cap).num_bins >= bound
+
+
+@given(sizes_and_capacity)
+def test_ffd_within_guarantee_of_lower_bound(case):
+    """FFD <= (11/9) OPT + 1 <= (11/9) * bound + 1, with OPT >= bound."""
+    sizes, cap = case
+    bound = best_lower_bound(sizes, cap)
+    assert first_fit_decreasing(sizes, cap).num_bins <= (11 / 9) * bound + 1
+
+
+@given(sizes_and_capacity)
+def test_next_fit_within_twice_volume(case):
+    """NF's classic guarantee: at most 2 * ceil(volume) bins."""
+    sizes, cap = case
+    volume_bound = -(-sum(sizes) // cap)
+    assert next_fit(sizes, cap).num_bins <= 2 * volume_bound
+
+
+@settings(deadline=None, max_examples=40)
+@given(small_sizes_and_capacity)
+def test_exact_is_minimal_among_heuristics(case):
+    sizes, cap = case
+    exact = pack_exact(sizes, cap)
+    exact.validate()
+    best_heuristic = min(p(sizes, cap).num_bins for p in HEURISTICS.values())
+    assert exact.num_bins <= best_heuristic
+    assert exact.num_bins >= best_lower_bound(sizes, cap)
+
+
+@given(sizes_and_capacity)
+def test_bin_loads_sum_to_total(case):
+    sizes, cap = case
+    result = first_fit_decreasing(sizes, cap)
+    assert sum(result.bin_loads()) == sum(sizes)

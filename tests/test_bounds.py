@@ -1,0 +1,108 @@
+"""Unit tests for the reducer/communication lower bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import (
+    a2a_communication_lower_bound,
+    a2a_equal_sized_reducer_bound,
+    a2a_pair_cover_bound,
+    a2a_reducer_lower_bound,
+    a2a_replication_lower_bounds,
+    a2a_volume_bound,
+    x2y_communication_lower_bound,
+    x2y_pair_cover_bound,
+    x2y_reducer_lower_bound,
+    x2y_replication_lower_bounds,
+    x2y_volume_bound,
+)
+from repro.core.instance import A2AInstance, X2YInstance
+
+
+class TestA2ABounds:
+    def test_volume_bound(self):
+        assert a2a_volume_bound(A2AInstance([5, 5, 5], 10)) == 2
+
+    def test_pair_cover_equal_sizes(self):
+        # m=4, each reducer fits t=2 -> C(4,2)/C(2,2) = 6 reducers.
+        instance = A2AInstance([5, 5, 5, 5], 10)
+        assert a2a_pair_cover_bound(instance) == 6
+
+    def test_pair_cover_uses_smallest_sizes(self):
+        # t computed from smallest sizes: 1+2+3 <= 6 -> t=3, C(5,2)/C(3,2)=4.
+        instance = A2AInstance([1, 2, 3, 4, 5], 6)
+        assert a2a_pair_cover_bound(instance) == 4
+
+    def test_single_input_bound_is_one(self):
+        assert a2a_pair_cover_bound(A2AInstance([4], 5)) == 1
+        assert a2a_reducer_lower_bound(A2AInstance([4], 5)) == 1
+
+    def test_replication_bounds_formula(self):
+        # W=12, input of size 4: ceil((12-4)/(10-4)) = 2.
+        instance = A2AInstance([4, 4, 4], 10)
+        assert a2a_replication_lower_bounds(instance) == (2, 2, 2)
+
+    def test_replication_single_input(self):
+        assert a2a_replication_lower_bounds(A2AInstance([4], 5)) == (1,)
+
+    def test_communication_bound_weights_by_size(self):
+        instance = A2AInstance([4, 4, 4], 10)
+        assert a2a_communication_lower_bound(instance) == 3 * 4 * 2
+
+    def test_reducer_bound_at_least_volume_and_pairs(self):
+        instance = A2AInstance([5, 5, 5, 5], 10)
+        assert a2a_reducer_lower_bound(instance) >= a2a_volume_bound(instance)
+        assert a2a_reducer_lower_bound(instance) >= a2a_pair_cover_bound(instance)
+
+    def test_equal_sized_closed_form(self):
+        # m=20, k=4: ceil(20*19 / (4*3)) = ceil(380/12) = 32.
+        assert a2a_equal_sized_reducer_bound(20, 4) == 32
+
+    def test_equal_sized_degenerate(self):
+        assert a2a_equal_sized_reducer_bound(1, 4) == 1
+        assert a2a_equal_sized_reducer_bound(0, 4) == 0
+
+    def test_equal_sized_k_below_two_sentinel(self):
+        assert a2a_equal_sized_reducer_bound(4, 1) > 6  # > C(4,2)
+
+    def test_infeasible_instance_gets_sentinel_pair_bound(self):
+        # No two inputs fit together: bound exceeds the pair count.
+        instance = A2AInstance([7, 7, 7], 12)
+        assert a2a_pair_cover_bound(instance) > instance.num_pairs
+
+
+class TestX2YBounds:
+    def test_volume_bound(self):
+        assert x2y_volume_bound(X2YInstance([5, 5], [5, 5], 10)) == 2
+
+    def test_pair_cover_equal_case(self):
+        # Each reducer fits 1 X (5) + 1 Y (5): 4 pairs -> 4 reducers.
+        instance = X2YInstance([5, 5], [5, 5], 10)
+        assert x2y_pair_cover_bound(instance) == 4
+
+    def test_pair_cover_prefers_balanced_split(self):
+        # q=12, unit sizes: best a*b = 6*6 = 36 -> m*n/36.
+        instance = X2YInstance([1] * 10, [1] * 10, 12)
+        assert x2y_pair_cover_bound(instance) == -(-100 // 36)
+
+    def test_replication_bounds(self):
+        # X of size 2 must meet W_Y=6 with residual 10-2=8 -> 1 copy;
+        # X of size 9 has residual 1 -> 6 copies.
+        instance = X2YInstance([2, 9], [3, 3], 10)
+        x_reps, y_reps = x2y_replication_lower_bounds(instance)
+        assert x_reps == (1, 6)
+        assert all(r >= 1 for r in y_reps)
+
+    def test_communication_bound_positive(self):
+        instance = X2YInstance([2, 9], [3, 3], 10)
+        assert x2y_communication_lower_bound(instance) >= instance.total_size
+
+    def test_reducer_bound_dominates_components(self):
+        instance = X2YInstance([3, 4, 5], [2, 6], 11)
+        assert x2y_reducer_lower_bound(instance) >= x2y_volume_bound(instance)
+        assert x2y_reducer_lower_bound(instance) >= x2y_pair_cover_bound(instance)
+
+    def test_infeasible_sentinel(self):
+        instance = X2YInstance([7], [7], 12)
+        assert x2y_pair_cover_bound(instance) > instance.num_pairs

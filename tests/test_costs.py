@@ -1,0 +1,66 @@
+"""Unit tests for the cost/tradeoff metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.costs import parallelism_degree, skew, summarize
+from repro.core.instance import A2AInstance, X2YInstance
+from repro.core.schema import A2ASchema, X2YSchema
+
+
+@pytest.fixture
+def three_reducer_schema():
+    instance = A2AInstance([3, 5, 2], 10)
+    return A2ASchema.from_lists(
+        instance, [[0, 1], [0, 2], [1, 2]], algorithm="manual"
+    )
+
+
+class TestSummarize:
+    def test_counts(self, three_reducer_schema):
+        cost = summarize(three_reducer_schema)
+        assert cost.num_reducers == 3
+        assert cost.communication_cost == 20
+
+    def test_replication_rate(self, three_reducer_schema):
+        cost = summarize(three_reducer_schema)
+        assert cost.replication_rate == pytest.approx(20 / 10)
+
+    def test_load_stats(self, three_reducer_schema):
+        cost = summarize(three_reducer_schema)
+        assert cost.max_load == 8
+        assert cost.mean_load == pytest.approx(20 / 3)
+
+    def test_capacity_utilization(self, three_reducer_schema):
+        cost = summarize(three_reducer_schema)
+        assert cost.capacity_utilization == pytest.approx(20 / 3 / 10)
+
+    def test_algorithm_propagated(self, three_reducer_schema):
+        assert summarize(three_reducer_schema).algorithm == "manual"
+
+    def test_as_row_is_flat_dict(self, three_reducer_schema):
+        row = summarize(three_reducer_schema).as_row()
+        assert row["num_reducers"] == 3
+        assert isinstance(row, dict)
+
+    def test_works_on_x2y(self):
+        instance = X2YInstance([2], [3], 5)
+        schema = X2YSchema.from_lists(instance, [((0,), (0,))])
+        cost = summarize(schema)
+        assert cost.num_reducers == 1
+        assert cost.communication_cost == 5
+        assert cost.replication_rate == pytest.approx(1.0)
+
+
+class TestSkewAndParallelism:
+    def test_parallelism_is_reducer_count(self, three_reducer_schema):
+        assert parallelism_degree(three_reducer_schema) == 3
+
+    def test_skew_balanced(self):
+        instance = A2AInstance([2, 2, 2], 4)
+        schema = A2ASchema.from_lists(instance, [[0, 1], [0, 2], [1, 2]])
+        assert skew(schema) == pytest.approx(1.0)
+
+    def test_skew_unbalanced(self, three_reducer_schema):
+        assert skew(three_reducer_schema) == pytest.approx(8 / (20 / 3))

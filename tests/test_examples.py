@@ -1,0 +1,35 @@
+"""Integration tests: every example script runs cleanly end to end."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_all_demos():
+    names = {p.name for p in SCRIPTS}
+    assert {
+        "quickstart.py",
+        "similarity_join_demo.py",
+        "skew_join_demo.py",
+        "tensor_product_demo.py",
+        "capacity_planning_demo.py",
+    } <= names
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda p: p.name)
+def test_example_runs_cleanly(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must print their results"

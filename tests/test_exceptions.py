@@ -1,0 +1,58 @@
+"""Tests for the exception hierarchy's contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    CapacityExceededError,
+    InfeasibleInstanceError,
+    InvalidInstanceError,
+    InvalidSchemaError,
+    ReproError,
+    SolverLimitError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            InvalidInstanceError,
+            InfeasibleInstanceError,
+            InvalidSchemaError,
+            CapacityExceededError,
+            SolverLimitError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_invalid_instance_is_value_error(self):
+        # So stdlib-style callers catching ValueError still work.
+        assert issubclass(InvalidInstanceError, ValueError)
+
+    def test_one_except_catches_everything(self):
+        for exc_type in (InvalidInstanceError, SolverLimitError):
+            with pytest.raises(ReproError):
+                raise exc_type("boom")
+
+
+class TestPayloads:
+    def test_infeasible_carries_offending_pair(self):
+        error = InfeasibleInstanceError("no", offending_pair=(1, 2))
+        assert error.offending_pair == (1, 2)
+
+    def test_infeasible_pair_defaults_none(self):
+        assert InfeasibleInstanceError("no").offending_pair is None
+
+    def test_invalid_schema_carries_report(self):
+        error = InvalidSchemaError("bad", report="the-report")
+        assert error.report == "the-report"
+
+    def test_capacity_error_fields(self):
+        error = CapacityExceededError("over", key="k", load=12, capacity=10)
+        assert (error.key, error.load, error.capacity) == ("k", 12, 10)
+
+    def test_messages_preserved(self):
+        assert str(InvalidInstanceError("reason here")) == "reason here"

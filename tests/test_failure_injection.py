@@ -1,0 +1,161 @@
+"""Failure-injection tests: verification must catch corrupted schemas.
+
+Every mutation that breaks a mapping-schema invariant — dropping a
+reducer, evicting an input from a reducer, shrinking the capacity — must
+be caught by ``verify()``.  These tests are the safety net under every
+algorithm's ``require_valid()`` call: if verification were too lax, all
+the validity assertions elsewhere would be meaningless.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instance import A2AInstance, X2YInstance
+from repro.core.schema import A2ASchema, X2YSchema
+from repro.core.selector import solve_a2a, solve_x2y
+
+
+@st.composite
+def solved_a2a(draw):
+    """A valid (instance, schema) pair with at least 2 reducers."""
+    q = draw(st.integers(4, 40))
+    m = draw(st.integers(4, 14))
+    sizes = draw(st.lists(st.integers(1, q // 2), min_size=m, max_size=m))
+    instance = A2AInstance(sizes, q)
+    schema = solve_a2a(instance)
+    return instance, schema
+
+
+@settings(deadline=None, max_examples=50)
+@given(solved_a2a(), st.randoms(use_true_random=False))
+def test_dropping_a_needed_reducer_is_detected(case, rng):
+    instance, schema = case
+    if schema.num_reducers < 2:
+        return
+    victim = rng.randrange(schema.num_reducers)
+    reduced = A2ASchema.from_lists(
+        instance,
+        [r for i, r in enumerate(schema.reducers) if i != victim],
+        algorithm="mutated",
+    )
+    # Dropping a reducer can only lose coverage; if the victim carried any
+    # pair exclusively the report must flag it.
+    report = reduced.verify()
+    original_pairs = {
+        pair
+        for r in schema.reducers
+        for pair in _pairs_of(r)
+    }
+    remaining_pairs = {
+        pair
+        for r in reduced.reducers
+        for pair in _pairs_of(r)
+    }
+    if original_pairs - remaining_pairs:
+        assert not report.valid
+    else:
+        assert report.valid
+
+
+def _pairs_of(reducer):
+    members = sorted(set(reducer))
+    return {
+        (a, b)
+        for i, a in enumerate(members)
+        for b in members[i + 1:]
+    }
+
+
+@settings(deadline=None, max_examples=50)
+@given(solved_a2a(), st.randoms(use_true_random=False))
+def test_evicting_an_input_is_detected(case, rng):
+    instance, schema = case
+    if instance.m < 2:
+        return
+    victim_reducer = rng.randrange(schema.num_reducers)
+    members = list(schema.reducers[victim_reducer])
+    if len(members) < 2:
+        return
+    evicted = members[rng.randrange(len(members))]
+    mutated_reducers = [
+        [i for i in r if not (idx == victim_reducer and i == evicted)]
+        for idx, r in enumerate(schema.reducers)
+    ]
+    mutated = A2ASchema.from_lists(instance, mutated_reducers, algorithm="mutated")
+    report = mutated.verify()
+    # The evicted input may still meet everyone elsewhere; but if any of
+    # its pairs were exclusive to the victim reducer, invalidity must show.
+    still_covered = {
+        pair for r in mutated.reducers for pair in _pairs_of(r)
+    }
+    required = set(instance.pairs())
+    assert report.valid == (required <= still_covered)
+
+
+@settings(deadline=None, max_examples=40)
+@given(solved_a2a())
+def test_capacity_shrink_is_detected(case):
+    instance, schema = case
+    # Rebuild the same reducers against a tighter instance: any reducer
+    # whose load exceeded the new q must be flagged.
+    new_q = max(max(instance.sizes), schema.max_load - 1)
+    if new_q >= schema.max_load:
+        return
+    tighter = A2AInstance(instance.sizes, new_q)
+    mutated = A2ASchema.from_lists(tighter, schema.reducers, algorithm="mutated")
+    report = mutated.verify()
+    assert not report.valid
+    assert report.capacity_violations
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    st.integers(4, 30).flatmap(
+        lambda q: st.tuples(
+            st.lists(st.integers(1, q // 2), min_size=2, max_size=8),
+            st.lists(st.integers(1, q // 2), min_size=2, max_size=8),
+            st.just(q),
+        )
+    ),
+    st.randoms(use_true_random=False),
+)
+def test_x2y_dropped_reducer_detected(case, rng):
+    xs, ys, q = case
+    instance = X2YInstance(xs, ys, q)
+    schema = solve_x2y(instance)
+    if schema.num_reducers < 2:
+        return
+    victim = rng.randrange(schema.num_reducers)
+    reduced = X2YSchema.from_lists(
+        instance,
+        [r for i, r in enumerate(schema.reducers) if i != victim],
+        algorithm="mutated",
+    )
+    covered = {
+        (i, j)
+        for x_part, y_part in reduced.reducers
+        for i in x_part
+        for j in y_part
+    }
+    required = set(instance.pairs())
+    assert reduced.verify().valid == (required <= covered)
+
+
+class TestEmptyMutations:
+    def test_empty_schema_invalid(self):
+        instance = A2AInstance([1, 1], 4)
+        assert not A2ASchema.from_lists(instance, []).verify().valid
+
+    def test_schema_of_empty_reducers_invalid(self):
+        instance = A2AInstance([1, 1], 4)
+        schema = A2ASchema.from_lists(instance, [[], []])
+        assert not schema.verify().valid
+
+    def test_duplicate_inside_reducer_is_deduped_by_from_lists(self):
+        instance = A2AInstance([3, 3], 6)
+        schema = A2ASchema.from_lists(instance, [[0, 0, 1]])
+        assert schema.verify().valid
+        assert schema.loads == (6,)

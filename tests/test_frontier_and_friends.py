@@ -1,0 +1,128 @@
+"""Tests for the capacity frontier and the common-friends application."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.frontier import best_capacity, capacity_frontier
+from repro.apps.common_friends import run_common_friends
+from repro.exceptions import InvalidInstanceError
+from repro.workloads.social import (
+    User,
+    all_common_friends,
+    common_friends,
+    generate_users,
+)
+
+
+class TestSocialWorkload:
+    def test_generation_shape(self):
+        users = generate_users(12, 40, seed=0)
+        assert len(users) == 12
+        assert all(u.size == len(u.friends) for u in users)
+        assert all(u.size >= 1 for u in users)
+
+    def test_population_bound(self):
+        users = generate_users(5, 400, population=10, seed=1)
+        assert all(u.size <= 10 for u in users)
+        assert all(f < 10 for u in users for f in u.friends)
+
+    def test_reproducible(self):
+        a = generate_users(6, 40, seed=3)
+        b = generate_users(6, 40, seed=3)
+        assert [u.friends for u in a] == [u.friends for u in b]
+
+    def test_common_friends_function(self):
+        a = User(0, frozenset({1, 2, 3}))
+        b = User(1, frozenset({2, 3, 4}))
+        assert common_friends(a, b) == frozenset({2, 3})
+
+    def test_bad_args(self):
+        with pytest.raises(InvalidInstanceError):
+            generate_users(0, 40)
+        with pytest.raises(InvalidInstanceError):
+            generate_users(3, 40, population=0)
+
+
+class TestCommonFriendsApp:
+    def test_matches_ground_truth(self):
+        users = generate_users(20, 50, seed=4)
+        run = run_common_friends(users, 50)
+        assert run.as_dict() == all_common_friends(users)
+
+    def test_every_pair_exactly_once(self):
+        users = generate_users(15, 40, seed=5)
+        run = run_common_friends(users, 40)
+        assert len(run.pairs) == 15 * 14 // 2
+
+    def test_capacity_respected(self):
+        users = generate_users(25, 60, seed=6)
+        run = run_common_friends(users, 60)
+        assert run.metrics.max_reducer_load <= 60
+        assert run.metrics.capacity_violations == ()
+
+    def test_schema_valid(self):
+        users = generate_users(10, 40, seed=7)
+        assert run_common_friends(users, 40).schema.verify().valid
+
+    def test_named_method(self):
+        users = generate_users(10, 40, seed=8)
+        run = run_common_friends(users, 40, method="greedy")
+        assert run.as_dict() == all_common_friends(users)
+
+
+class TestCapacityFrontier:
+    @pytest.fixture
+    def sizes(self):
+        return [3, 5, 2, 7, 4, 6] * 5
+
+    def test_one_point_per_q(self, sizes):
+        points = capacity_frontier(sizes, [40, 80, 160], 4)
+        assert [p.q for p in points] == [40, 80, 160]
+
+    def test_at_least_one_pareto_point(self, sizes):
+        points = capacity_frontier(sizes, [40, 80, 160, 320], 4)
+        assert any(p.pareto_optimal for p in points)
+
+    def test_dominated_points_marked(self, sizes):
+        points = capacity_frontier(sizes, [40, 80, 160, 320], 4)
+        by_q = {p.q: p for p in points}
+        # q=40 has strictly more comm than q=80; check dominance is applied
+        # whenever makespan is also no better.
+        p40, p80 = by_q[40], by_q[80]
+        if p80.communication_cost <= p40.communication_cost and p80.makespan <= p40.makespan:
+            assert not p40.pareto_optimal
+
+    def test_pareto_points_are_mutually_nondominated(self, sizes):
+        points = [p for p in capacity_frontier(sizes, [40, 80, 160, 320], 8) if p.pareto_optimal]
+        for a in points:
+            for b in points:
+                if a is b:
+                    continue
+                dominates = (
+                    a.communication_cost <= b.communication_cost
+                    and a.makespan <= b.makespan
+                    and (
+                        a.communication_cost < b.communication_cost
+                        or a.makespan < b.makespan
+                    )
+                )
+                assert not dominates
+
+    def test_best_capacity_is_swept_value(self, sizes):
+        best = best_capacity(sizes, [40, 80, 160], 4)
+        assert best.q in (40, 80, 160)
+
+    def test_best_capacity_weights_change_choice(self, sizes):
+        comm_heavy = best_capacity(sizes, [40, 80, 160, 320], 4, comm_weight=100.0)
+        time_heavy = best_capacity(
+            sizes, [40, 80, 160, 320], 4, makespan_weight=100.0
+        )
+        # Weighting communication strongly favors larger q (less replication);
+        # weighting makespan strongly favors the parallel regime.
+        assert comm_heavy.communication_cost <= time_heavy.communication_cost
+
+    def test_as_row(self, sizes):
+        row = capacity_frontier(sizes, [80], 4)[0].as_row()
+        assert row["q"] == 80
+        assert "pareto" in row

@@ -1,0 +1,111 @@
+"""Unit tests for A2AInstance and X2YInstance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance import A2AInstance, X2YInstance
+from repro.exceptions import InfeasibleInstanceError, InvalidInstanceError
+
+
+class TestA2AInstance:
+    def test_basic_properties(self, small_a2a):
+        assert small_a2a.m == 5
+        assert small_a2a.total_size == 21
+        assert small_a2a.num_pairs == 10
+
+    def test_pairs_enumeration(self):
+        instance = A2AInstance([1, 1, 1], 4)
+        assert list(instance.pairs()) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_equal_sized_constructor(self):
+        instance = A2AInstance.equal_sized(5, 3, 9)
+        assert instance.sizes == (3, 3, 3, 3, 3)
+        assert instance.q == 9
+
+    def test_rejects_empty_sizes(self):
+        with pytest.raises(InvalidInstanceError):
+            A2AInstance([], 5)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(InvalidInstanceError):
+            A2AInstance([3, 0], 5)
+
+    def test_rejects_input_larger_than_q(self):
+        with pytest.raises(InvalidInstanceError, match="cannot be assigned"):
+            A2AInstance([3, 8], 5)
+
+    def test_immutable(self, small_a2a):
+        with pytest.raises(AttributeError):
+            small_a2a.q = 100
+
+    def test_max_inputs_per_reducer(self):
+        instance = A2AInstance([1, 2, 3, 4, 5], 6)
+        # Smallest first: 1+2+3 = 6 fits, +4 does not.
+        assert instance.max_inputs_per_reducer() == 3
+
+    def test_max_inputs_per_reducer_all_fit(self, small_a2a):
+        assert A2AInstance([1, 1], 10).max_inputs_per_reducer() == 2
+
+    def test_feasible_when_two_largest_fit(self):
+        assert A2AInstance([6, 6, 1], 12).is_feasible()
+
+    def test_infeasible_when_two_largest_do_not_fit(self):
+        assert not A2AInstance([7, 6, 1], 12).is_feasible()
+
+    def test_check_feasible_raises_with_offending_pair(self):
+        instance = A2AInstance([7, 1, 6], 12)
+        with pytest.raises(InfeasibleInstanceError) as excinfo:
+            instance.check_feasible()
+        assert excinfo.value.offending_pair == (0, 2)
+
+    def test_single_input_always_feasible(self):
+        assert A2AInstance([10], 10).is_feasible()
+
+    def test_equal_sized_rejects_bad_m(self):
+        with pytest.raises(InfeasibleInstanceError):
+            A2AInstance.equal_sized(0, 1, 5)
+
+
+class TestX2YInstance:
+    def test_basic_properties(self, small_x2y):
+        assert small_x2y.m == 3
+        assert small_x2y.n == 3
+        assert small_x2y.total_size == 28
+        assert small_x2y.num_pairs == 9
+
+    def test_pairs_enumeration(self):
+        instance = X2YInstance([1], [1, 1], 4)
+        assert list(instance.pairs()) == [(0, 0), (0, 1)]
+
+    def test_equal_sized_constructor(self):
+        instance = X2YInstance.equal_sized(2, 3, 4, 5, 10)
+        assert instance.x_sizes == (3, 3)
+        assert instance.y_sizes == (5, 5, 5, 5)
+
+    def test_rejects_empty_side(self):
+        with pytest.raises(InvalidInstanceError):
+            X2YInstance([], [1], 5)
+        with pytest.raises(InvalidInstanceError):
+            X2YInstance([1], [], 5)
+
+    def test_rejects_oversized_input_either_side(self):
+        with pytest.raises(InvalidInstanceError):
+            X2YInstance([9], [1], 5)
+        with pytest.raises(InvalidInstanceError):
+            X2YInstance([1], [9], 5)
+
+    def test_feasibility_is_cross_pair(self):
+        # Two 7s on the same side are fine; cross pair must fit.
+        assert X2YInstance([7, 7], [3], 10).is_feasible()
+        assert not X2YInstance([7, 7], [4], 10).is_feasible()
+
+    def test_check_feasible_identifies_largest_pair(self):
+        instance = X2YInstance([2, 7], [3, 6], 12)
+        with pytest.raises(InfeasibleInstanceError) as excinfo:
+            instance.check_feasible()
+        assert excinfo.value.offending_pair == (1, 1)
+
+    def test_immutable(self, small_x2y):
+        with pytest.raises(AttributeError):
+            small_x2y.q = 99

@@ -1,0 +1,145 @@
+"""Tests for JSON serialization and the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.instance import A2AInstance, X2YInstance
+from repro.core.selector import solve_a2a, solve_x2y
+from repro.exceptions import InvalidInstanceError
+from repro.io import (
+    dumps,
+    instance_from_dict,
+    instance_to_dict,
+    loads,
+    schema_from_dict,
+    schema_to_dict,
+)
+
+
+class TestInstanceSerialization:
+    def test_a2a_roundtrip(self, small_a2a):
+        restored = instance_from_dict(instance_to_dict(small_a2a))
+        assert restored == small_a2a
+
+    def test_x2y_roundtrip(self, small_x2y):
+        restored = instance_from_dict(instance_to_dict(small_x2y))
+        assert restored == small_x2y
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="unknown instance kind"):
+            instance_from_dict({"kind": "triangle"})
+
+    def test_bad_payload_revalidated(self):
+        with pytest.raises(InvalidInstanceError):
+            instance_from_dict({"kind": "a2a", "sizes": [0], "q": 5})
+
+
+class TestSchemaSerialization:
+    def test_a2a_schema_roundtrip(self, small_a2a):
+        schema = solve_a2a(small_a2a)
+        restored = schema_from_dict(schema_to_dict(schema))
+        assert restored == schema
+        assert restored.verify().valid
+
+    def test_x2y_schema_roundtrip(self, small_x2y):
+        schema = solve_x2y(small_x2y)
+        restored = schema_from_dict(schema_to_dict(schema))
+        assert restored == schema
+
+    def test_dumps_loads_string_roundtrip(self, small_a2a):
+        schema = solve_a2a(small_a2a)
+        text = dumps(schema)
+        restored = loads(text)
+        assert restored == schema
+
+    def test_loads_dispatches_instance_vs_schema(self, small_a2a):
+        assert loads(dumps(small_a2a)) == small_a2a
+
+    def test_loads_rejects_non_object(self):
+        with pytest.raises(InvalidInstanceError):
+            loads("[1, 2, 3]")
+
+    def test_payload_is_plain_json(self, small_a2a):
+        payload = json.loads(dumps(solve_a2a(small_a2a)))
+        assert payload["kind"] == "a2a"
+        assert isinstance(payload["reducers"], list)
+
+
+class TestCli:
+    def test_solve_a2a_ok(self, capsys):
+        rc = main(["solve-a2a", "--sizes", "3,5,2,7", "--q", "12"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "reducers" in out
+
+    def test_solve_a2a_json_output_parses(self, capsys):
+        rc = main(["solve-a2a", "--sizes", "3,5,2", "--q", "10", "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        payload = json.loads(out)
+        assert payload["kind"] == "a2a"
+
+    def test_solve_a2a_infeasible_exits_one(self, capsys):
+        rc = main(["solve-a2a", "--sizes", "8,8", "--q", "12"])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "error" in err
+
+    def test_solve_x2y_ok(self, capsys):
+        rc = main(
+            ["solve-x2y", "--x-sizes", "4,5", "--y-sizes", "3,3", "--q", "10"]
+        )
+        assert rc == 0
+        assert "reducers" in capsys.readouterr().out
+
+    def test_named_method(self, capsys):
+        rc = main(
+            ["solve-a2a", "--sizes", "2,3,2,3", "--q", "6", "--method", "greedy"]
+        )
+        assert rc == 0
+        assert "greedy_cover" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        rc = main(["sweep", "--sizes", "2,3,2,3,4", "--q-values", "10,20"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "lower_bound" in out
+
+    def test_verify_valid_file(self, tmp_path, capsys):
+        schema = solve_a2a(A2AInstance([3, 5, 2], 10))
+        path = tmp_path / "schema.json"
+        path.write_text(dumps(schema))
+        rc = main(["verify", "--file", str(path)])
+        assert rc == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_verify_invalid_file_exits_one(self, tmp_path, capsys):
+        # Hand-craft a schema missing coverage.
+        instance = A2AInstance([1, 1, 1], 4)
+        payload = {
+            "kind": "a2a",
+            "instance": instance_to_dict(instance),
+            "algorithm": "broken",
+            "reducers": [[0, 1]],
+        }
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(payload))
+        rc = main(["verify", "--file", str(path)])
+        assert rc == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "solve-a2a", "--sizes", "2,3", "--q", "6"],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0
+        assert "reducers" in result.stdout

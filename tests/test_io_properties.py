@@ -1,0 +1,76 @@
+"""Property tests: serialization round-trips for arbitrary valid objects."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instance import A2AInstance, X2YInstance
+from repro.core.selector import solve_a2a, solve_x2y
+from repro.io import dumps, loads
+
+
+@st.composite
+def a2a_instances(draw):
+    q = draw(st.integers(2, 100))
+    m = draw(st.integers(1, 25))
+    sizes = draw(st.lists(st.integers(1, q), min_size=m, max_size=m))
+    return A2AInstance(sizes, q)
+
+
+@st.composite
+def x2y_instances(draw):
+    q = draw(st.integers(2, 100))
+    m = draw(st.integers(1, 12))
+    n = draw(st.integers(1, 12))
+    xs = draw(st.lists(st.integers(1, q), min_size=m, max_size=m))
+    ys = draw(st.lists(st.integers(1, q), min_size=n, max_size=n))
+    return X2YInstance(xs, ys, q)
+
+
+@given(a2a_instances())
+def test_a2a_instance_roundtrip(instance):
+    assert loads(dumps(instance)) == instance
+
+
+@given(x2y_instances())
+def test_x2y_instance_roundtrip(instance):
+    assert loads(dumps(instance)) == instance
+
+
+@st.composite
+def feasible_a2a_instances(draw):
+    """Feasible by construction: every size within q // 2."""
+    q = draw(st.integers(4, 100))
+    m = draw(st.integers(1, 25))
+    sizes = draw(st.lists(st.integers(1, q // 2), min_size=m, max_size=m))
+    return A2AInstance(sizes, q)
+
+
+@st.composite
+def feasible_x2y_instances(draw):
+    """Feasible by construction: every cross pair co-fits."""
+    q = draw(st.integers(4, 100))
+    m = draw(st.integers(1, 12))
+    n = draw(st.integers(1, 12))
+    xs = draw(st.lists(st.integers(1, q // 2), min_size=m, max_size=m))
+    ys = draw(st.lists(st.integers(1, q // 2), min_size=n, max_size=n))
+    return X2YInstance(xs, ys, q)
+
+
+@settings(deadline=None, max_examples=40)
+@given(feasible_a2a_instances())
+def test_a2a_schema_roundtrip_preserves_validity(instance):
+    schema = solve_a2a(instance)
+    restored = loads(dumps(schema))
+    assert restored == schema
+    assert restored.verify().valid  # type: ignore[union-attr]
+
+
+@settings(deadline=None, max_examples=40)
+@given(feasible_x2y_instances())
+def test_x2y_schema_roundtrip_preserves_validity(instance):
+    schema = solve_x2y(instance)
+    restored = loads(dumps(schema))
+    assert restored == schema
+    assert restored.verify().valid  # type: ignore[union-attr]

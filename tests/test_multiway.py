@@ -1,0 +1,156 @@
+"""Unit and property tests for the multiway (r-wise) generalization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multiway import (
+    MultiwayInstance,
+    MultiwaySchema,
+    multiway_bin_combining,
+    multiway_cover_bound,
+    multiway_reducer_lower_bound,
+    multiway_volume_bound,
+)
+from repro.exceptions import (
+    InfeasibleInstanceError,
+    InvalidInstanceError,
+    InvalidSchemaError,
+)
+
+
+class TestMultiwayInstance:
+    def test_counts(self):
+        instance = MultiwayInstance([1, 1, 1, 1, 1], 6, 3)
+        assert instance.m == 5
+        assert instance.num_groups == 10
+
+    def test_rejects_r_below_two(self):
+        with pytest.raises(InvalidInstanceError):
+            MultiwayInstance([1, 1], 4, 1)
+
+    def test_feasibility_r_largest(self):
+        assert MultiwayInstance([3, 3, 3], 9, 3).is_feasible()
+        assert not MultiwayInstance([4, 3, 3], 9, 3).is_feasible()
+
+    def test_fewer_inputs_than_r_is_feasible(self):
+        assert MultiwayInstance([5, 5], 10, 3).is_feasible()
+
+    def test_check_feasible_raises(self):
+        with pytest.raises(InfeasibleInstanceError):
+            MultiwayInstance([4, 4, 4], 10, 3).check_feasible()
+
+    def test_r2_matches_pairwise_problem(self):
+        instance = MultiwayInstance([2, 3, 4], 10, 2)
+        assert instance.num_groups == 3
+        assert list(instance.groups()) == [(0, 1), (0, 2), (1, 2)]
+
+
+class TestMultiwaySchema:
+    def test_single_reducer_covers_all(self):
+        instance = MultiwayInstance([1, 1, 1], 3, 3)
+        schema = MultiwaySchema.from_lists(instance, [[0, 1, 2]])
+        ok, message = schema.verify()
+        assert ok, message
+
+    def test_capacity_violation(self):
+        instance = MultiwayInstance([2, 2, 2], 4, 2)
+        schema = MultiwaySchema.from_lists(instance, [[0, 1, 2]])
+        ok, message = schema.verify()
+        assert not ok and "load" in message
+
+    def test_missing_group_detected(self):
+        instance = MultiwayInstance([1, 1, 1, 1], 3, 3)
+        schema = MultiwaySchema.from_lists(instance, [[0, 1, 2]])
+        ok, message = schema.verify()
+        assert not ok and "meets at no reducer" in message
+
+    def test_require_valid_raises(self):
+        instance = MultiwayInstance([1, 1, 1, 1], 3, 3)
+        schema = MultiwaySchema.from_lists(instance, [])
+        with pytest.raises(InvalidSchemaError):
+            schema.require_valid()
+
+    def test_costs(self):
+        instance = MultiwayInstance([1, 2, 3], 6, 2)
+        schema = MultiwaySchema.from_lists(instance, [[0, 1], [0, 2], [1, 2]])
+        assert schema.loads == (3, 4, 5)
+        assert schema.communication_cost == 12
+
+
+class TestMultiwayBounds:
+    def test_volume(self):
+        assert multiway_volume_bound(MultiwayInstance([3, 3, 3], 3, 2)) == 3
+
+    def test_cover_bound_unit_sizes(self):
+        # m=6, r=3, q=3 units -> t=3 per reducer -> C(6,3)/C(3,3) = 20.
+        instance = MultiwayInstance([1] * 6, 3, 3)
+        assert multiway_cover_bound(instance) == 20
+
+    def test_lower_bound_dominates(self):
+        instance = MultiwayInstance([1, 2, 1, 2, 1], 6, 3)
+        assert multiway_reducer_lower_bound(instance) >= multiway_volume_bound(instance)
+
+
+class TestBinCombining:
+    def test_valid_schema(self):
+        instance = MultiwayInstance([2, 3, 1, 2, 4, 2, 3, 1], 12, 3)
+        schema = multiway_bin_combining(instance)
+        schema.require_valid()
+
+    def test_single_reducer_when_everything_fits(self):
+        instance = MultiwayInstance([1, 1, 1], 9, 3)
+        schema = multiway_bin_combining(instance)
+        assert schema.num_reducers == 1
+
+    def test_m_below_r(self):
+        instance = MultiwayInstance([2, 2], 9, 3)
+        schema = multiway_bin_combining(instance)
+        assert schema.num_reducers == 1
+        assert schema.require_valid()
+
+    def test_rejects_oversized_share(self):
+        instance = MultiwayInstance([5, 1, 1, 1], 12, 3)  # share = 4 < 5
+        with pytest.raises(InvalidInstanceError, match="q//r"):
+            multiway_bin_combining(instance)
+
+    def test_reducer_count_is_bin_combinations(self):
+        # Unit sizes, q=3, r=3: bins of capacity 1 -> 6 bins -> C(6,3)=20.
+        instance = MultiwayInstance([1] * 6, 3, 3)
+        schema = multiway_bin_combining(instance)
+        assert schema.num_reducers == 20
+
+    def test_respects_lower_bound(self):
+        instance = MultiwayInstance([1, 2, 1, 1, 2, 1], 9, 3)
+        schema = multiway_bin_combining(instance)
+        assert schema.num_reducers >= multiway_reducer_lower_bound(instance)
+
+    def test_r4(self):
+        instance = MultiwayInstance([1, 2, 1, 2, 1, 2, 1], 16, 4)
+        schema = multiway_bin_combining(instance)
+        schema.require_valid()
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    st.integers(2, 4).flatmap(
+        lambda r: st.integers(2 * r, 24).flatmap(
+            lambda q: st.tuples(
+                st.lists(st.integers(1, q // r), min_size=1, max_size=9),
+                st.just(q),
+                st.just(r),
+            )
+        )
+    )
+)
+def test_bin_combining_always_valid(case):
+    sizes, q, r = case
+    instance = MultiwayInstance(sizes, q, r)
+    schema = multiway_bin_combining(instance)
+    ok, message = schema.verify()
+    assert ok, message
+    assert schema.num_reducers >= multiway_reducer_lower_bound(instance) or (
+        instance.m < r
+    )

@@ -1,0 +1,114 @@
+"""Unit and property tests for the online A2A assigner."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.a2a.ffd_pairing import ffd_pairing
+from repro.core.a2a.online import OnlineA2AAssigner
+from repro.exceptions import InvalidInstanceError
+
+
+class TestOnlineAssigner:
+    def test_empty_state(self):
+        assigner = OnlineA2AAssigner(10)
+        assert assigner.num_inputs == 0
+        assert assigner.num_bins == 0
+        assert assigner.num_reducers == 0
+
+    def test_instance_requires_inputs(self):
+        with pytest.raises(InvalidInstanceError):
+            OnlineA2AAssigner(10).instance()
+
+    def test_single_input_single_reducer(self):
+        assigner = OnlineA2AAssigner(10)
+        assigner.add_input(4)
+        schema = assigner.schema()
+        assert schema.num_reducers == 1
+        assert schema.verify().valid
+
+    def test_indices_are_sequential(self):
+        assigner = OnlineA2AAssigner(10)
+        assert [assigner.add_input(2) for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_rejects_big_input(self):
+        assigner = OnlineA2AAssigner(10)
+        with pytest.raises(InvalidInstanceError, match="q//2"):
+            assigner.add_input(6)
+
+    def test_rejects_q_one(self):
+        with pytest.raises(InvalidInstanceError):
+            OnlineA2AAssigner(1)
+
+    def test_first_fit_packing(self):
+        assigner = OnlineA2AAssigner(10)  # bins of capacity 5
+        assigner.extend([3, 2, 4, 1])
+        # 3+2 fill bin 0; 4+1 fill bin 1.
+        assert assigner.num_bins == 2
+
+    def test_valid_after_every_insertion(self):
+        assigner = OnlineA2AAssigner(12)
+        for size in [3, 4, 2, 5, 1, 6, 2, 3, 4]:
+            assigner.add_input(size)
+            report = assigner.schema().verify()
+            assert report.valid, report.summary()
+
+    def test_reducer_count_formula(self):
+        assigner = OnlineA2AAssigner(8)
+        assigner.extend([4, 4, 4, 4])  # four bins of capacity 4
+        assert assigner.num_bins == 4
+        assert assigner.num_reducers == 6
+        assert assigner.schema().num_reducers == 6
+
+    def test_replication_of(self):
+        assigner = OnlineA2AAssigner(8)
+        assigner.extend([4, 4, 4])
+        assert assigner.replication_of(0) == 2  # 3 bins -> b-1 reducers
+
+    def test_replication_of_bad_index(self):
+        assigner = OnlineA2AAssigner(8)
+        assigner.add_input(2)
+        with pytest.raises(InvalidInstanceError):
+            assigner.replication_of(5)
+
+    def test_online_never_fewer_bins_than_offline(self):
+        sizes = [3, 1, 4, 1, 5, 2, 2, 3, 4, 1]
+        assigner = OnlineA2AAssigner(10)
+        assigner.extend(sizes)
+        offline = ffd_pairing(assigner.instance())
+        # FFD repacks with hindsight; online first-fit can only be >=.
+        offline_bins = max(
+            2, int((1 + (1 + 8 * offline.num_reducers) ** 0.5) / 2)
+        )  # invert C(b,2) when b >= 2
+        assert assigner.num_bins >= offline_bins - 1
+
+
+@settings(deadline=None, max_examples=50)
+@given(
+    st.integers(4, 40).flatmap(
+        lambda q: st.tuples(
+            st.lists(st.integers(1, q // 2), min_size=1, max_size=30), st.just(q)
+        )
+    )
+)
+def test_online_schema_always_valid(case):
+    sizes, q = case
+    assigner = OnlineA2AAssigner(q)
+    assigner.extend(sizes)
+    report = assigner.schema().verify()
+    assert report.valid, report.summary()
+
+
+@settings(deadline=None, max_examples=50)
+@given(
+    st.lists(st.integers(1, 5), min_size=1, max_size=25)
+)
+def test_online_insertion_order_does_not_break_validity(sizes):
+    assigner = OnlineA2AAssigner(10)
+    for size in sizes:
+        assigner.add_input(size)
+    schema = assigner.schema()
+    assert schema.verify().valid
+    assert schema.max_load <= 10

@@ -1,0 +1,93 @@
+"""Unit tests for repro.utils.rng and repro.utils.tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.tables import format_series, format_table
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42).integers(0, 1000, size=10)
+        b = make_rng(42).integers(0, 1000, size=10)
+        assert list(a) == list(b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 10**9)
+        b = make_rng(2).integers(0, 10**9)
+        assert a != b
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(7, 3)
+        draws = [g.integers(0, 10**9) for g in children]
+        assert len(set(draws)) == 3
+
+    def test_deterministic_given_seed(self):
+        a = [g.integers(0, 10**6) for g in spawn_rngs(3, 4)]
+        b = [g.integers(0, 10**6) for g in spawn_rngs(3, 4)]
+        assert a == b
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestFormatTable:
+    def test_renders_header_and_rows(self):
+        text = format_table([{"a": 1, "b": 2}, {"a": 10, "b": 20}])
+        lines = text.splitlines()
+        assert lines[0].split("|")[0].strip() == "a"
+        assert "10" in lines[-1]
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+
+    def test_title_prepended(self):
+        text = format_table([{"a": 1}], title="T1")
+        assert text.startswith("T1")
+
+    def test_missing_column_renders_empty(self):
+        text = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert "2" in text
+
+    def test_float_formatting(self):
+        text = format_table([{"r": 1.23456}])
+        assert "1.235" in text
+
+    def test_alignment_consistent_width(self):
+        text = format_table([{"col": 1}, {"col": 1000}])
+        lines = text.splitlines()
+        assert len(lines[-1]) == len(lines[-2])
+
+
+class TestFormatSeries:
+    def test_x_column_first(self):
+        text = format_series("q", [10, 20], {"alg": [5, 3]})
+        assert text.splitlines()[0].lstrip().startswith("q")
+
+    def test_all_series_present(self):
+        text = format_series("q", [1], {"a": [2], "b": [3]})
+        header = text.splitlines()[0]
+        assert "a" in header and "b" in header
+
+    def test_short_series_pads(self):
+        text = format_series("q", [1, 2], {"a": [9]})
+        assert "9" in text

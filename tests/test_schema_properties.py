@@ -1,0 +1,136 @@
+"""Property-based tests: every algorithm yields valid schemas above bounds.
+
+These are the library's central invariants, straight from the paper's
+mapping-schema definition: whatever the instance, a produced schema must
+(i) respect the capacity at every reducer and (ii) cover every required
+pair, and it can never use fewer reducers than the lower bounds allow.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.a2a import big_small, greedy_cover
+from repro.core.bounds import (
+    a2a_communication_lower_bound,
+    a2a_reducer_lower_bound,
+    x2y_reducer_lower_bound,
+)
+from repro.core.instance import A2AInstance, X2YInstance
+from repro.core.selector import solve_a2a, solve_x2y
+from repro.core.x2y import best_split_grid, big_small_x2y, greedy_cover_x2y
+
+
+@st.composite
+def feasible_a2a(draw):
+    """A feasible A2A instance: all sizes within q and top two co-fit."""
+    q = draw(st.integers(4, 60))
+    m = draw(st.integers(1, 20))
+    sizes = draw(st.lists(st.integers(1, q // 2), min_size=m, max_size=m))
+    return A2AInstance(sizes, q)
+
+
+@st.composite
+def feasible_a2a_with_bigs(draw):
+    """A feasible A2A instance that may contain big inputs (> q//2)."""
+    q = draw(st.integers(6, 60))
+    m = draw(st.integers(1, 14))
+    # At most one input above q/2 guarantees feasibility with any partner
+    # <= q//2 ... actually one big of size <= q - (q//2) partner is safe:
+    big = draw(st.integers(q // 2 + 1, q - 1)) if draw(st.booleans()) else None
+    smalls = draw(
+        st.lists(st.integers(1, min(q // 2, q - big if big else q // 2)),
+                 min_size=m, max_size=m)
+    )
+    sizes = smalls + ([big] if big else [])
+    return A2AInstance(sizes, q)
+
+
+@st.composite
+def feasible_x2y(draw):
+    """A feasible X2Y instance with sizes up to q//2 on both sides."""
+    q = draw(st.integers(4, 60))
+    m = draw(st.integers(1, 10))
+    n = draw(st.integers(1, 10))
+    xs = draw(st.lists(st.integers(1, q // 2), min_size=m, max_size=m))
+    ys = draw(st.lists(st.integers(1, q // 2), min_size=n, max_size=n))
+    return X2YInstance(xs, ys, q)
+
+
+@settings(deadline=None, max_examples=60)
+@given(feasible_a2a())
+def test_auto_a2a_schema_is_valid(instance):
+    schema = solve_a2a(instance)
+    report = schema.verify()
+    assert report.valid, report.summary()
+
+
+@settings(deadline=None, max_examples=60)
+@given(feasible_a2a())
+def test_auto_a2a_respects_reducer_lower_bound(instance):
+    schema = solve_a2a(instance)
+    assert schema.num_reducers >= a2a_reducer_lower_bound(instance)
+
+
+@settings(deadline=None, max_examples=60)
+@given(feasible_a2a())
+def test_auto_a2a_communication_at_least_bound(instance):
+    schema = solve_a2a(instance)
+    assert schema.communication_cost >= a2a_communication_lower_bound(instance)
+
+
+@settings(deadline=None, max_examples=60)
+@given(feasible_a2a_with_bigs())
+def test_big_small_valid_with_big_inputs(instance):
+    schema = big_small(instance)
+    report = schema.verify()
+    assert report.valid, report.summary()
+    assert schema.max_load <= instance.q
+
+
+@settings(deadline=None, max_examples=40)
+@given(feasible_a2a())
+def test_greedy_a2a_valid(instance):
+    schema = greedy_cover(instance)
+    assert schema.verify().valid
+
+
+@settings(deadline=None, max_examples=60)
+@given(feasible_x2y())
+def test_auto_x2y_schema_is_valid(instance):
+    schema = solve_x2y(instance)
+    report = schema.verify()
+    assert report.valid, report.summary()
+
+
+@settings(deadline=None, max_examples=60)
+@given(feasible_x2y())
+def test_auto_x2y_respects_reducer_lower_bound(instance):
+    schema = solve_x2y(instance)
+    assert schema.num_reducers >= x2y_reducer_lower_bound(instance)
+
+
+@settings(deadline=None, max_examples=40)
+@given(feasible_x2y())
+def test_grid_and_big_small_x2y_valid(instance):
+    assert best_split_grid(instance).verify().valid
+    assert big_small_x2y(instance).verify().valid
+
+
+@settings(deadline=None, max_examples=25)
+@given(feasible_x2y())
+def test_greedy_x2y_valid(instance):
+    schema = greedy_cover_x2y(instance)
+    assert schema.verify().valid
+
+
+@settings(deadline=None, max_examples=60)
+@given(feasible_a2a())
+def test_replication_counts_consistent_with_communication(instance):
+    """comm cost == sum over inputs of size * replication."""
+    schema = solve_a2a(instance)
+    recomputed = sum(
+        w * r for w, r in zip(instance.sizes, schema.replication)
+    )
+    assert recomputed == schema.communication_cost

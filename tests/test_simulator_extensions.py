@@ -1,0 +1,100 @@
+"""Tests for the combiner support and heterogeneous-worker scheduling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidInstanceError
+from repro.mapreduce.cluster import schedule_loads
+from repro.mapreduce.job import MapReduceJob
+
+
+def word_count_with_combiner():
+    """Word count where each record (line) pre-aggregates its own counts."""
+    return MapReduceJob(
+        map_fn=lambda line: ((word, 1) for word in line.split()),
+        reduce_fn=lambda word, counts: [(word, sum(counts))],
+        combiner_fn=lambda word, counts: [sum(counts)],
+        size_of=lambda value: 1,
+    )
+
+
+class TestCombiner:
+    def test_results_unchanged(self):
+        with_combiner = word_count_with_combiner().run(["a b a a", "b a"])
+        without = MapReduceJob(
+            map_fn=lambda line: ((w, 1) for w in line.split()),
+            reduce_fn=lambda w, counts: [(w, sum(counts))],
+            size_of=lambda value: 1,
+        ).run(["a b a a", "b a"])
+        assert dict(with_combiner.outputs) == dict(without.outputs)
+
+    def test_communication_reduced(self):
+        records = ["a a a a b", "a a b b b"]
+        combined = word_count_with_combiner().run(records)
+        plain = MapReduceJob(
+            map_fn=lambda line: ((w, 1) for w in line.split()),
+            reduce_fn=lambda w, counts: [(w, sum(counts))],
+            size_of=lambda value: 1,
+        ).run(records)
+        # Each record emits one pair per distinct word instead of per word.
+        assert combined.metrics.map_output_pairs == 4
+        assert plain.metrics.map_output_pairs == 10
+        assert (
+            combined.metrics.communication_cost < plain.metrics.communication_cost
+        )
+
+    def test_reducer_loads_shrink(self):
+        records = ["a a a a a a"]
+        combined = word_count_with_combiner().run(records)
+        assert combined.metrics.reducer_loads["a"] == 1
+
+    def test_combiner_can_keep_capacity(self):
+        # Without combining the reducer overflows q=2; with it, fits.
+        records = ["a a a", "a a a"]
+        job = word_count_with_combiner()
+        job.reducer_capacity = 2
+        result = job.run(records)
+        assert result.metrics.capacity_violations == ()
+
+    def test_combiner_emitting_multiple_values(self):
+        job = MapReduceJob(
+            map_fn=lambda n: [("k", n), ("k", n + 1)],
+            reduce_fn=lambda k, vs: [sorted(vs)],
+            combiner_fn=lambda k, vs: [min(vs), max(vs)],
+            size_of=lambda value: 1,
+        )
+        result = job.run([10])
+        assert result.outputs == [[10, 11]]
+
+
+class TestHeterogeneousWorkers:
+    def test_fast_worker_attracts_work(self):
+        # One worker 3x faster: single task goes to it.
+        result = schedule_loads([9], 2, worker_speeds=[1.0, 3.0])
+        assert result.makespan == pytest.approx(3.0)
+
+    def test_equal_speeds_match_default(self):
+        default = schedule_loads([4, 3, 3, 2, 2], 2)
+        explicit = schedule_loads([4, 3, 3, 2, 2], 2, worker_speeds=[1.0, 1.0])
+        assert default.makespan == explicit.makespan
+
+    def test_heterogeneous_balances_by_finish_time(self):
+        # Speeds 1 and 2: total 12 should split ~4 / ~8 in load terms.
+        result = schedule_loads([2] * 6, 2, worker_speeds=[1.0, 2.0])
+        # Fast worker processes twice the load in the same time.
+        assert result.makespan <= 5.0
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(InvalidInstanceError, match="entries"):
+            schedule_loads([1], 2, worker_speeds=[1.0])
+
+    def test_rejects_nonpositive_speed(self):
+        with pytest.raises(InvalidInstanceError, match="positive"):
+            schedule_loads([1], 2, worker_speeds=[1.0, 0.0])
+
+    def test_makespan_never_worse_than_slowest_homogeneous(self):
+        loads = [5, 4, 3, 2, 1]
+        hetero = schedule_loads(loads, 3, worker_speeds=[1.0, 2.0, 4.0])
+        slow = schedule_loads(loads, 3, worker_speeds=[1.0, 1.0, 1.0])
+        assert hetero.makespan <= slow.makespan

@@ -1,0 +1,77 @@
+"""Tests for workload size statistics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidInstanceError
+from repro.workloads.stats import gini_coefficient, size_stats
+from repro.workloads.distributions import sample_sizes
+
+
+class TestGini:
+    def test_equal_sizes_zero(self):
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0)
+
+    def test_single_value_zero(self):
+        assert gini_coefficient([7]) == pytest.approx(0.0)
+
+    def test_extreme_inequality_near_one(self):
+        sizes = [1] * 99 + [100_000]
+        assert gini_coefficient(sizes) > 0.9
+
+    def test_known_two_point_value(self):
+        # [1, 3]: G = (2*(1*1 + 2*3))/(2*4) - 3/2 = 14/8 - 1.5 = 0.25.
+        assert gini_coefficient([1, 3]) == pytest.approx(0.25)
+
+    def test_scale_invariant(self):
+        a = gini_coefficient([1, 2, 3, 4])
+        b = gini_coefficient([10, 20, 30, 40])
+        assert a == pytest.approx(b)
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidInstanceError):
+            gini_coefficient([])
+
+    @given(st.lists(st.integers(1, 1000), min_size=1, max_size=60))
+    def test_always_in_range(self, sizes):
+        g = gini_coefficient(sizes)
+        assert -1e-9 <= g < 1.0
+
+    def test_zipf_more_unequal_than_uniform(self):
+        zipf = sample_sizes("zipf", 400, 200, seed=1)
+        uniform = sample_sizes("uniform", 400, 200, seed=1)
+        assert gini_coefficient(zipf) > gini_coefficient(uniform)
+
+
+class TestSizeStats:
+    def test_basic_fields(self):
+        stats = size_stats([2, 4, 6], q=10)
+        assert stats.count == 3
+        assert stats.total == 12
+        assert stats.minimum == 2
+        assert stats.maximum == 6
+        assert stats.average == pytest.approx(4.0)
+
+    def test_cv_zero_for_constant(self):
+        assert size_stats([3, 3, 3], 9).cv == pytest.approx(0.0)
+
+    def test_big_fraction(self):
+        stats = size_stats([2, 6, 7], q=10)  # > 5 counts as big
+        assert stats.big_fraction == pytest.approx(2 / 3)
+
+    def test_max_per_reducer(self):
+        stats = size_stats([1, 2, 3, 4, 5], q=6)
+        assert stats.max_per_reducer == 3  # 1 + 2 + 3
+
+    def test_as_row_keys(self):
+        row = size_stats([1, 2], 4).as_row()
+        assert {"count", "gini", "cv", "big_frac", "t_max"} <= set(row)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(InvalidInstanceError):
+            size_stats([], 4)
+        with pytest.raises(InvalidInstanceError):
+            size_stats([1], 0)

@@ -1,0 +1,62 @@
+"""Integration tests: three-way similarity (multiway extension) app."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.threeway_similarity import (
+    all_triples_above,
+    run_threeway_similarity,
+    triple_jaccard,
+)
+from repro.workloads.documents import Document, generate_documents
+
+
+def small_corpus(m: int, q: int, seed: int) -> list[Document]:
+    docs = generate_documents(m, q, seed=seed, vocabulary_size=60)
+    # Clamp sizes to q // 3 so the multiway bin scheme applies.
+    clamped = []
+    for doc in docs:
+        limit = max(1, q // 3)
+        clamped.append(Document(doc.doc_id, doc.tokens[:limit]))
+    return clamped
+
+
+class TestTripleJaccard:
+    def test_identical(self):
+        d = Document(0, ("a", "b"))
+        assert triple_jaccard(d, d, d) == 1.0
+
+    def test_disjoint(self):
+        a, b, c = (Document(i, (t,)) for i, t in enumerate("xyz"))
+        assert triple_jaccard(a, b, c) == 0.0
+
+    def test_partial_overlap(self):
+        a = Document(0, ("a", "b"))
+        b = Document(1, ("a", "c"))
+        c = Document(2, ("a", "d"))
+        assert triple_jaccard(a, b, c) == pytest.approx(1 / 4)
+
+
+class TestThreeWayApp:
+    def test_matches_ground_truth(self):
+        docs = small_corpus(12, 30, seed=61)
+        run = run_threeway_similarity(docs, q=30, threshold=0.05)
+        assert run.triple_set() == all_triples_above(docs, 0.05)
+
+    def test_every_triple_exactly_once_at_zero_threshold(self):
+        docs = small_corpus(10, 24, seed=62)
+        run = run_threeway_similarity(docs, q=24, threshold=0.0)
+        m = len(docs)
+        assert len(run.triples) == m * (m - 1) * (m - 2) // 6
+
+    def test_capacity_respected(self):
+        docs = small_corpus(14, 36, seed=63)
+        run = run_threeway_similarity(docs, q=36, threshold=0.1)
+        assert run.metrics.max_reducer_load <= 36
+        assert run.metrics.capacity_violations == ()
+
+    def test_schema_valid(self):
+        docs = small_corpus(9, 24, seed=64)
+        run = run_threeway_similarity(docs, q=24, threshold=0.1)
+        assert run.schema.require_valid()

@@ -1,0 +1,88 @@
+"""Unit tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidInstanceError
+from repro.utils.validation import check_capacity, check_positive_int, check_sizes
+
+
+class TestCheckPositiveInt:
+    def test_accepts_plain_int(self):
+        assert check_positive_int(7, "x") == 7
+
+    def test_accepts_integer_valued_float(self):
+        assert check_positive_int(7.0, "x") == 7
+
+    def test_rejects_fractional_float(self):
+        with pytest.raises(InvalidInstanceError, match="integral"):
+            check_positive_int(7.5, "x")
+
+    def test_rejects_zero(self):
+        with pytest.raises(InvalidInstanceError, match="positive"):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidInstanceError, match="positive"):
+            check_positive_int(-3, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(InvalidInstanceError, match="bool"):
+            check_positive_int(True, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(InvalidInstanceError):
+            check_positive_int("four", "x")
+
+    def test_rejects_none(self):
+        with pytest.raises(InvalidInstanceError):
+            check_positive_int(None, "x")
+
+    def test_error_message_names_the_field(self):
+        with pytest.raises(InvalidInstanceError, match="capacity"):
+            check_positive_int(-1, "capacity")
+
+    def test_accepts_numpy_integer(self):
+        import numpy as np
+
+        assert check_positive_int(np.int64(5), "x") == 5
+
+
+class TestCheckSizes:
+    def test_returns_tuple(self):
+        assert check_sizes([1, 2, 3]) == (1, 2, 3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidInstanceError, match="at least one"):
+            check_sizes([])
+
+    def test_rejects_bad_element_with_index(self):
+        with pytest.raises(InvalidInstanceError, match=r"sizes\[1\]"):
+            check_sizes([1, 0, 3])
+
+    def test_accepts_generator(self):
+        assert check_sizes(iter([2, 4])) == (2, 4)
+
+    def test_custom_name_in_error(self):
+        with pytest.raises(InvalidInstanceError, match=r"x_sizes\[0\]"):
+            check_sizes([-1], "x_sizes")
+
+
+class TestCheckCapacity:
+    def test_valid_capacity(self):
+        assert check_capacity(10, (3, 4)) == 10
+
+    def test_rejects_capacity_below_largest_input(self):
+        with pytest.raises(InvalidInstanceError, match="cannot be assigned"):
+            check_capacity(5, (3, 6))
+
+    def test_capacity_equal_to_largest_input_is_ok(self):
+        assert check_capacity(6, (3, 6)) == 6
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(InvalidInstanceError):
+            check_capacity(0, ())
+
+    def test_no_sizes_just_validates_q(self):
+        assert check_capacity(1) == 1

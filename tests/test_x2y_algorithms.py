@@ -1,0 +1,173 @@
+"""Unit tests for the X2Y schemes: grids, equal-sized, big/small, greedy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.binpack import best_fit_decreasing
+from repro.core.bounds import x2y_reducer_lower_bound
+from repro.core.instance import X2YInstance
+from repro.core.x2y.big import big_small_x2y, split_big_small_x2y
+from repro.core.x2y.equal import best_group_shape, equal_sized_grid
+from repro.core.x2y.greedy import greedy_cover_x2y
+from repro.core.x2y.grid import best_split_grid, grid_with_split, half_split_grid
+from repro.exceptions import InfeasibleInstanceError, InvalidInstanceError
+
+
+class TestGridWithSplit:
+    def test_valid_schema(self, small_x2y):
+        schema = grid_with_split(small_x2y, 7)
+        assert schema.verify().valid
+
+    def test_rejects_split_below_max_x(self, small_x2y):
+        with pytest.raises(InvalidInstanceError, match="largest X"):
+            grid_with_split(small_x2y, 5)  # max x = 6
+
+    def test_rejects_split_starving_y(self, small_x2y):
+        with pytest.raises(InvalidInstanceError, match="largest Y"):
+            grid_with_split(small_x2y, 10)  # leaves 4 < 7 for Y
+
+    def test_reducer_count_is_product(self):
+        instance = X2YInstance([1] * 4, [1] * 6, 4)
+        schema = grid_with_split(instance, 2)
+        # X bins of cap 2 -> 2 bins; Y bins of cap 2 -> 3 bins -> 6 reducers.
+        assert schema.num_reducers == 6
+
+    def test_custom_packer(self, small_x2y):
+        schema = grid_with_split(small_x2y, 7, packer=best_fit_decreasing)
+        assert schema.verify().valid
+
+
+class TestHalfSplitGrid:
+    def test_valid_when_everything_small(self):
+        instance = X2YInstance([3, 4], [5, 2], 12)
+        schema = half_split_grid(instance)
+        assert schema.verify().valid
+
+    def test_fails_on_big_inputs(self, big_x2y):
+        with pytest.raises(InvalidInstanceError):
+            half_split_grid(big_x2y)
+
+
+class TestBestSplitGrid:
+    def test_valid_on_mixed(self, small_x2y):
+        schema = best_split_grid(small_x2y)
+        assert schema.verify().valid
+
+    def test_never_worse_than_half_split(self):
+        instance = X2YInstance([3, 3, 3, 3], [1, 1, 1, 1, 1, 1], 8)
+        best = best_split_grid(instance)
+        half = half_split_grid(instance)
+        assert best.num_reducers <= half.num_reducers
+
+    def test_handles_one_sided_bigs(self):
+        # Big X inputs force an asymmetric split; best_split still works.
+        instance = X2YInstance([9, 9], [1, 1, 1], 12)
+        schema = best_split_grid(instance)
+        assert schema.verify().valid
+
+    def test_raises_on_infeasible(self):
+        with pytest.raises(InfeasibleInstanceError):
+            best_split_grid(X2YInstance([8], [8], 12))
+
+    def test_within_factor_of_lower_bound(self):
+        instance = X2YInstance([2, 3, 4] * 5, [1, 2, 5] * 5, 20)
+        schema = best_split_grid(instance)
+        bound = x2y_reducer_lower_bound(instance)
+        assert schema.num_reducers <= 6 * bound + 3
+
+
+class TestBestGroupShape:
+    def test_balanced_units(self):
+        assert best_group_shape(1, 1, 10, 100, 100) == (5, 5)
+
+    def test_respects_populations(self):
+        a, b = best_group_shape(1, 1, 10, 2, 100)
+        assert a <= 2
+
+    def test_asymmetric_sizes(self):
+        a, b = best_group_shape(3, 1, 12, 100, 100)
+        assert a * 3 + b * 1 <= 12
+        assert a * b >= 8  # e.g. (2,6) or (3,3): best is (2,6)=12? check >= 8
+
+    def test_infeasible(self):
+        with pytest.raises(InfeasibleInstanceError):
+            best_group_shape(6, 7, 12, 5, 5)
+
+
+class TestEqualSizedGrid:
+    def test_valid(self):
+        instance = X2YInstance.equal_sized(10, 2, 12, 3, 12)
+        schema = equal_sized_grid(instance)
+        assert schema.verify().valid
+
+    def test_rejects_mixed(self, small_x2y):
+        with pytest.raises(InvalidInstanceError):
+            equal_sized_grid(small_x2y)
+
+    def test_count_near_bound(self):
+        instance = X2YInstance.equal_sized(20, 1, 20, 1, 10)
+        schema = equal_sized_grid(instance)
+        bound = x2y_reducer_lower_bound(instance)
+        assert schema.verify().valid
+        assert schema.num_reducers <= 3 * bound + 2
+
+
+class TestSplitBigSmallX2Y:
+    def test_partition(self, big_x2y):
+        big_x, small_x, big_y, small_y = split_big_small_x2y(big_x2y)
+        assert big_x == [0]  # 9 > 8 = 17//2
+        assert big_y == []   # 8 <= 8
+        assert len(small_x) == 2
+        assert len(small_y) == 3
+
+
+class TestBigSmallX2Y:
+    def test_valid_with_one_sided_bigs(self):
+        instance = X2YInstance([9, 2], [8, 3], 17)
+        schema = big_small_x2y(instance)
+        assert schema.verify().valid
+
+    def test_valid_no_bigs(self):
+        instance = X2YInstance([3, 4], [5, 2], 12)
+        schema = big_small_x2y(instance)
+        assert schema.verify().valid
+
+    def test_raises_on_infeasible(self):
+        with pytest.raises(InfeasibleInstanceError):
+            big_small_x2y(X2YInstance([9], [9], 17))
+
+    def test_loads_bounded(self, big_x2y):
+        schema = big_small_x2y(big_x2y)
+        assert schema.max_load <= big_x2y.q
+
+    def test_only_bigs(self):
+        instance = X2YInstance([7, 7], [5, 5], 12)
+        schema = big_small_x2y(instance)
+        assert schema.verify().valid
+        # Every reducer is a single cross pair.
+        assert schema.num_reducers == 4
+
+
+class TestGreedyX2Y:
+    def test_valid(self, small_x2y):
+        schema = greedy_cover_x2y(small_x2y)
+        assert schema.verify().valid
+
+    def test_valid_with_bigs(self, big_x2y):
+        schema = greedy_cover_x2y(big_x2y)
+        assert schema.verify().valid
+
+    def test_single_pair(self):
+        schema = greedy_cover_x2y(X2YInstance([2], [3], 6))
+        assert schema.num_reducers == 1
+
+    def test_cap(self):
+        instance = X2YInstance([3] * 5, [3] * 5, 6)
+        schema = greedy_cover_x2y(instance, max_reducers=3)
+        assert schema.num_reducers == 3
+        assert not schema.verify().valid
+
+    def test_raises_on_infeasible(self):
+        with pytest.raises(InfeasibleInstanceError):
+            greedy_cover_x2y(X2YInstance([5], [8], 12))

@@ -1,0 +1,55 @@
+"""Unit tests for the exact X2Y solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import x2y_reducer_lower_bound
+from repro.core.instance import X2YInstance
+from repro.core.x2y.big import big_small_x2y
+from repro.core.x2y.exact import solve_min_reducers_x2y
+from repro.exceptions import InfeasibleInstanceError, SolverLimitError
+
+
+class TestExactX2Y:
+    def test_single_pair(self):
+        schema = solve_min_reducers_x2y(X2YInstance([2], [3], 6))
+        assert schema.num_reducers == 1
+
+    def test_everything_in_one_reducer(self):
+        schema = solve_min_reducers_x2y(X2YInstance([1, 1], [1, 1], 4))
+        assert schema.num_reducers == 1
+        assert schema.verify().valid
+
+    def test_unit_grid_optimum(self):
+        # 3x3 unit pairs with q=2: every reducer is one cross pair -> 9.
+        schema = solve_min_reducers_x2y(X2YInstance([1] * 3, [1] * 3, 2))
+        assert schema.num_reducers == 9
+
+    def test_q4_grid_optimum(self):
+        # q=4 units: a reducer holds 2 X + 2 Y -> covers 4 pairs; 4x4=16
+        # pairs -> >= 4 reducers, and the 2x2 grid achieves exactly 4.
+        schema = solve_min_reducers_x2y(X2YInstance([1] * 4, [1] * 4, 4))
+        assert schema.verify().valid
+        assert schema.num_reducers == 4
+
+    def test_mixed_sizes_optimal(self):
+        instance = X2YInstance([2, 3], [1, 4], 7)
+        schema = solve_min_reducers_x2y(instance)
+        assert schema.verify().valid
+        assert schema.num_reducers >= x2y_reducer_lower_bound(instance)
+
+    def test_beats_or_ties_heuristic(self):
+        instance = X2YInstance([3, 2, 2], [3, 2], 7)
+        exact = solve_min_reducers_x2y(instance)
+        heuristic = big_small_x2y(instance)
+        assert exact.num_reducers <= heuristic.num_reducers
+
+    def test_node_limit(self):
+        instance = X2YInstance([1] * 5, [1] * 5, 2)
+        with pytest.raises(SolverLimitError):
+            solve_min_reducers_x2y(instance, max_nodes=4)
+
+    def test_raises_on_infeasible(self):
+        with pytest.raises(InfeasibleInstanceError):
+            solve_min_reducers_x2y(X2YInstance([5], [5], 8))
