@@ -59,7 +59,7 @@ def compute_rows() -> list[dict[str, object]]:
 @pytest.mark.benchmark(group="E10")
 def test_e10_big_input_regime(benchmark):
     rows = run_once(benchmark, compute_rows)
-    emit("E10", format_table(rows, title="E10: one-sided big inputs (X2Y)"))
+    emit("E10", format_table(rows, title="E10: one-sided big inputs (X2Y)"), rows=rows)
 
     for row in rows:
         # The general schemes always succeed and respect the bound.

@@ -52,7 +52,7 @@ def compute_rows() -> list[dict[str, object]]:
 @pytest.mark.benchmark(group="E11")
 def test_e11_packer_ablation(benchmark):
     rows = run_once(benchmark, compute_rows)
-    emit("E11", format_table(rows, title="E11: packing heuristic ablation"))
+    emit("E11", format_table(rows, title="E11: packing heuristic ablation"), rows=rows)
 
     by_name = {r["packer"]: r for r in rows}
     # Decreasing-order packers never lose to their online counterparts.

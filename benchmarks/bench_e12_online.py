@@ -52,7 +52,7 @@ def compute_rows() -> list[dict[str, object]]:
 @pytest.mark.benchmark(group="E12")
 def test_e12_online_vs_offline(benchmark):
     rows = run_once(benchmark, compute_rows)
-    emit("E12", format_table(rows, title="E12: online vs offline assignment"))
+    emit("E12", format_table(rows, title="E12: online vs offline assignment"), rows=rows)
 
     for row in rows:
         # Online can't beat hindsight...

@@ -57,7 +57,7 @@ def compute_rows() -> list[dict[str, object]]:
 @pytest.mark.benchmark(group="E13")
 def test_e13_covering_vs_pairing(benchmark):
     rows = run_once(benchmark, compute_rows)
-    emit("E13", format_table(rows, title="E13: covering designs vs plain pairing"))
+    emit("E13", format_table(rows, title="E13: covering designs vs plain pairing"), rows=rows)
 
     for row in rows:
         assert row["grouped_covering"] <= row["plain_pairing"], row

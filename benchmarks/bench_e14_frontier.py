@@ -36,7 +36,7 @@ def compute_rows() -> list[dict[str, object]]:
 @pytest.mark.benchmark(group="E14")
 def test_e14_capacity_frontier(benchmark):
     rows = run_once(benchmark, compute_rows)
-    emit("E14", format_table(rows, title=f"E14: capacity frontier ({WORKERS} workers)"))
+    emit("E14", format_table(rows, title=f"E14: capacity frontier ({WORKERS} workers)"), rows=rows)
 
     pareto = [r for r in rows if r["pareto"] == "*"]
     dominated = [r for r in rows if r["pareto"] != "*"]

@@ -52,7 +52,7 @@ def compute_rows() -> list[dict[str, object]]:
 @pytest.mark.benchmark(group="E15")
 def test_e15_multiway(benchmark):
     rows = run_once(benchmark, compute_rows)
-    emit("E15", format_table(rows, title="E15: multiway bin-combining (r-wise coverage)"))
+    emit("E15", format_table(rows, title="E15: multiway bin-combining (r-wise coverage)"), rows=rows)
     for row in rows:
         assert row["reducers"] >= row["lower_bound"]
     # The combinatorial blowup in r is the expected shape: both the

@@ -57,7 +57,7 @@ def compute_rows() -> list[dict[str, object]]:
 @pytest.mark.benchmark(group="E16")
 def test_e16_solver_scaling(benchmark):
     rows = run_once(benchmark, compute_rows)
-    emit("E16", format_table(rows, title="E16: exact vs heuristic solve time"))
+    emit("E16", format_table(rows, title="E16: exact vs heuristic solve time"), rows=rows)
 
     for row in rows:
         assert row["heuristic_reducers"] >= row["exact_reducers"]

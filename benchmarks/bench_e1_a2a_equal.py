@@ -44,7 +44,7 @@ def compute_rows() -> list[dict[str, object]]:
 @pytest.mark.benchmark(group="E1")
 def test_e1_a2a_equal_sized(benchmark):
     rows = run_once(benchmark, compute_rows)
-    emit("E1", format_table(rows, title="E1: A2A equal-sized, reducers vs lower bound"))
+    emit("E1", format_table(rows, title="E1: A2A equal-sized, reducers vs lower bound"), rows=rows)
 
     for row in rows:
         assert row["grouping"] >= row["lower_bound"]

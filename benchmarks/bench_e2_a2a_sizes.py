@@ -35,7 +35,7 @@ def compute_rows() -> list[dict[str, object]]:
 @pytest.mark.benchmark(group="E2")
 def test_e2_a2a_reducers_vs_q(benchmark):
     rows = run_once(benchmark, compute_rows)
-    emit("E2", format_table(rows, title="E2: A2A reducers vs q (zipf sizes, m=200)"))
+    emit("E2", format_table(rows, title="E2: A2A reducers vs q (zipf sizes, m=200)"), rows=rows)
 
     pairing = [r["bin_pairing"] for r in rows]
     greedy = [r["greedy"] for r in rows]

@@ -28,7 +28,7 @@ def compute_rows() -> list[dict[str, object]]:
 @pytest.mark.benchmark(group="E3")
 def test_e3_communication_vs_q(benchmark):
     rows = run_once(benchmark, compute_rows)
-    emit("E3", format_table(rows, title="E3: A2A communication cost vs q"))
+    emit("E3", format_table(rows, title="E3: A2A communication cost vs q"), rows=rows)
 
     costs = [r["comm_cost"] for r in rows]
     rates = [r["replication_rate"] for r in rows]

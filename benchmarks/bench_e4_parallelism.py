@@ -35,6 +35,7 @@ def test_e4_parallelism_vs_q(benchmark):
         format_table(
             rows, title=f"E4: makespan vs q on {WORKERS} workers (A2A, zipf sizes)"
         ),
+        rows=rows,
     )
 
     makespans = [r["makespan"] for r in rows]

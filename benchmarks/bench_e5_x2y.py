@@ -55,7 +55,7 @@ def compute_rows() -> list[dict[str, object]]:
 def test_e5_x2y_across_distributions(benchmark):
     rows = run_once(benchmark, compute_rows)
     columns = ["profile", "gini", "lower_bound", *METHODS, *(f"{m}_ratio" for m in METHODS)]
-    emit("E5", format_table(rows, columns=columns, title="E5: X2Y schemes vs lower bound"))
+    emit("E5", format_table(rows, columns=columns, title="E5: X2Y schemes vs lower bound"), rows=rows)
 
     for row in rows:
         assert row["best_split_grid"] is not None

@@ -49,7 +49,7 @@ def compute_rows() -> list[dict[str, object]]:
 @pytest.mark.benchmark(group="E6")
 def test_e6_skew_join(benchmark):
     rows = run_once(benchmark, compute_rows)
-    emit("E6", format_table(rows, title=f"E6: skew join, q={Q}, {KEYS} keys"))
+    emit("E6", format_table(rows, title=f"E6: skew join, q={Q}, {KEYS} keys"), rows=rows)
 
     # Schema-based join never exceeds capacity, at any skew.
     assert all(r["schema_max_load"] <= Q for r in rows)

@@ -52,7 +52,7 @@ def compute_rows() -> list[dict[str, object]]:
 @pytest.mark.benchmark(group="E7")
 def test_e7_similarity_join(benchmark):
     rows = run_once(benchmark, compute_rows)
-    emit("E7", format_table(rows, title="E7: similarity join, schema vs broadcast"))
+    emit("E7", format_table(rows, title="E7: similarity join, schema vs broadcast"), rows=rows)
 
     for row in rows:
         assert row["schema_violations"] == 0

@@ -40,7 +40,7 @@ def compute_rows() -> list[dict[str, object]]:
 @pytest.mark.benchmark(group="E8")
 def test_e8_approximation_ratios(benchmark):
     rows = run_once(benchmark, compute_rows)
-    emit("E8", format_table(rows, title="E8: approximation ratios vs lower bounds"))
+    emit("E8", format_table(rows, title="E8: approximation ratios vs lower bounds"), rows=rows)
 
     for row in rows:
         assert row["solved"] == TRIALS, f"{row['method']} skipped instances"

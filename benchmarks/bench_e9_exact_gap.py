@@ -71,7 +71,7 @@ def compute_rows() -> list[dict[str, object]]:
 @pytest.mark.benchmark(group="E9")
 def test_e9_exact_optimality_gap(benchmark):
     rows = run_once(benchmark, compute_rows)
-    emit("E9", format_table(rows, title="E9: heuristics vs exact optimum (small m)"))
+    emit("E9", format_table(rows, title="E9: heuristics vs exact optimum (small m)"), rows=rows)
 
     for row in rows:
         assert row["bin_pairing"] >= row["exact"], "heuristic beat the optimum?!"

@@ -1,26 +1,59 @@
 """Shared helpers for the experiment benchmarks.
 
-Every bench regenerates one reconstructed table/figure (E1-E16 in
+Every bench regenerates one reconstructed table/figure (E1-E17 in
 DESIGN.md).  The regenerated rows are printed to stdout (visible with
 ``pytest -s``) and persisted under ``benchmarks/results/<id>.txt`` so the
 artifacts survive the run; EXPERIMENTS.md records the reference outputs.
+Benches that pass their raw ``rows`` additionally get a machine-readable
+``benchmarks/results/<id>.json`` (rows plus wall time), so the performance
+trajectory can be tracked across PRs by diffing JSON instead of scraping
+tables.
 """
 
 from __future__ import annotations
 
+import json
 import sys
+import time
 from pathlib import Path
+from typing import Mapping, Sequence
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: Wall time of the most recent :func:`run_once` call, consumed by
+#: :func:`emit` when the bench does not pass an explicit ``wall_seconds``.
+LAST_WALL_SECONDS: float | None = None
 
-def emit(experiment_id: str, text: str) -> None:
-    """Print an experiment's regenerated table and persist it to disk."""
+
+def emit(
+    experiment_id: str,
+    text: str,
+    rows: Sequence[Mapping[str, object]] | None = None,
+    wall_seconds: float | None = None,
+) -> None:
+    """Print an experiment's regenerated table and persist it to disk.
+
+    When *rows* is given, also writes ``results/<id>.json`` holding the raw
+    rows plus the wall time (explicit *wall_seconds*, else the time of the
+    last :func:`run_once` call), as the machine-readable counterpart of the
+    text table.
+    """
     banner = f"\n===== {experiment_id} =====\n{text}\n"
     print(banner)
     sys.stdout.flush()
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{experiment_id.lower()}.txt").write_text(banner)
+    if rows is not None:
+        if wall_seconds is None:
+            wall_seconds = LAST_WALL_SECONDS
+        payload = {
+            "experiment": experiment_id,
+            "wall_seconds": wall_seconds,
+            "rows": [dict(row) for row in rows],
+        }
+        (RESULTS_DIR / f"{experiment_id.lower()}.json").write_text(
+            json.dumps(payload, indent=2, default=str) + "\n"
+        )
 
 
 def run_once(benchmark, fn):
@@ -28,6 +61,11 @@ def run_once(benchmark, fn):
 
     The experiments are deterministic computations, often seconds long, so
     one round is both sufficient and honest; pytest-benchmark still records
-    the wall time in its table.
+    the wall time in its table, and the measured wall time is kept in
+    :data:`LAST_WALL_SECONDS` for :func:`emit`'s JSON artifact.
     """
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+    global LAST_WALL_SECONDS
+    started = time.perf_counter()
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    LAST_WALL_SECONDS = time.perf_counter() - started
+    return result

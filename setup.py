@@ -1,8 +1,38 @@
-"""Setup shim for environments without the `wheel` package.
+"""Packaging for the ``repro`` library.
 
-`pip install -e . --no-build-isolation` falls back to `setup.py develop`
-through this shim when PEP 660 editable builds are unavailable offline.
+The version is sourced from ``src/repro/__init__.py`` (single source of
+truth) without importing the package, so ``pip install .`` works in a
+build sandbox where the package's dependencies are not yet present.
 """
-from setuptools import setup
 
-setup()
+import re
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+
+def read_version() -> str:
+    """Extract ``__version__`` from the package without importing it."""
+    text = (Path(__file__).parent / "src" / "repro" / "__init__.py").read_text()
+    match = re.search(r'^__version__ = "([^"]+)"', text, re.MULTILINE)
+    if not match:
+        raise RuntimeError("__version__ not found in src/repro/__init__.py")
+    return match.group(1)
+
+
+setup(
+    name="repro-mapping-schemas",
+    version=read_version(),
+    description=(
+        "Mapping schemas for different-sized MapReduce inputs "
+        "(Afrati et al., EDBT 2015): solvers, simulator, and a parallel "
+        "execution engine"
+    ),
+    long_description=(Path(__file__).parent / "README.md").read_text(),
+    long_description_content_type="text/markdown",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

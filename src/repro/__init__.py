@@ -31,6 +31,13 @@ from repro.core import (
     solve_x2y,
     summarize,
 )
+from repro.engine import (
+    BACKENDS,
+    EngineMetrics,
+    EngineResult,
+    ExecutionEngine,
+    execute_schema,
+)
 from repro.exceptions import (
     CapacityExceededError,
     InfeasibleInstanceError,
@@ -60,6 +67,11 @@ __all__ = [
     "MapReduceJob",
     "SimulatedCluster",
     "schedule_loads",
+    "ExecutionEngine",
+    "EngineResult",
+    "EngineMetrics",
+    "execute_schema",
+    "BACKENDS",
     "ReproError",
     "InvalidInstanceError",
     "InfeasibleInstanceError",

@@ -2,45 +2,22 @@
 
 Every application follows the same pattern: build an instance from input
 sizes, solve it into a mapping schema, replicate each input to its schema
-reducers through the simulated MapReduce job, and have each reducer emit a
-pair's output only from the pair's *canonical* meeting reducer so results
-are exact-once despite replication.
+reducers through a MapReduce executor, and have each reducer emit a pair's
+output only from the pair's *canonical* meeting reducer so results are
+exact-once despite replication.
+
+The membership/canonical-meeting helpers themselves live in
+:mod:`repro.engine.routing` (the execution engine needs them too); this
+module re-exports them so application code keeps its historical import
+path.
 """
 
 from __future__ import annotations
 
-from repro.core.schema import A2ASchema, X2YSchema
+from repro.engine.routing import (  # noqa: F401 - re-exported API
+    a2a_memberships,
+    canonical_meeting,
+    x2y_memberships,
+)
 
-
-def a2a_memberships(schema: A2ASchema) -> list[list[int]]:
-    """Per-input sorted list of reducer indices (one pass over the schema)."""
-    memberships: list[list[int]] = [[] for _ in range(schema.instance.m)]
-    for r, members in enumerate(schema.reducers):
-        for i in members:
-            memberships[i].append(r)
-    return memberships
-
-
-def x2y_memberships(schema: X2YSchema) -> tuple[list[list[int]], list[list[int]]]:
-    """Per-input reducer lists for both sides of an X2Y schema."""
-    x_memberships: list[list[int]] = [[] for _ in range(schema.instance.m)]
-    y_memberships: list[list[int]] = [[] for _ in range(schema.instance.n)]
-    for r, (x_part, y_part) in enumerate(schema.reducers):
-        for i in x_part:
-            x_memberships[i].append(r)
-        for j in y_part:
-            y_memberships[j].append(r)
-    return x_memberships, y_memberships
-
-
-def canonical_meeting(reducers_a: list[int], reducers_b: list[int]) -> int:
-    """The canonical reducer of a pair: the smallest shared reducer index.
-
-    A valid schema guarantees the intersection is non-empty; emitting a
-    pair's output only when the executing reducer equals this index makes
-    the distributed result exactly-once.
-    """
-    common = set(reducers_a) & set(reducers_b)
-    if not common:
-        raise ValueError("inputs share no reducer; schema is invalid for this pair")
-    return min(common)
+__all__ = ["a2a_memberships", "x2y_memberships", "canonical_meeting"]

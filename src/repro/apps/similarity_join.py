@@ -12,11 +12,15 @@ used by E7 to show what the schema machinery buys.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
+from typing import Iterator
 
 from repro.apps.common import a2a_memberships, canonical_meeting
 from repro.core.instance import A2AInstance
 from repro.core.schema import A2ASchema
 from repro.core.selector import solve_a2a
+from repro.engine.engine import execute_schema
+from repro.engine.metrics import EngineMetrics
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.metrics import JobMetrics
 from repro.workloads.documents import Document, jaccard
@@ -30,16 +34,42 @@ class SimilarityJoinRun:
         pairs: ``(doc_id_a, doc_id_b, similarity)`` for every pair at or
             above the threshold, each emitted exactly once.
         schema: the mapping schema used.
-        metrics: simulator metrics of the run.
+        metrics: job metrics of the run (simulator and engine agree).
+        engine: physical execution metrics when the run went through the
+            engine (``backend=`` was given); ``None`` for simulator runs.
     """
 
     pairs: tuple[tuple[int, int, float], ...]
     schema: A2ASchema
     metrics: JobMetrics
+    engine: EngineMetrics | None = None
 
     def pair_set(self) -> set[tuple[int, int]]:
         """Just the id pairs, for comparison against ground truth."""
         return {(a, b) for a, b, _ in self.pairs}
+
+
+def _similarity_reduce(
+    key,
+    values: list[tuple[int, Document]],
+    *,
+    memberships: tuple[tuple[int, ...], ...],
+    threshold: float,
+) -> Iterator[tuple[int, int, float]]:
+    """Reducer for the engine path: compare canonically-owned pairs.
+
+    Values arrive as ``(input_index, document)``; module-level (with data
+    bound through :func:`functools.partial`) so the ``processes`` backend
+    can pickle it.
+    """
+    by_position = sorted(values, key=lambda item: item[0])
+    for a_idx, (i, doc_a) in enumerate(by_position):
+        for j, doc_b in by_position[a_idx + 1 :]:
+            if canonical_meeting(memberships[i], memberships[j]) != key:
+                continue
+            similarity = jaccard(doc_a, doc_b)
+            if similarity >= threshold:
+                yield (doc_a.doc_id, doc_b.doc_id, similarity)
 
 
 def run_similarity_join(
@@ -48,6 +78,8 @@ def run_similarity_join(
     threshold: float,
     *,
     method: str = "auto",
+    backend: str | None = None,
+    num_workers: int | None = None,
 ) -> SimilarityJoinRun:
     """Run the schema-driven similarity join end to end.
 
@@ -55,9 +87,35 @@ def run_similarity_join(
     the output but positions drive the schema).  Capacity is enforced
     strictly: a correct schema never overflows, so an exception here means
     a bug, not a workload property.
+
+    With ``backend=None`` the job runs on the reference simulator; naming a
+    backend (``"serial"``, ``"threads"``, ``"processes"``) routes it
+    through :mod:`repro.engine` instead, which produces identical pairs and
+    additionally reports phase timings in ``run.engine``.
     """
     instance = A2AInstance([d.size for d in documents], q)
     schema = solve_a2a(instance, method)
+
+    if backend is not None:
+        reduce_fn = partial(
+            _similarity_reduce,
+            memberships=tuple(tuple(m) for m in a2a_memberships(schema)),
+            threshold=threshold,
+        )
+        result = execute_schema(
+            schema,
+            documents,
+            reduce_fn,
+            backend=backend,
+            num_workers=num_workers,
+        )
+        return SimilarityJoinRun(
+            pairs=tuple(result.outputs),
+            schema=schema,
+            metrics=result.metrics,
+            engine=result.engine,
+        )
+
     memberships = a2a_memberships(schema)
     position = {id(doc): i for i, doc in enumerate(documents)}
 

@@ -11,14 +11,22 @@ within ``q`` while the join output remains exactly the same.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
+from typing import Hashable, Iterator
 
 from repro.apps.common import canonical_meeting, x2y_memberships
 from repro.core.instance import X2YInstance
 from repro.core.schema import X2YSchema
 from repro.core.selector import solve_x2y
+from repro.engine.engine import ExecutionEngine
+from repro.engine.metrics import EngineMetrics
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.metrics import JobMetrics
 from repro.workloads.relations import Relation, Tuple2, heavy_hitters
+
+#: Wrapped record shipped through the executors:
+#: ``(side, position-within-key-group, join key, payload, size)``.
+SkewRecord = tuple[str, int, int, int, int]
 
 
 @dataclass(frozen=True)
@@ -27,16 +35,19 @@ class SkewJoinRun:
 
     Attributes:
         triples: the join output ``(a, b, c)`` = (X payload, key, Y payload).
-        metrics: simulator metrics.
+        metrics: job metrics (simulator and engine agree).
         heavy_keys: join keys handled by X2Y schemas (empty for the
             baseline).
         schemas: the per-heavy-key schemas, keyed by join key.
+        engine: physical execution metrics when ``backend=`` routed the run
+            through the engine; ``None`` for simulator runs.
     """
 
     triples: tuple[tuple[int, int, int], ...]
     metrics: JobMetrics
     heavy_keys: tuple[int, ...] = ()
     schemas: dict[int, X2YSchema] | None = None
+    engine: EngineMetrics | None = None
 
     def triple_set(self) -> set[tuple[int, int, int]]:
         """The output as a set for comparison against ground truth."""
@@ -85,12 +96,66 @@ def hash_join(x: Relation, y: Relation, q: int) -> SkewJoinRun:
     return SkewJoinRun(triples=tuple(result.outputs), metrics=result.metrics)
 
 
+def _skew_map(
+    record: SkewRecord,
+    *,
+    members: dict[int, tuple[tuple[tuple[int, ...], ...], tuple[tuple[int, ...], ...]]],
+    heavy: frozenset[int],
+) -> list[tuple[Hashable, SkewRecord]]:
+    """Route one wrapped tuple: hash-style for light keys, schema for heavy.
+
+    Module-level (data bound via :func:`functools.partial`) so the
+    ``processes`` backend can pickle it.
+    """
+    side, pos, key, _, _ = record
+    if key not in heavy:
+        return [(("light", key), record)]
+    plan = members.get(key)
+    if plan is None:
+        return []  # one-sided heavy key: no partner, no output
+    side_members = plan[0] if side == "x" else plan[1]
+    return [(("hh", key, r), record) for r in side_members[pos]]
+
+
+def _skew_reduce(
+    key,
+    values: list[SkewRecord],
+    *,
+    members: dict[int, tuple[tuple[tuple[int, ...], ...], tuple[tuple[int, ...], ...]]],
+) -> Iterator[tuple[int, int, int]]:
+    """Join the X and Y tuples that met at this reducer.
+
+    Heavy-key reducers emit a pair only from its canonical meeting reducer,
+    keeping the distributed output exactly-once despite replication.
+    """
+    x_records = [v for v in values if v[0] == "x"]
+    y_records = [v for v in values if v[0] == "y"]
+    if key[0] == "light":
+        for tx in x_records:
+            for ty in y_records:
+                yield (tx[3], tx[2], ty[3])
+        return
+    _, join_key, r = key
+    x_members, y_members = members[join_key]
+    for tx in x_records:
+        for ty in y_records:
+            if canonical_meeting(x_members[tx[1]], y_members[ty[1]]) == r:
+                yield (tx[3], join_key, ty[3])
+
+
+def _skew_record_size(record: SkewRecord) -> int:
+    """Assignment size of a wrapped tuple (its declared tuple size)."""
+    return record[4]
+
+
 def schema_skew_join(
     x: Relation,
     y: Relation,
     q: int,
     *,
     method: str = "auto",
+    backend: str | None = None,
+    num_workers: int | None = None,
 ) -> SkewJoinRun:
     """Skew-aware join: X2Y mapping schemas for heavy keys, hashing for light.
 
@@ -100,11 +165,15 @@ def schema_skew_join(
     solved by *method*; its reducers get composite ids ``("hh", key, r)``.
     Light keys keep the conventional per-key reducer ``("light", key)``.
     Capacity is enforced strictly: by construction nothing overflows.
+
+    With ``backend=None`` the job runs on the reference simulator; naming a
+    backend (``"serial"``, ``"threads"``, ``"processes"``) runs the same
+    map/reduce functions through :mod:`repro.engine`, producing identical
+    triples plus phase timings in ``run.engine``.
     """
     heavy = heavy_hitters(x, y, q)
-    heavy_set = set(heavy)
+    heavy_set = frozenset(heavy)
 
-    plans: dict[int, tuple[X2YSchema, list[list[int]], list[list[int]]]] = {}
     x_by_key: dict[int, list[Tuple2]] = {}
     for t in x.tuples:
         x_by_key.setdefault(t.key, []).append(t)
@@ -112,6 +181,10 @@ def schema_skew_join(
     for t in y.tuples:
         y_by_key.setdefault(t.key, []).append(t)
 
+    schemas: dict[int, X2YSchema] = {}
+    members: dict[
+        int, tuple[tuple[tuple[int, ...], ...], tuple[tuple[int, ...], ...]]
+    ] = {}
     for key in heavy:
         x_tuples = x_by_key.get(key, [])
         y_tuples = y_by_key.get(key, [])
@@ -123,55 +196,54 @@ def schema_skew_join(
             [t.size for t in x_tuples], [t.size for t in y_tuples], q
         )
         schema = solve_x2y(instance, method)
-        plans[key] = (schema, *x2y_memberships(schema))
+        schemas[key] = schema
+        x_members, y_members = x2y_memberships(schema)
+        members[key] = (
+            tuple(tuple(m) for m in x_members),
+            tuple(tuple(m) for m in y_members),
+        )
 
-    x_index = {key: {id(t): i for i, t in enumerate(ts)} for key, ts in x_by_key.items()}
-    y_index = {key: {id(t): j for j, t in enumerate(ts)} for key, ts in y_by_key.items()}
+    positions_x = {key: {id(t): i for i, t in enumerate(ts)} for key, ts in x_by_key.items()}
+    positions_y = {key: {id(t): j for j, t in enumerate(ts)} for key, ts in y_by_key.items()}
+    records: list[SkewRecord] = [
+        ("x", positions_x[t.key][id(t)], t.key, t.payload, t.size) for t in x.tuples
+    ] + [
+        ("y", positions_y[t.key][id(t)], t.key, t.payload, t.size) for t in y.tuples
+    ]
 
-    def map_fn(record: tuple[str, Tuple2]):
-        side, t = record
-        if t.key not in heavy_set:
-            yield ("light", t.key), (side, t)
-            return
-        if t.key not in plans:
-            return  # one-sided heavy key: no partner, no output
-        _, x_members, y_members = plans[t.key]
-        if side == "x":
-            for r in x_members[x_index[t.key][id(t)]]:
-                yield ("hh", t.key, r), (side, t)
-        else:
-            for r in y_members[y_index[t.key][id(t)]]:
-                yield ("hh", t.key, r), (side, t)
+    map_fn = partial(_skew_map, members=members, heavy=heavy_set)
+    reduce_fn = partial(_skew_reduce, members=members)
 
-    def reduce_fn(key, values):
-        x_tuples = [t for side, t in values if side == "x"]
-        y_tuples = [t for side, t in values if side == "y"]
-        if key[0] == "light":
-            for tx in x_tuples:
-                for ty in y_tuples:
-                    yield (tx.payload, tx.key, ty.payload)
-            return
-        _, join_key, r = key
-        _, x_members, y_members = plans[join_key]
-        for tx in x_tuples:
-            i = x_index[join_key][id(tx)]
-            for ty in y_tuples:
-                j = y_index[join_key][id(ty)]
-                if canonical_meeting(x_members[i], y_members[j]) == r:
-                    yield (tx.payload, join_key, ty.payload)
+    if backend is not None:
+        engine = ExecutionEngine(
+            map_fn=map_fn,
+            reduce_fn=reduce_fn,
+            size_of=_skew_record_size,
+            reducer_capacity=q,
+            strict_capacity=True,
+            backend=backend,
+            num_workers=num_workers,
+        )
+        result = engine.run(records)
+        return SkewJoinRun(
+            triples=tuple(result.outputs),
+            metrics=result.metrics,
+            heavy_keys=tuple(heavy),
+            schemas=schemas,
+            engine=result.engine,
+        )
 
     job = MapReduceJob(
         map_fn=map_fn,
         reduce_fn=reduce_fn,
-        size_of=lambda value: value[1].size,
+        size_of=_skew_record_size,
         reducer_capacity=q,
         strict_capacity=True,
     )
-    records = [("x", t) for t in x.tuples] + [("y", t) for t in y.tuples]
     result = job.run(records)
     return SkewJoinRun(
         triples=tuple(result.outputs),
         metrics=result.metrics,
         heavy_keys=tuple(heavy),
-        schemas={key: plan[0] for key, plan in plans.items()},
+        schemas=schemas,
     )

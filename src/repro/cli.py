@@ -8,9 +8,13 @@ Commands:
 * ``sweep --sizes ... --q-values 10,20,40`` — the reducer-count tradeoff
   table for an A2A input set.
 * ``verify --file schema.json`` — re-verify a persisted schema.
+* ``run --app skew-join --q 80 --backend processes`` — execute a
+  schema-driven application on an engine backend and print job plus
+  phase-timing metrics.
 
-Exit status is 0 on success, 1 on infeasible/invalid input, mirroring
-what a scheduler wrapping this tool would need.
+``repro --version`` prints the package version.  Exit status is 0 on
+success, 1 on infeasible/invalid input, mirroring what a scheduler
+wrapping this tool would need.
 """
 
 from __future__ import annotations
@@ -18,13 +22,26 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import __version__
 from repro import io as repro_io
 from repro.analysis.tradeoffs import sweep_a2a_reducers
 from repro.core.costs import summarize
 from repro.core.instance import A2AInstance, X2YInstance
 from repro.core.selector import A2A_METHODS, X2Y_METHODS, solve_a2a, solve_x2y
+from repro.engine.backends import BACKENDS
 from repro.exceptions import ReproError
 from repro.utils.tables import format_table
+
+
+def _positive_int(text: str) -> int:
+    """Parse a strictly positive integer argument."""
+    try:
+        value = int(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from exc
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
 
 
 def _parse_sizes(text: str) -> list[int]:
@@ -41,6 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Mapping schemas for different-sized MapReduce inputs "
         "(Afrati et al., EDBT 2015)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -68,6 +88,36 @@ def build_parser() -> argparse.ArgumentParser:
     verify = commands.add_parser("verify", help="verify a persisted schema")
     verify.add_argument("--file", required=True)
 
+    run = commands.add_parser(
+        "run", help="execute a schema-driven app on an engine backend"
+    )
+    run.add_argument(
+        "--app", required=True, choices=["similarity", "skew-join"]
+    )
+    run.add_argument("--q", type=int, required=True)
+    run.add_argument("--backend", default="serial", choices=sorted(BACKENDS))
+    run.add_argument("--num-workers", type=_positive_int, default=None)
+    run.add_argument("--method", default="auto")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--m", type=int, default=40, help="similarity: number of documents"
+    )
+    run.add_argument(
+        "--threshold", type=float, default=0.3, help="similarity: threshold"
+    )
+    run.add_argument(
+        "--profile", default="zipf", help="similarity: size distribution"
+    )
+    run.add_argument(
+        "--tuples", type=int, default=400, help="skew-join: tuples per relation"
+    )
+    run.add_argument(
+        "--keys", type=int, default=12, help="skew-join: join-key count"
+    )
+    run.add_argument(
+        "--skew", type=float, default=1.2, help="skew-join: Zipf exponent"
+    )
+
     return parser
 
 
@@ -80,6 +130,52 @@ def _print_schema(schema, as_json: bool) -> None:
     print(format_table([summarize(schema).as_row()]))
     for index, reducer in enumerate(schema.reducers):
         print(f"  reducer {index}: {reducer}")
+
+
+def _run_app(args: argparse.Namespace) -> int:
+    """Handle ``repro run``: generate a workload, execute it, print metrics."""
+    if args.app == "similarity":
+        from repro.apps.similarity_join import run_similarity_join
+        from repro.workloads.documents import generate_documents
+
+        documents = generate_documents(
+            args.m, args.q, profile=args.profile, seed=args.seed
+        )
+        run = run_similarity_join(
+            documents,
+            args.q,
+            args.threshold,
+            method=args.method,
+            backend=args.backend,
+            num_workers=args.num_workers,
+        )
+        print(f"app       : similarity join ({args.m} documents, q={args.q})")
+        print(f"schema    : {run.schema.algorithm}, {run.schema.num_reducers} reducers")
+        print(f"outputs   : {len(run.pairs)} pairs >= {args.threshold}")
+    else:
+        from repro.apps.skew_join import schema_skew_join
+        from repro.workloads.relations import generate_join_workload
+
+        x, y = generate_join_workload(
+            args.tuples, args.tuples, args.keys, args.skew, seed=args.seed
+        )
+        run = schema_skew_join(
+            x,
+            y,
+            args.q,
+            method=args.method,
+            backend=args.backend,
+            num_workers=args.num_workers,
+        )
+        print(
+            f"app       : skew join ({args.tuples}x{args.tuples} tuples, "
+            f"{args.keys} keys, skew={args.skew}, q={args.q})"
+        )
+        print(f"heavy keys: {list(run.heavy_keys)}")
+        print(f"outputs   : {len(run.triples)} triples")
+    print(format_table([run.metrics.as_row()], title="job metrics"))
+    print(format_table([run.engine.as_row()], title="engine metrics"))
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -99,6 +195,8 @@ def main(argv: list[str] | None = None) -> int:
         elif args.command == "sweep":
             rows = sweep_a2a_reducers(args.sizes, args.q_values)
             print(format_table(rows, title="A2A reducers vs q"))
+        elif args.command == "run":
+            return _run_app(args)
         elif args.command == "verify":
             with open(args.file) as handle:
                 loaded = repro_io.loads(handle.read())

@@ -18,6 +18,7 @@ from repro.core.a2a import (
 )
 from repro.core.instance import A2AInstance, X2YInstance
 from repro.core.schema import A2ASchema, X2YSchema
+from repro.exceptions import UnknownMethodError
 from repro.core.x2y import (
     best_split_grid,
     big_small_x2y,
@@ -65,7 +66,7 @@ def solve_a2a(instance: A2AInstance, method: str = "auto") -> A2ASchema:
             return big_small(instance)
         return ffd_pairing(instance)
     if method not in A2A_METHODS:
-        raise ValueError(
+        raise UnknownMethodError(
             f"unknown A2A method {method!r}; choose from "
             f"{sorted(A2A_METHODS)} or 'auto'"
         )
@@ -96,7 +97,7 @@ def solve_x2y(instance: X2YInstance, method: str = "auto") -> X2YSchema:
             return min(candidates, key=lambda s: s.num_reducers)
         return best_split_grid(instance)
     if method not in X2Y_METHODS:
-        raise ValueError(
+        raise UnknownMethodError(
             f"unknown X2Y method {method!r}; choose from "
             f"{sorted(X2Y_METHODS)} or 'auto'"
         )

@@ -1,0 +1,69 @@
+"""Parallel execution engine: run mapping schemas on pluggable backends.
+
+This package turns a solved :class:`~repro.core.schema.A2ASchema` or
+:class:`~repro.core.schema.X2YSchema` into an actually-executed MapReduce
+job: records are replicated to exactly the reducers the schema assigns
+their input to, the shuffle hash-partitions reduce keys into batched tasks,
+and the phases run on a pluggable backend (``serial``, ``threads``,
+``processes``).  The serial backend is validated to be byte-identical to
+the reference simulator (:mod:`repro.mapreduce`); the parallel backends
+translate schema quality into wall-clock speedups.
+
+Quickstart::
+
+    from repro import A2AInstance, solve_a2a
+    from repro.engine import execute_schema
+
+    instance = A2AInstance(sizes=[3, 5, 2, 7, 4], q=12)
+    schema = solve_a2a(instance).require_valid()
+    records = ["payload-%d" % i for i in range(instance.m)]
+
+    def reduce_fn(reducer, values):   # values are (input_index, record)
+        yield reducer, sorted(i for i, _ in values)
+
+    result = execute_schema(schema, records, reduce_fn, backend="threads")
+    print(result.outputs, result.engine.as_row())
+"""
+
+from repro.engine.backends import (
+    BACKENDS,
+    Backend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_workers,
+    get_backend,
+)
+from repro.engine.crossval import (
+    CrossValidationReport,
+    compare_results,
+    validate_against_simulator,
+)
+from repro.engine.engine import EngineResult, ExecutionEngine, execute_schema
+from repro.engine.metrics import EngineMetrics, PhaseTimings
+from repro.engine.routing import (
+    a2a_memberships,
+    canonical_meeting,
+    x2y_memberships,
+)
+
+__all__ = [
+    "ExecutionEngine",
+    "EngineResult",
+    "execute_schema",
+    "Backend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "BACKENDS",
+    "get_backend",
+    "available_workers",
+    "EngineMetrics",
+    "PhaseTimings",
+    "CrossValidationReport",
+    "compare_results",
+    "validate_against_simulator",
+    "a2a_memberships",
+    "x2y_memberships",
+    "canonical_meeting",
+]

@@ -1,0 +1,104 @@
+"""Cross-validation of the engine against the reference simulator.
+
+The simulator (:class:`repro.mapreduce.job.MapReduceJob`) is the ground
+truth for the paper's metrics; the engine must agree with it exactly — same
+outputs in the same order, same :class:`~repro.mapreduce.metrics.JobMetrics`
+— before its parallel backends mean anything.  This module runs both
+executors on identical inputs and diffs every observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Sequence
+
+from repro.core.schema import A2ASchema, X2YSchema
+from repro.engine.backends import Backend
+from repro.engine.engine import EngineResult, execute_schema
+from repro.engine.routing import build_schema_plan
+from repro.mapreduce.job import JobResult, MapReduceJob
+from repro.mapreduce.metrics import JobMetrics
+from repro.mapreduce.types import ReduceFn
+
+
+@dataclass(frozen=True)
+class CrossValidationReport:
+    """Diff between an engine run and a simulator run on the same inputs."""
+
+    outputs_match: bool
+    metrics_match: bool
+    mismatches: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """True when outputs and every metric field agree exactly."""
+        return self.outputs_match and self.metrics_match
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        if self.ok:
+            return "engine == simulator (outputs and metrics identical)"
+        return "engine != simulator: " + "; ".join(self.mismatches)
+
+
+def compare_results(
+    engine_result: EngineResult, job_result: JobResult
+) -> CrossValidationReport:
+    """Diff outputs (order-sensitive) and every :class:`JobMetrics` field."""
+    mismatches: list[str] = []
+    outputs_match = engine_result.outputs == job_result.outputs
+    if not outputs_match:
+        mismatches.append(
+            f"outputs differ ({len(engine_result.outputs)} engine vs "
+            f"{len(job_result.outputs)} simulator records)"
+        )
+    metrics_match = True
+    for spec in fields(JobMetrics):
+        mine = getattr(engine_result.metrics, spec.name)
+        theirs = getattr(job_result.metrics, spec.name)
+        if mine != theirs:
+            metrics_match = False
+            mismatches.append(f"metrics.{spec.name}: {mine!r} != {theirs!r}")
+    return CrossValidationReport(
+        outputs_match=outputs_match,
+        metrics_match=metrics_match,
+        mismatches=tuple(mismatches),
+    )
+
+
+def validate_against_simulator(
+    schema: A2ASchema | X2YSchema,
+    records: Sequence[Any] | tuple[Sequence[Any], Sequence[Any]],
+    reduce_fn: ReduceFn,
+    *,
+    combiner_fn: ReduceFn | None = None,
+    backend: str | Backend = "serial",
+    num_workers: int | None = None,
+) -> tuple[EngineResult, JobResult, CrossValidationReport]:
+    """Run a schema-driven job on both executors and diff the results.
+
+    The simulator is fed the *same* wrapped records and the same routing
+    map function the engine uses (both come from
+    :func:`repro.engine.routing.build_schema_plan`), so any disagreement is
+    an executor bug rather than an encoding difference.
+    """
+    engine_result = execute_schema(
+        schema,
+        records,
+        reduce_fn,
+        combiner_fn=combiner_fn,
+        backend=backend,
+        num_workers=num_workers,
+    )
+
+    map_fn, size_of, wrapped = build_schema_plan(schema, records)
+    job = MapReduceJob(
+        map_fn=map_fn,
+        reduce_fn=reduce_fn,
+        combiner_fn=combiner_fn,
+        size_of=size_of,
+        reducer_capacity=schema.instance.q,
+        strict_capacity=True,
+    )
+    job_result = job.run(wrapped)
+    return engine_result, job_result, compare_results(engine_result, job_result)

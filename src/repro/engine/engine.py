@@ -1,0 +1,271 @@
+"""The execution engine: parallel map/shuffle/reduce over pluggable backends.
+
+Where :class:`repro.mapreduce.job.MapReduceJob` *simulates* a job to define
+the paper's metrics, the engine *executes* the same model as physical tasks:
+records are chunked into map tasks, the shuffle hash-partitions reduce keys
+into batched reduce tasks, and both phases run on a
+:class:`repro.engine.backends.Backend`.  The serial backend is
+semantically identical to the simulator — same outputs in the same order,
+same :class:`~repro.mapreduce.metrics.JobMetrics` — which is what the
+cross-validation in :mod:`repro.engine.crossval` checks.
+
+:func:`execute_schema` is the schema-driven entry point: it takes a solved
+:class:`~repro.core.schema.A2ASchema` or :class:`~repro.core.schema.X2YSchema`
+plus per-input records and replicates each record to exactly the reducers
+the schema assigns its input to.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Sequence
+
+from repro.core.schema import A2ASchema, X2YSchema
+from repro.engine.backends import Backend, SerialBackend, get_backend
+from repro.engine.metrics import EngineMetrics, PhaseTimings
+from repro.engine.routing import build_schema_plan
+from repro.exceptions import CapacityExceededError
+from repro.mapreduce.metrics import JobMetrics
+from repro.mapreduce.shuffle import (
+    group_pairs,
+    hash_partition,
+    map_record,
+    ordered_keys,
+)
+from repro.mapreduce.types import MapFn, ReduceFn, SizeFn, default_size
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """Outputs plus metrics of one engine run.
+
+    ``metrics`` carries the paper's analytical quantities (identical to the
+    simulator's on the same inputs); ``engine`` carries the physical
+    execution facts (phase timings, task counts, backend).
+    """
+
+    outputs: list
+    metrics: JobMetrics
+    engine: EngineMetrics
+
+
+def _run_map_task(
+    task: tuple[list[Any], MapFn, ReduceFn | None],
+) -> list[tuple[Hashable, Any]]:
+    """One map task: map (and combine) a chunk of records into pairs.
+
+    Module-level so process-pool workers can unpickle it; the map function
+    travels inside the task payload.
+    """
+    chunk, map_fn, combiner_fn = task
+    pairs: list[tuple[Hashable, Any]] = []
+    for record in chunk:
+        pairs.extend(map_record(record, map_fn, combiner_fn))
+    return pairs
+
+
+def _run_reduce_task(
+    task: tuple[list[tuple[Hashable, list[Any]]], ReduceFn],
+) -> list[tuple[Hashable, list[Any]]]:
+    """One reduce task: reduce a batch of keys, returning per-key outputs.
+
+    Per-key outputs (rather than a flat list) let the parent reassemble the
+    global output in sorted-key order regardless of how keys were batched.
+    """
+    items, reduce_fn = task
+    return [(key, list(reduce_fn(key, values))) for key, values in items]
+
+
+def _chunk(records: list[Any], chunk_size: int) -> list[list[Any]]:
+    """Split records into consecutive chunks of at most *chunk_size*."""
+    return [
+        records[start : start + chunk_size]
+        for start in range(0, len(records), chunk_size)
+    ]
+
+
+@dataclass
+class ExecutionEngine:
+    """Runs a MapReduce job as parallel tasks on a pluggable backend.
+
+    Attributes:
+        map_fn: record -> iterable of (key, value); must be picklable for
+            the ``processes`` backend (module-level function or a
+            :func:`functools.partial` over one).
+        reduce_fn: (key, values) -> iterable of outputs; same picklability
+            caveat.
+        combiner_fn: optional mapper-side combiner, applied per record.
+        size_of: value-size function for capacity/communication accounting.
+        reducer_capacity: the paper's ``q``; checked per key, exactly like
+            the simulator.
+        strict_capacity: raise on overflow (True) or record violations.
+        backend: backend name from :data:`repro.engine.backends.BACKENDS`
+            or a pre-built :class:`Backend` instance.
+        num_workers: worker-pool size (defaults to the machine's cores).
+        map_chunk_size: records per map task (default: spread records over
+            roughly four tasks per worker).
+        reduce_batch_size: keys per reduce task (default: roughly four
+            tasks per worker) — the "chunked task batches" knob.
+    """
+
+    map_fn: MapFn
+    reduce_fn: ReduceFn
+    combiner_fn: ReduceFn | None = None
+    size_of: SizeFn = default_size
+    reducer_capacity: int | None = None
+    strict_capacity: bool = True
+    backend: str | Backend = "serial"
+    num_workers: int | None = None
+    map_chunk_size: int | None = None
+    reduce_batch_size: int | None = None
+
+    def run(self, records: Iterable[Any]) -> EngineResult:
+        """Execute the job end-to-end and return outputs plus metrics."""
+        backend = get_backend(self.backend, max_workers=self.num_workers)
+        materialized = list(records)
+
+        # --- map phase: chunk records into tasks, run on the backend.
+        map_started = time.perf_counter()
+        chunk_size = self.map_chunk_size or self._default_batch(
+            len(materialized), backend
+        )
+        chunks = _chunk(materialized, chunk_size) if materialized else []
+        map_tasks = [(chunk, self.map_fn, self.combiner_fn) for chunk in chunks]
+        pair_lists = backend.run_tasks(_run_map_task, map_tasks)
+        map_seconds = time.perf_counter() - map_started
+
+        # --- shuffle: merge in task order (= record order), group by key,
+        # account sizes, and enforce the capacity exactly as the simulator
+        # does: per key, in sorted-key order.
+        shuffle_started = time.perf_counter()
+        groups: dict[Hashable, list[Any]] = {}
+        map_pairs = 0
+        comm = 0
+        for pairs in pair_lists:
+            map_pairs += len(pairs)
+            comm += sum(self.size_of(value) for _, value in pairs)
+            group_pairs(pairs, groups)
+
+        keys = ordered_keys(groups)
+        loads: dict[Hashable, int] = {}
+        violations: list[Hashable] = []
+        for key in keys:
+            load = sum(self.size_of(v) for v in groups[key])
+            loads[key] = load
+            if self.reducer_capacity is not None and load > self.reducer_capacity:
+                if self.strict_capacity:
+                    raise CapacityExceededError(
+                        f"reducer for key {key!r} received load {load} "
+                        f"> capacity {self.reducer_capacity}",
+                        key=key,
+                        load=load,
+                        capacity=self.reducer_capacity,
+                    )
+                violations.append(key)
+
+        batch_size = self.reduce_batch_size or self._default_batch(
+            len(keys), backend
+        )
+        num_partitions = max(1, -(-len(keys) // batch_size)) if keys else 0
+        partitions = [
+            bucket
+            for bucket in hash_partition(keys, num_partitions or 1)
+            if bucket
+        ]
+        reduce_tasks = [
+            ([(key, groups[key]) for key in bucket], self.reduce_fn)
+            for bucket in partitions
+        ]
+        task_loads = tuple(
+            sum(loads[key] for key in bucket) for bucket in partitions
+        )
+        shuffle_seconds = time.perf_counter() - shuffle_started
+
+        # --- reduce phase: run the batches, then reassemble outputs in
+        # sorted-key order so results are byte-identical to the simulator.
+        reduce_started = time.perf_counter()
+        task_results = backend.run_tasks(_run_reduce_task, reduce_tasks)
+        outputs_by_key: dict[Hashable, list[Any]] = {}
+        for result in task_results:
+            for key, outs in result:
+                outputs_by_key[key] = outs
+        outputs = [out for key in keys for out in outputs_by_key[key]]
+        reduce_seconds = time.perf_counter() - reduce_started
+
+        metrics = JobMetrics(
+            map_input_records=len(materialized),
+            map_output_pairs=map_pairs,
+            communication_cost=comm,
+            num_reducers=len(groups),
+            reducer_loads=loads,
+            max_reducer_load=max(loads.values(), default=0),
+            capacity=self.reducer_capacity,
+            capacity_violations=tuple(violations),
+            output_records=len(outputs),
+        )
+        engine_metrics = EngineMetrics(
+            backend=backend.name,
+            num_workers=backend.max_workers,
+            num_map_tasks=len(map_tasks),
+            num_reduce_tasks=len(reduce_tasks),
+            timings=PhaseTimings(
+                map_seconds=map_seconds,
+                shuffle_seconds=shuffle_seconds,
+                reduce_seconds=reduce_seconds,
+            ),
+            bytes_moved=comm,
+            task_loads=task_loads,
+            capacity=self.reducer_capacity,
+        )
+        return EngineResult(
+            outputs=outputs, metrics=metrics, engine=engine_metrics
+        )
+
+    @staticmethod
+    def _default_batch(num_items: int, backend: Backend) -> int:
+        """Default batch size: about four tasks per worker, at least 1."""
+        if num_items <= 0:
+            return 1
+        if isinstance(backend, SerialBackend):
+            return num_items
+        return max(1, -(-num_items // (backend.max_workers * 4)))
+
+
+def execute_schema(
+    schema: A2ASchema | X2YSchema,
+    records: Sequence[Any] | tuple[Sequence[Any], Sequence[Any]],
+    reduce_fn: ReduceFn,
+    *,
+    combiner_fn: ReduceFn | None = None,
+    backend: str | Backend = "serial",
+    num_workers: int | None = None,
+    strict_capacity: bool = True,
+    map_chunk_size: int | None = None,
+    reduce_batch_size: int | None = None,
+) -> EngineResult:
+    """Execute a solved mapping schema over per-input records.
+
+    For an :class:`A2ASchema`, *records* is a sequence aligned with the
+    instance's inputs (record ``i`` has size ``sizes[i]``); reducers receive
+    values wrapped as ``(i, record)``.  For an :class:`X2YSchema`, *records*
+    is a ``(x_records, y_records)`` pair and values arrive as
+    ``(side, i, record)``.  Each record is replicated to exactly the
+    reducers the schema assigns its input to; reduce keys are the schema's
+    reducer indices; capacity ``q`` is enforced with the instance's declared
+    sizes, so a valid schema can never overflow.
+    """
+    map_fn, size_of, wrapped = build_schema_plan(schema, records)
+    engine = ExecutionEngine(
+        map_fn=map_fn,
+        reduce_fn=reduce_fn,
+        combiner_fn=combiner_fn,
+        size_of=size_of,
+        reducer_capacity=schema.instance.q,
+        strict_capacity=strict_capacity,
+        backend=backend,
+        num_workers=num_workers,
+        map_chunk_size=map_chunk_size,
+        reduce_batch_size=reduce_batch_size,
+    )
+    return engine.run(wrapped)

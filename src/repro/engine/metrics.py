@@ -1,0 +1,85 @@
+"""Execution-side metrics: phase wall times and task-level loads.
+
+The simulator's :class:`repro.mapreduce.metrics.JobMetrics` measures the
+paper's *analytical* quantities (communication cost, reducer loads vs the
+capacity ``q``).  The engine additionally measures *execution* quantities —
+how long each phase actually took on a backend, how many physical tasks ran,
+and how loaded each reduce task was — so schema quality can be read off as
+wall-clock speedups rather than only cost numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PhaseTimings:
+    """Wall-clock seconds spent in each phase of one engine run."""
+
+    map_seconds: float = 0.0
+    shuffle_seconds: float = 0.0
+    reduce_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of all phase times (the engine's end-to-end wall time)."""
+        return self.map_seconds + self.shuffle_seconds + self.reduce_seconds
+
+
+@dataclass(frozen=True)
+class EngineMetrics:
+    """Physical execution facts for one engine run.
+
+    Attributes:
+        backend: name of the backend that ran the job.
+        num_workers: worker-pool size the backend was configured with
+            (1 for the serial backend).
+        num_map_tasks: map tasks (record chunks) dispatched.
+        num_reduce_tasks: reduce tasks (hash partitions of keys) dispatched.
+        timings: per-phase wall times.
+        bytes_moved: total value size shipped through the shuffle, in the
+            same size units the schema counts — equal to the job's
+            communication cost by construction.
+        task_loads: total value size per reduce *task* (a task batches one
+            hash partition of keys, so its load is the sum of its keys'
+            reducer loads).
+        capacity: the reducer capacity ``q`` the job enforced, if any.
+    """
+
+    backend: str
+    num_workers: int
+    num_map_tasks: int
+    num_reduce_tasks: int
+    timings: PhaseTimings
+    bytes_moved: int
+    task_loads: tuple[int, ...]
+    capacity: int | None = None
+
+    @property
+    def max_task_load(self) -> int:
+        """Largest reduce-task load (bounds reduce-phase stragglers)."""
+        return max(self.task_loads, default=0)
+
+    @property
+    def load_per_capacity(self) -> float:
+        """Max task load / q — how far the heaviest task is above one
+        reducer's worth of work (0.0 when no capacity was set)."""
+        if not self.capacity:
+            return 0.0
+        return self.max_task_load / self.capacity
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dict for table rendering."""
+        return {
+            "backend": self.backend,
+            "workers": self.num_workers,
+            "map_tasks": self.num_map_tasks,
+            "reduce_tasks": self.num_reduce_tasks,
+            "map_s": round(self.timings.map_seconds, 4),
+            "shuffle_s": round(self.timings.shuffle_seconds, 4),
+            "reduce_s": round(self.timings.reduce_seconds, 4),
+            "total_s": round(self.timings.total_seconds, 4),
+            "bytes_moved": self.bytes_moved,
+            "max_task_load": self.max_task_load,
+        }

@@ -1,0 +1,153 @@
+"""Schema-driven routing: from a solved schema to per-record reducer fan-out.
+
+The engine's contract with the paper is that a record of input *i* is
+replicated to *exactly* the reducers the mapping schema assigns *i* to.
+This module turns a schema into the data structures that implement that —
+per-input membership lists — and provides the picklable map/size functions
+the engine uses, so schema-driven jobs run unchanged on the ``processes``
+backend (closures would not survive pickling).
+
+Records routed by these helpers are wrapped with their input index:
+``(i, record)`` for A2A, ``(side, i, record)`` with ``side in {"x", "y"}``
+for X2Y.  Reduce functions receive those wrapped values and can recover
+exactly-once semantics through :func:`canonical_meeting`.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Any, Callable, Hashable, Iterable, Sequence
+
+from repro.core.schema import A2ASchema, X2YSchema
+from repro.exceptions import InvalidInstanceError
+
+
+def a2a_memberships(schema: A2ASchema) -> list[list[int]]:
+    """Per-input sorted list of reducer indices (one pass over the schema)."""
+    memberships: list[list[int]] = [[] for _ in range(schema.instance.m)]
+    for r, members in enumerate(schema.reducers):
+        for i in members:
+            memberships[i].append(r)
+    return memberships
+
+
+def x2y_memberships(schema: X2YSchema) -> tuple[list[list[int]], list[list[int]]]:
+    """Per-input reducer lists for both sides of an X2Y schema."""
+    x_memberships: list[list[int]] = [[] for _ in range(schema.instance.m)]
+    y_memberships: list[list[int]] = [[] for _ in range(schema.instance.n)]
+    for r, (x_part, y_part) in enumerate(schema.reducers):
+        for i in x_part:
+            x_memberships[i].append(r)
+        for j in y_part:
+            y_memberships[j].append(r)
+    return x_memberships, y_memberships
+
+
+def canonical_meeting(
+    reducers_a: Iterable[int], reducers_b: Iterable[int]
+) -> int:
+    """The canonical reducer of a pair: the smallest shared reducer index.
+
+    A valid schema guarantees the intersection is non-empty; emitting a
+    pair's output only when the executing reducer equals this index makes
+    the distributed result exactly-once despite replication.
+    """
+    common = set(reducers_a) & set(reducers_b)
+    if not common:
+        raise ValueError("inputs share no reducer; schema is invalid for this pair")
+    return min(common)
+
+
+def route_a2a(
+    record: tuple[int, Any], memberships: tuple[tuple[int, ...], ...]
+) -> list[tuple[Hashable, Any]]:
+    """Map function for A2A schemas: replicate ``(i, payload)`` to every
+    reducer input *i* belongs to.  Module-level, hence picklable under
+    :func:`functools.partial`."""
+    index, _ = record
+    return [(r, record) for r in memberships[index]]
+
+
+def route_x2y(
+    record: tuple[str, int, Any],
+    x_memberships: tuple[tuple[int, ...], ...],
+    y_memberships: tuple[tuple[int, ...], ...],
+) -> list[tuple[Hashable, Any]]:
+    """Map function for X2Y schemas: route ``(side, i, payload)`` by its
+    side's membership list."""
+    side, index, _ = record
+    members = x_memberships if side == "x" else y_memberships
+    return [(r, record) for r in members[index]]
+
+
+def indexed_size(record: tuple[int, Any], sizes: tuple[int, ...]) -> int:
+    """Size function for A2A-wrapped records: the instance size of input i.
+
+    Using the instance's declared sizes (not a measurement of the payload)
+    keeps the engine's capacity accounting identical to the schema's.
+    """
+    return sizes[record[0]]
+
+
+def tagged_size(
+    record: tuple[str, int, Any],
+    x_sizes: tuple[int, ...],
+    y_sizes: tuple[int, ...],
+) -> int:
+    """Size function for X2Y-wrapped records: the side's instance size."""
+    side, index, _ = record
+    return (x_sizes if side == "x" else y_sizes)[index]
+
+
+def build_schema_plan(
+    schema: A2ASchema | X2YSchema,
+    records: Sequence[Any] | tuple[Sequence[Any], Sequence[Any]],
+) -> tuple[Callable, Callable, list[Any]]:
+    """Turn a schema plus per-input records into ``(map_fn, size_of, wrapped)``.
+
+    This is the single source of the schema-to-execution encoding: both the
+    engine (:func:`repro.engine.engine.execute_schema`) and the simulator
+    side of cross-validation (:mod:`repro.engine.crossval`) build their jobs
+    from it, so the two executors cannot drift in how records are wrapped,
+    routed, or sized.  Validates record counts against the instance.
+    """
+    if isinstance(schema, A2ASchema):
+        if len(records) != schema.instance.m:
+            raise InvalidInstanceError(
+                f"schema expects {schema.instance.m} records, got {len(records)}"
+            )
+        memberships = tuple(tuple(m) for m in a2a_memberships(schema))
+        map_fn = partial(route_a2a, memberships=memberships)
+        size_of = partial(indexed_size, sizes=schema.instance.sizes)
+        wrapped: list[Any] = list(enumerate(records))
+        return map_fn, size_of, wrapped
+    if isinstance(schema, X2YSchema):
+        try:
+            x_records, y_records = records
+        except (TypeError, ValueError) as exc:
+            raise InvalidInstanceError(
+                "X2Y execution takes records as an (x_records, y_records) pair"
+            ) from exc
+        if len(x_records) != schema.instance.m or len(y_records) != schema.instance.n:
+            raise InvalidInstanceError(
+                f"schema expects {schema.instance.m} X records and "
+                f"{schema.instance.n} Y records, got "
+                f"{len(x_records)} and {len(y_records)}"
+            )
+        x_members, y_members = x2y_memberships(schema)
+        map_fn = partial(
+            route_x2y,
+            x_memberships=tuple(tuple(m) for m in x_members),
+            y_memberships=tuple(tuple(m) for m in y_members),
+        )
+        size_of = partial(
+            tagged_size,
+            x_sizes=schema.instance.x_sizes,
+            y_sizes=schema.instance.y_sizes,
+        )
+        wrapped = [("x", i, record) for i, record in enumerate(x_records)]
+        wrapped += [("y", j, record) for j, record in enumerate(y_records)]
+        return map_fn, size_of, wrapped
+    raise TypeError(
+        f"expected an A2ASchema or X2YSchema, got {type(schema).__name__}"
+    )

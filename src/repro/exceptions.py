@@ -66,3 +66,13 @@ class CapacityExceededError(ReproError):
 
 class SolverLimitError(ReproError):
     """An exact solver exceeded its configured node or size budget."""
+
+
+class UnknownMethodError(ReproError, ValueError):
+    """A method name does not exist in the algorithm registry.
+
+    Subclasses ``ValueError`` for backwards compatibility with callers that
+    catch the historical exception type, while also being a
+    :class:`ReproError` so front-ends (the CLI) can report it as user error
+    without a blanket ``ValueError`` catch that would mask library bugs.
+    """

@@ -2,6 +2,13 @@
 
 from repro.mapreduce.types import MapFn, ReduceFn, SizeFn, default_size
 from repro.mapreduce.metrics import JobMetrics
+from repro.mapreduce.shuffle import (
+    group_pairs,
+    hash_partition,
+    map_record,
+    ordered_keys,
+    stable_hash,
+)
 from repro.mapreduce.job import JobResult, MapReduceJob
 from repro.mapreduce.cluster import ScheduleResult, SimulatedCluster, schedule_loads
 
@@ -16,4 +23,9 @@ __all__ = [
     "ScheduleResult",
     "SimulatedCluster",
     "schedule_loads",
+    "map_record",
+    "group_pairs",
+    "ordered_keys",
+    "hash_partition",
+    "stable_hash",
 ]

@@ -13,6 +13,7 @@ from typing import Any, Hashable, Iterable
 
 from repro.exceptions import CapacityExceededError
 from repro.mapreduce.metrics import JobMetrics
+from repro.mapreduce.shuffle import group_pairs, map_record, ordered_keys
 from repro.mapreduce.types import MapFn, ReduceFn, SizeFn, default_size
 
 
@@ -73,20 +74,10 @@ class MapReduceJob:
         comm = 0
         for record in records:
             map_inputs += 1
-            emitted: list[tuple[Hashable, Any]] = list(self.map_fn(record))
-            if self.combiner_fn is not None:
-                local: dict[Hashable, list[Any]] = {}
-                for key, value in emitted:
-                    local.setdefault(key, []).append(value)
-                emitted = [
-                    (key, combined)
-                    for key, values in local.items()
-                    for combined in self.combiner_fn(key, values)
-                ]
-            for key, value in emitted:
-                map_pairs += 1
-                comm += self.size_of(value)
-                groups.setdefault(key, []).append(value)
+            emitted = map_record(record, self.map_fn, self.combiner_fn)
+            map_pairs += len(emitted)
+            comm += sum(self.size_of(value) for _, value in emitted)
+            group_pairs(emitted, groups)
         return groups, map_inputs, map_pairs, comm
 
     def _reduce(
@@ -97,15 +88,10 @@ class MapReduceJob:
         comm: int,
     ) -> JobResult:
         """Run every reducer, enforcing the capacity if configured."""
-        try:
-            ordered_keys = sorted(groups)
-        except TypeError:
-            ordered_keys = list(groups)
-
         outputs: list[Any] = []
         loads: dict[Hashable, int] = {}
         violations: list[Hashable] = []
-        for key in ordered_keys:
+        for key in ordered_keys(groups):
             values = groups[key]
             load = sum(self.size_of(v) for v in values)
             loads[key] = load

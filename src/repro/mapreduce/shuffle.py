@@ -1,0 +1,101 @@
+"""Shared map/shuffle primitives for the simulator and the execution engine.
+
+Both :class:`repro.mapreduce.job.MapReduceJob` (the in-process reference
+simulator) and :mod:`repro.engine` (the parallel execution engine) implement
+the same abstract model: mappers emit key-value pairs, an optional combiner
+folds each mapper's emissions, and the shuffle groups values by key.  These
+helpers hold that logic in one place so the two executors cannot drift.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Hashable, Iterable
+
+from repro.exceptions import InvalidInstanceError
+from repro.mapreduce.types import MapFn, ReduceFn
+
+
+def map_record(
+    record: Any,
+    map_fn: MapFn,
+    combiner_fn: ReduceFn | None = None,
+) -> list[tuple[Hashable, Any]]:
+    """Apply the map function (plus optional combiner) to one record.
+
+    Each record plays the role of one mapper, so the combiner sees exactly
+    the emissions of that record, grouped by key, before the shuffle — this
+    is what makes combining reduce the shuffled volume.
+    """
+    emitted: list[tuple[Hashable, Any]] = list(map_fn(record))
+    if combiner_fn is None:
+        return emitted
+    local: dict[Hashable, list[Any]] = {}
+    for key, value in emitted:
+        local.setdefault(key, []).append(value)
+    return [
+        (key, combined)
+        for key, values in local.items()
+        for combined in combiner_fn(key, values)
+    ]
+
+
+def group_pairs(
+    pairs: Iterable[tuple[Hashable, Any]],
+    groups: dict[Hashable, list[Any]] | None = None,
+) -> dict[Hashable, list[Any]]:
+    """Shuffle: append ``(key, value)`` pairs into per-key value lists.
+
+    Passing an existing *groups* dict accumulates across calls (the engine
+    merges one map task's output at a time); values keep arrival order so
+    grouping is deterministic for a fixed record order.
+    """
+    if groups is None:
+        groups = {}
+    for key, value in pairs:
+        groups.setdefault(key, []).append(value)
+    return groups
+
+
+def ordered_keys(groups: dict[Hashable, Any]) -> list[Hashable]:
+    """Keys in sorted order when orderable, else insertion order.
+
+    Both executors reduce keys in this order, which is what makes their
+    outputs byte-identical for the same inputs.
+    """
+    try:
+        return sorted(groups)
+    except TypeError:
+        return list(groups)
+
+
+def stable_hash(key: Hashable) -> int:
+    """A hash that is stable across interpreter runs.
+
+    The builtin ``hash()`` is salted per process for strings (and tuples
+    containing them), which would make the engine's partitioning — and with
+    it the per-task load metrics written to benchmark artifacts —
+    nondeterministic between identical runs.  CRC32 over the key's ``repr``
+    is stable for the value-like keys jobs use (ints, strings, tuples).
+    """
+    return zlib.crc32(repr(key).encode("utf-8", "backslashreplace"))
+
+
+def hash_partition(
+    keys: Iterable[Hashable], num_partitions: int
+) -> list[list[Hashable]]:
+    """Assign each key to one of *num_partitions* buckets by stable hash.
+
+    The relative order of keys within a bucket follows the input order, so
+    partitioning a sorted key list yields sorted buckets.  This is the
+    engine's shuffle partitioner: one bucket becomes one reduce task, and
+    :func:`stable_hash` makes the assignment reproducible across runs.
+    """
+    if num_partitions <= 0:
+        raise InvalidInstanceError(
+            f"num_partitions must be positive, got {num_partitions}"
+        )
+    buckets: list[list[Hashable]] = [[] for _ in range(num_partitions)]
+    for key in keys:
+        buckets[stable_hash(key) % num_partitions].append(key)
+    return buckets

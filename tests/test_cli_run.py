@@ -1,0 +1,121 @@
+"""Tests for the ``repro run`` subcommand and the ``--version`` flag."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.cli import build_parser, main
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {repro.__version__}" in capsys.readouterr().out
+
+
+class TestRunSubcommand:
+    def test_parser_accepts_run(self):
+        args = build_parser().parse_args(
+            ["run", "--app", "similarity", "--q", "40", "--backend", "threads"]
+        )
+        assert args.command == "run"
+        assert args.app == "similarity"
+        assert args.backend == "threads"
+
+    def test_similarity_run_prints_metrics(self, capsys):
+        status = main(
+            [
+                "run",
+                "--app",
+                "similarity",
+                "--q",
+                "50",
+                "--m",
+                "16",
+                "--backend",
+                "serial",
+                "--seed",
+                "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "similarity join" in out
+        assert "job metrics" in out
+        assert "engine metrics" in out
+        assert "serial" in out
+
+    def test_skew_join_run_on_threads(self, capsys):
+        status = main(
+            [
+                "run",
+                "--app",
+                "skew-join",
+                "--q",
+                "60",
+                "--tuples",
+                "120",
+                "--keys",
+                "6",
+                "--skew",
+                "1.3",
+                "--backend",
+                "threads",
+                "--num-workers",
+                "2",
+                "--seed",
+                "4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "skew join" in out
+        assert "heavy keys" in out
+        assert "threads" in out
+
+    def test_unknown_backend_rejected_by_parser(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--app", "similarity", "--q", "40", "--backend", "gpu"])
+        assert excinfo.value.code == 2
+
+    def test_non_positive_workers_rejected_by_parser(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "run",
+                    "--app",
+                    "similarity",
+                    "--q",
+                    "40",
+                    "--num-workers",
+                    "0",
+                ]
+            )
+        assert excinfo.value.code == 2
+
+    def test_unknown_method_is_reported_as_error(self, capsys):
+        status = main(
+            [
+                "run",
+                "--app",
+                "skew-join",
+                "--q",
+                "40",
+                "--tuples",
+                "200",
+                "--keys",
+                "5",
+                "--skew",
+                "1.6",
+                "--seed",
+                "1",
+                "--method",
+                "magic",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert status == 1
+        assert "unknown X2Y method" in captured.err

@@ -16,6 +16,7 @@ PUBLIC_MODULES = [
     "repro.binpack",
     "repro.covering",
     "repro.mapreduce",
+    "repro.engine",
     "repro.workloads",
     "repro.apps",
     "repro.analysis",

@@ -1,0 +1,97 @@
+"""Edge cases of ``method="auto"`` dispatch in the selector facade.
+
+Covers the corners the main selector tests skip: the uniform-sizes tie
+between the two grouping schemes, the exact big-input boundary at
+``q // 2`` on both problems, and the unknown-method error messages.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.a2a import equal_sized_grouping, grouped_covering
+from repro.core.instance import A2AInstance, X2YInstance
+from repro.core.selector import solve_a2a, solve_x2y
+from repro.core.x2y import best_split_grid, big_small_x2y
+
+
+class TestA2AAutoEdges:
+    def test_uniform_tie_prefers_first_candidate(self):
+        # m=6, w=2, q=8: both grouping schemes use exactly 3 reducers, so
+        # min() keeps the first candidate — the plain grouping scheme.
+        instance = A2AInstance.equal_sized(m=6, w=2, q=8)
+        plain = equal_sized_grouping(instance)
+        covering = grouped_covering(instance)
+        assert plain.num_reducers == covering.num_reducers == 3
+        schema = solve_a2a(instance)
+        assert schema.num_reducers == 3
+        assert schema.algorithm == plain.algorithm
+
+    def test_uniform_auto_never_worse_than_either_scheme(self):
+        for m, w, q in [(6, 2, 8), (12, 1, 6), (20, 2, 8), (15, 3, 18)]:
+            instance = A2AInstance.equal_sized(m=m, w=w, q=q)
+            schema = solve_a2a(instance)
+            assert schema.num_reducers == min(
+                equal_sized_grouping(instance).num_reducers,
+                grouped_covering(instance).num_reducers,
+            )
+
+    def test_input_exactly_half_q_is_not_big(self):
+        # q//2 itself does not trigger the big/small scheme (strict >).
+        schema = solve_a2a(A2AInstance([6, 2, 3, 4], q=12))
+        assert schema.algorithm.startswith("bin_pairing")
+
+    def test_input_just_above_half_q_routes_to_big_small(self):
+        schema = solve_a2a(A2AInstance([7, 2, 3, 4], q=12))
+        assert schema.algorithm == "big_small"
+        assert schema.verify().valid
+
+    def test_unknown_method_error_lists_choices(self):
+        instance = A2AInstance([3, 4], q=10)
+        with pytest.raises(ValueError) as error:
+            solve_a2a(instance, method="magic")
+        message = str(error.value)
+        assert "unknown A2A method 'magic'" in message
+        assert "'auto'" in message
+        assert "equal_grouping" in message and "big_small" in message
+
+
+class TestX2YAutoEdges:
+    def test_input_exactly_half_q_is_not_big(self):
+        # Largest input equals q//2 exactly: stays on the best-split grid.
+        instance = X2YInstance([7, 2], [3, 4], q=14)
+        schema = solve_x2y(instance)
+        assert schema.algorithm.startswith("grid[")
+        assert schema.verify().valid
+
+    def test_big_input_takes_better_of_grid_and_big_small(self):
+        # 9 > 17 // 2 = 8: auto must consider both general schemes and
+        # keep whichever uses fewer reducers.
+        instance = X2YInstance([9, 2, 3], [5, 3], q=17)
+        schema = solve_x2y(instance)
+        assert schema.verify().valid
+        expected = min(
+            big_small_x2y(instance).num_reducers,
+            best_split_grid(instance).num_reducers,
+        )
+        assert schema.num_reducers == expected
+
+    def test_big_input_on_y_side_also_routes(self):
+        # The big-input check must look at the Y side too.
+        instance = X2YInstance([5, 3], [9, 2, 3], q=17)
+        schema = solve_x2y(instance)
+        assert schema.verify().valid
+        expected = min(
+            big_small_x2y(instance).num_reducers,
+            best_split_grid(instance).num_reducers,
+        )
+        assert schema.num_reducers == expected
+
+    def test_unknown_method_error_lists_choices(self):
+        instance = X2YInstance([3], [4], q=10)
+        with pytest.raises(ValueError) as error:
+            solve_x2y(instance, method="magic")
+        message = str(error.value)
+        assert "unknown X2Y method 'magic'" in message
+        assert "'auto'" in message
+        assert "equal_grid" in message and "best_split_grid" in message
