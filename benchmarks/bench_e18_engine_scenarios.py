@@ -1,0 +1,77 @@
+"""E18 (new): engine phase scenarios — map-heavy, reduce-heavy, shuffle-heavy.
+
+E17 measures one realistic application (the skew join); E18 isolates the
+engine's three phases so a regression in any one of them is visible on its
+own.  Each scenario (defined in :mod:`repro.engine.quickbench` so the
+``processes`` backend can import them) is run on every backend with
+best-of-two wall clocks:
+
+* ``map_heavy`` — GIL-releasing ``zlib`` work per record: the ``threads``
+  backend scales with real cores; the headline "threads >= 1.5x serial"
+  claim lives here.
+* ``reduce_heavy`` — the same work concentrated in reducers, reached
+  through the partitioned shuffle.
+* ``shuffle_heavy`` — tiny pairs, huge fan-out: wall clock is pure engine
+  plumbing (mapper-side pre-partitioning, transpose, task merges).
+
+Expected shape: all backends produce identical outputs (asserted inside
+:func:`repro.engine.quickbench.run_scenarios`); on multi-core hardware
+``threads`` wins the GIL-releasing scenarios and ``processes`` at least
+matches serial; on a single core every backend is within noise of serial
+because the engine no longer does per-pair work in the parent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import emit, run_once
+from repro.engine.backends import BACKENDS, available_workers
+from repro.engine.quickbench import SCENARIOS, run_scenarios
+from repro.utils.tables import format_table
+
+SCALE = 2.0
+REPEAT = 2
+
+
+def compute_rows() -> list[dict[str, object]]:
+    return run_scenarios(scale=SCALE, repeat=REPEAT)
+
+
+@pytest.mark.benchmark(group="E18")
+def test_e18_engine_scenarios(benchmark):
+    rows = run_once(benchmark, compute_rows)
+    emit(
+        "E18",
+        format_table(
+            rows,
+            title=(
+                f"E18: engine phase scenarios x backends "
+                f"(scale={SCALE}, best of {REPEAT}, "
+                f"{available_workers()} workers)"
+            ),
+        ),
+        rows=rows,
+    )
+
+    assert len(rows) == len(SCENARIOS) * len(BACKENDS)
+
+    # Output identity across backends is asserted inside run_scenarios;
+    # wall-clock claims need parallel hardware to be meaningful.
+    if available_workers() >= 2:
+        def wall(scenario: str, backend: str) -> float:
+            return min(
+                float(r["wall_s"])
+                for r in rows
+                if r["scenario"] == scenario and r["backend"] == backend
+            )
+
+        # GIL-releasing map work: threads must show a real speedup.
+        assert wall("map_heavy", "threads") * 1.5 <= wall(
+            "map_heavy", "serial"
+        )
+        # Pure engine plumbing must not regress behind serial by much on
+        # any backend that shares memory.
+        assert wall("shuffle_heavy", "threads") <= wall(
+            "shuffle_heavy", "serial"
+        ) * 1.3

@@ -16,8 +16,16 @@ from __future__ import annotations
 
 from repro.engine.routing import (  # noqa: F401 - re-exported API
     a2a_memberships,
+    a2a_meeting_table,
     canonical_meeting,
     x2y_memberships,
+    x2y_meeting_table,
 )
 
-__all__ = ["a2a_memberships", "x2y_memberships", "canonical_meeting"]
+__all__ = [
+    "a2a_memberships",
+    "a2a_meeting_table",
+    "x2y_memberships",
+    "x2y_meeting_table",
+    "canonical_meeting",
+]

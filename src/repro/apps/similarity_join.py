@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from functools import partial
 from typing import Iterator
 
-from repro.apps.common import a2a_memberships, canonical_meeting
+from repro.apps.common import a2a_meeting_table, a2a_memberships
 from repro.core.instance import A2AInstance
 from repro.core.schema import A2ASchema
 from repro.core.selector import solve_a2a
@@ -53,19 +53,21 @@ def _similarity_reduce(
     key,
     values: list[tuple[int, Document]],
     *,
-    memberships: tuple[tuple[int, ...], ...],
+    owners: dict[tuple[int, int], int],
     threshold: float,
 ) -> Iterator[tuple[int, int, float]]:
     """Reducer for the engine path: compare canonically-owned pairs.
 
-    Values arrive as ``(input_index, document)``; module-level (with data
-    bound through :func:`functools.partial`) so the ``processes`` backend
-    can pickle it.
+    Values arrive as ``(input_index, document)``; *owners* is the schema's
+    precomputed meeting table (:func:`a2a_meeting_table`), so ownership is
+    one dict lookup per candidate pair.  Module-level (with data bound
+    through :func:`functools.partial`) so the ``processes`` backend can
+    pickle it.
     """
     by_position = sorted(values, key=lambda item: item[0])
     for a_idx, (i, doc_a) in enumerate(by_position):
         for j, doc_b in by_position[a_idx + 1 :]:
-            if canonical_meeting(memberships[i], memberships[j]) != key:
+            if owners[(i, j)] != key:
                 continue
             similarity = jaccard(doc_a, doc_b)
             if similarity >= threshold:
@@ -95,11 +97,12 @@ def run_similarity_join(
     """
     instance = A2AInstance([d.size for d in documents], q)
     schema = solve_a2a(instance, method)
+    owners = a2a_meeting_table(schema)
 
     if backend is not None:
         reduce_fn = partial(
             _similarity_reduce,
-            memberships=tuple(tuple(m) for m in a2a_memberships(schema)),
+            owners=owners,
             threshold=threshold,
         )
         result = execute_schema(
@@ -129,7 +132,7 @@ def run_similarity_join(
             i = position[id(doc_a)]
             for doc_b in by_position[a_idx + 1:]:
                 j = position[id(doc_b)]
-                if canonical_meeting(memberships[i], memberships[j]) != key:
+                if owners[(i, j)] != key:
                     continue
                 similarity = jaccard(doc_a, doc_b)
                 if similarity >= threshold:

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from functools import partial
 from typing import Hashable, Iterator
 
-from repro.apps.common import canonical_meeting, x2y_memberships
+from repro.apps.common import x2y_memberships, x2y_meeting_table
 from repro.core.instance import X2YInstance
 from repro.core.schema import X2YSchema
 from repro.core.selector import solve_x2y
@@ -96,10 +96,21 @@ def hash_join(x: Relation, y: Relation, q: int) -> SkewJoinRun:
     return SkewJoinRun(triples=tuple(result.outputs), metrics=result.metrics)
 
 
+#: Per-heavy-key routing plan: the two per-side membership tables (used by
+#: the mapper to replicate tuples) plus the precomputed canonical-meeting
+#: table ``(x_pos, y_pos) -> reducer`` (used by the reducer to keep the
+#: output exactly-once with one dict lookup per candidate pair).
+SkewPlan = tuple[
+    tuple[tuple[int, ...], ...],
+    tuple[tuple[int, ...], ...],
+    dict[tuple[int, int], int],
+]
+
+
 def _skew_map(
     record: SkewRecord,
     *,
-    members: dict[int, tuple[tuple[tuple[int, ...], ...], tuple[tuple[int, ...], ...]]],
+    members: dict[int, SkewPlan],
     heavy: frozenset[int],
 ) -> list[tuple[Hashable, SkewRecord]]:
     """Route one wrapped tuple: hash-style for light keys, schema for heavy.
@@ -121,12 +132,13 @@ def _skew_reduce(
     key,
     values: list[SkewRecord],
     *,
-    members: dict[int, tuple[tuple[tuple[int, ...], ...], tuple[tuple[int, ...], ...]]],
+    members: dict[int, SkewPlan],
 ) -> Iterator[tuple[int, int, int]]:
     """Join the X and Y tuples that met at this reducer.
 
     Heavy-key reducers emit a pair only from its canonical meeting reducer,
-    keeping the distributed output exactly-once despite replication.
+    keeping the distributed output exactly-once despite replication; the
+    meeting is a precomputed table lookup, not a per-pair set intersection.
     """
     x_records = [v for v in values if v[0] == "x"]
     y_records = [v for v in values if v[0] == "y"]
@@ -136,11 +148,12 @@ def _skew_reduce(
                 yield (tx[3], tx[2], ty[3])
         return
     _, join_key, r = key
-    x_members, y_members = members[join_key]
+    owners = members[join_key][2]
     for tx in x_records:
+        x_pos, x_payload = tx[1], tx[3]
         for ty in y_records:
-            if canonical_meeting(x_members[tx[1]], y_members[ty[1]]) == r:
-                yield (tx[3], join_key, ty[3])
+            if owners[(x_pos, ty[1])] == r:
+                yield (x_payload, join_key, ty[3])
 
 
 def _skew_record_size(record: SkewRecord) -> int:
@@ -182,9 +195,7 @@ def schema_skew_join(
         y_by_key.setdefault(t.key, []).append(t)
 
     schemas: dict[int, X2YSchema] = {}
-    members: dict[
-        int, tuple[tuple[tuple[int, ...], ...], tuple[tuple[int, ...], ...]]
-    ] = {}
+    members: dict[int, SkewPlan] = {}
     for key in heavy:
         x_tuples = x_by_key.get(key, [])
         y_tuples = y_by_key.get(key, [])
@@ -201,6 +212,7 @@ def schema_skew_join(
         members[key] = (
             tuple(tuple(m) for m in x_members),
             tuple(tuple(m) for m in y_members),
+            x2y_meeting_table(schema),
         )
 
     positions_x = {key: {id(t): i for i, t in enumerate(ts)} for key, ts in x_by_key.items()}

@@ -11,6 +11,11 @@ Commands:
 * ``run --app skew-join --q 80 --backend processes`` — execute a
   schema-driven application on an engine backend and print job plus
   phase-timing metrics.
+* ``bench [--scale 1.0] [--repeat 1] [--check]`` — a fast subset of the
+  E17/E18 engine benchmarks: the skew join plus the map/reduce/shuffle-heavy
+  scenarios across all backends, printed as a speedup table.  ``--check``
+  exits 1 when the threads backend is grossly slower than serial (the CI
+  perf smoke).
 
 ``repro --version`` prints the package version.  Exit status is 0 on
 success, 1 on infeasible/invalid input, mirroring what a scheduler
@@ -29,7 +34,7 @@ from repro.core.costs import summarize
 from repro.core.instance import A2AInstance, X2YInstance
 from repro.core.selector import A2A_METHODS, X2Y_METHODS, solve_a2a, solve_x2y
 from repro.engine.backends import BACKENDS
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, UnknownMethodError
 from repro.utils.tables import format_table
 
 
@@ -118,6 +123,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--skew", type=float, default=1.2, help="skew-join: Zipf exponent"
     )
 
+    bench = commands.add_parser(
+        "bench", help="quick engine benchmark: backends x scenarios"
+    )
+    bench.add_argument(
+        "--backends",
+        default=None,
+        help="comma-separated backend names (default: all)",
+    )
+    bench.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="scenario workload multiplier",
+    )
+    bench.add_argument(
+        "--tuples",
+        type=_positive_int,
+        default=500,
+        help="skew-join tuples per relation",
+    )
+    bench.add_argument(
+        "--repeat",
+        type=_positive_int,
+        default=1,
+        help="runs per cell; best wall time is reported",
+    )
+    bench.add_argument(
+        "--num-workers", type=_positive_int, default=None
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if threads is >1.3x slower than serial (perf smoke)",
+    )
+
     return parser
 
 
@@ -178,6 +218,53 @@ def _run_app(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    """Handle ``repro bench``: quick speedup table, optional smoke check."""
+    from repro.engine.backends import available_workers
+    from repro.engine.quickbench import (
+        check_regression,
+        run_join_bench,
+        run_scenarios,
+    )
+
+    backends = args.backends.split(",") if args.backends else None
+    if backends:
+        for name in backends:
+            if name not in BACKENDS:
+                raise UnknownMethodError(
+                    f"unknown backend {name!r}; choose from {sorted(BACKENDS)}"
+                )
+    rows = run_join_bench(
+        tuples=args.tuples,
+        backends=backends,
+        repeat=args.repeat,
+        num_workers=args.num_workers,
+    )
+    rows += run_scenarios(
+        backends=backends,
+        scale=args.scale,
+        repeat=args.repeat,
+        num_workers=args.num_workers,
+    )
+    print(
+        format_table(
+            rows,
+            title=(
+                f"engine quick bench ({available_workers()} workers, "
+                f"scale={args.scale}, repeat={args.repeat})"
+            ),
+        )
+    )
+    if args.check:
+        failures = check_regression(rows)
+        for failure in failures:
+            print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("perf smoke: ok (threads within 1.3x of serial everywhere)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit status."""
     args = build_parser().parse_args(argv)
@@ -197,6 +284,8 @@ def main(argv: list[str] | None = None) -> int:
             print(format_table(rows, title="A2A reducers vs q"))
         elif args.command == "run":
             return _run_app(args)
+        elif args.command == "bench":
+            return _run_bench(args)
         elif args.command == "verify":
             with open(args.file) as handle:
                 loaded = repro_io.loads(handle.read())

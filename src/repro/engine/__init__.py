@@ -3,10 +3,11 @@
 This package turns a solved :class:`~repro.core.schema.A2ASchema` or
 :class:`~repro.core.schema.X2YSchema` into an actually-executed MapReduce
 job: records are replicated to exactly the reducers the schema assigns
-their input to, the shuffle hash-partitions reduce keys into batched tasks,
-and the phases run on a pluggable backend (``serial``, ``threads``,
-``processes``).  The serial backend is validated to be byte-identical to
-the reference simulator (:mod:`repro.mapreduce`); the parallel backends
+their input to, map tasks pre-partition their output by reduce task
+(mapper-side partitioned shuffle), and the phases run on a pluggable
+backend (``serial``, ``threads``, ``processes``) sharing one worker pool
+per run.  The serial backend is validated to be byte-identical to the
+reference simulator (:mod:`repro.mapreduce`); the parallel backends
 translate schema quality into wall-clock speedups.
 
 Quickstart::
@@ -43,8 +44,10 @@ from repro.engine.engine import EngineResult, ExecutionEngine, execute_schema
 from repro.engine.metrics import EngineMetrics, PhaseTimings
 from repro.engine.routing import (
     a2a_memberships,
+    a2a_meeting_table,
     canonical_meeting,
     x2y_memberships,
+    x2y_meeting_table,
 )
 
 __all__ = [
@@ -64,6 +67,8 @@ __all__ = [
     "compare_results",
     "validate_against_simulator",
     "a2a_memberships",
+    "a2a_meeting_table",
     "x2y_memberships",
+    "x2y_meeting_table",
     "canonical_meeting",
 ]

@@ -10,17 +10,29 @@ Three backends ship:
 
 * ``serial`` — a plain loop; the reference the others are validated against.
 * ``threads`` — :class:`concurrent.futures.ThreadPoolExecutor`; wins when
-  task bodies release the GIL (I/O, numpy) and costs little otherwise.
+  task bodies release the GIL (I/O, zlib/hashlib, numpy) and costs little
+  otherwise.
 * ``processes`` — :class:`concurrent.futures.ProcessPoolExecutor` with
   chunked task batches; wins on CPU-bound reduce work, but requires the
   task function and payloads to be picklable (module-level functions and
   :func:`functools.partial` over them qualify; closures do not).
+
+Backends are context managers: entering one opens a worker pool that every
+:meth:`Backend.run_tasks` call inside the context reuses, so a multi-phase
+job (map, then reduce) pays pool startup once instead of once per phase.
+Outside a context, pooled backends fall back to a throwaway pool per call.
+The process backend additionally ships the task function *pickled once per
+``run_tasks`` call* (workers cache the unpickled callable), rather than once
+per task — with schema routing tables bound into the map function, per-task
+pickling used to dominate small-task runs.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
 from abc import ABC, abstractmethod
+from functools import partial
 from typing import Any, Callable, Sequence
 
 
@@ -46,12 +58,36 @@ class Backend(ABC):
         if max_workers is not None and max_workers <= 0:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
         self.max_workers = max_workers or available_workers()
+        self._pool: Any = None
+        self._depth = 0
 
     @abstractmethod
     def run_tasks(
         self, fn: Callable[[Any], Any], tasks: Sequence[Any]
     ) -> list[Any]:
         """Run ``fn`` over every task payload; results keep task order."""
+
+    def _make_pool(self) -> Any:
+        """Build the reusable worker pool; ``None`` for poolless backends."""
+        return None
+
+    def __enter__(self) -> "Backend":
+        self._depth += 1
+        if self._pool is None and self._depth == 1:
+            self._pool = self._make_pool()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._depth -= 1
+        if self._depth <= 0:
+            self._depth = 0
+            self.close()
+
+    def close(self) -> None:
+        """Shut down the reusable pool (no-op when none is open)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(max_workers={self.max_workers})"
@@ -77,25 +113,56 @@ class ThreadBackend(Backend):
 
     name = "threads"
 
+    def _make_pool(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        return ThreadPoolExecutor(max_workers=self.max_workers)
+
     def run_tasks(
         self, fn: Callable[[Any], Any], tasks: Sequence[Any]
     ) -> list[Any]:
         """Run tasks on a thread pool; exceptions propagate to the caller."""
         if not tasks:
             return []
-        from concurrent.futures import ThreadPoolExecutor
-
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+        if self._pool is not None:
+            return list(self._pool.map(fn, tasks))
+        with self._make_pool() as pool:
             return list(pool.map(fn, tasks))
+
+
+#: Per-worker cache of the last unpickled task function, keyed by its pickle
+#: bytes.  One entry is enough: the engine runs one phase at a time, so a
+#: worker sees one distinct function per phase.
+_FN_CACHE: dict[bytes, Callable[[Any], Any]] = {}
+
+
+def _noop() -> None:
+    """Warm-up task: forces lazy worker spawn at pool-creation time."""
+
+
+def _call_pickled(blob: bytes, task: Any) -> Any:
+    """Worker-side trampoline: unpickle the task function once, then call it.
+
+    ``blob`` travels with every chunk (it is bound into the mapped partial),
+    but the expensive part — unpickling a function with schema routing
+    tables attached — happens once per worker per phase thanks to the cache.
+    """
+    fn = _FN_CACHE.get(blob)
+    if fn is None:
+        fn = pickle.loads(blob)
+        _FN_CACHE.clear()
+        _FN_CACHE[blob] = fn
+    return fn(task)
 
 
 class ProcessBackend(Backend):
     """Process-pool backend with chunked task batches.
 
     ``chunksize`` controls how many tasks ship to a worker per round trip;
-    the default targets four batches per worker, which amortizes pickling
-    without starving the pool.  Task functions and payloads must be
-    picklable.
+    the default targets four batches per worker, which amortizes payload
+    transfer without starving the pool.  The task function is pickled once
+    in the parent and cached per worker (see :func:`_call_pickled`); task
+    payloads must still be picklable.
     """
 
     name = "processes"
@@ -106,19 +173,31 @@ class ProcessBackend(Backend):
             raise ValueError(f"chunksize must be positive, got {chunksize}")
         self.chunksize = chunksize
 
+    def _make_pool(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        # ProcessPoolExecutor spawns workers lazily on first submit, which
+        # would bill worker startup to whatever phase runs first; spawn
+        # them now so phase timings measure the phases.
+        for future in [pool.submit(_noop) for _ in range(self.max_workers)]:
+            future.result()
+        return pool
+
     def run_tasks(
         self, fn: Callable[[Any], Any], tasks: Sequence[Any]
     ) -> list[Any]:
         """Run tasks on a process pool in chunked batches."""
         if not tasks:
             return []
-        from concurrent.futures import ProcessPoolExecutor
-
         chunksize = self.chunksize or max(
             1, -(-len(tasks) // (self.max_workers * 4))
         )
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            return list(pool.map(fn, tasks, chunksize=chunksize))
+        call = partial(_call_pickled, pickle.dumps(fn))
+        if self._pool is not None:
+            return list(self._pool.map(call, tasks, chunksize=chunksize))
+        with self._make_pool() as pool:
+            return list(pool.map(call, tasks, chunksize=chunksize))
 
 
 #: Name -> backend class; the CLI and benches iterate this.

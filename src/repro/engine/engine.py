@@ -1,13 +1,27 @@
 """The execution engine: parallel map/shuffle/reduce over pluggable backends.
 
 Where :class:`repro.mapreduce.job.MapReduceJob` *simulates* a job to define
-the paper's metrics, the engine *executes* the same model as physical tasks:
-records are chunked into map tasks, the shuffle hash-partitions reduce keys
-into batched reduce tasks, and both phases run on a
-:class:`repro.engine.backends.Backend`.  The serial backend is
-semantically identical to the simulator — same outputs in the same order,
-same :class:`~repro.mapreduce.metrics.JobMetrics` — which is what the
-cross-validation in :mod:`repro.engine.crossval` checks.
+the paper's metrics, the engine *executes* the same model as physical tasks
+with a **partitioned shuffle**:
+
+* A *map task* takes a chunk of records and returns its pairs already
+  grouped by key and bucketed by reduce partition (plus its pair count and
+  communication cost), so the parent never re-hashes or re-groups
+  individual pairs.  The number of reduce partitions is fixed before the
+  map phase, exactly like a real MapReduce deployment.
+* The parent's "shuffle" is just a transpose: for each partition it
+  collects the per-map-task buckets, in task order.
+* A *reduce task* receives its partition's pre-grouped buckets, merges them
+  (task order = record order, so value order matches the simulator), checks
+  the capacity per key, and reduces — the final merge happens inside the
+  parallel task, not on the parent's critical path.
+
+Both phases run inside one backend context, so pooled backends pay pool
+startup once per run (phase timings exclude that startup).  The serial
+backend remains semantically identical to the simulator — same outputs in
+the same order, same :class:`~repro.mapreduce.metrics.JobMetrics` — which is
+what the cross-validation in :mod:`repro.engine.crossval` checks, and the
+parallel backends produce the same observables for any orderable key space.
 
 :func:`execute_schema` is the schema-driven entry point: it takes a solved
 :class:`~repro.core.schema.A2ASchema` or :class:`~repro.core.schema.X2YSchema`
@@ -19,6 +33,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from functools import partial
 from typing import Any, Hashable, Iterable, Sequence
 
 from repro.core.schema import A2ASchema, X2YSchema
@@ -28,12 +43,19 @@ from repro.engine.routing import build_schema_plan
 from repro.exceptions import CapacityExceededError
 from repro.mapreduce.metrics import JobMetrics
 from repro.mapreduce.shuffle import (
-    group_pairs,
-    hash_partition,
     map_record,
     ordered_keys,
+    partition_groups,
 )
 from repro.mapreduce.types import MapFn, ReduceFn, SizeFn, default_size
+
+#: Records below this count are not worth splitting into more map tasks —
+#: per-task dispatch overhead would dominate the mapping work.
+_MIN_MAP_CHUNK = 16
+
+#: Target number of tasks per pool worker; enough slack for load balancing
+#: without drowning the run in task overhead.
+_TASKS_PER_WORKER = 4
 
 
 @dataclass(frozen=True)
@@ -51,30 +73,79 @@ class EngineResult:
 
 
 def _run_map_task(
-    task: tuple[list[Any], MapFn, ReduceFn | None],
-) -> list[tuple[Hashable, Any]]:
-    """One map task: map (and combine) a chunk of records into pairs.
+    chunk: list[Any],
+    *,
+    map_fn: MapFn,
+    combiner_fn: ReduceFn | None,
+    size_of: SizeFn,
+    num_partitions: int,
+) -> tuple[list[dict[Hashable, list[Any]]], int, int]:
+    """One map task: map (and combine) a chunk into partition-bucketed groups.
 
-    Module-level so process-pool workers can unpickle it; the map function
-    travels inside the task payload.
+    Returns ``(buckets, pair_count, comm)`` where ``buckets[p]`` maps each
+    key of reduce partition ``p`` to its value list in record order.  Pair
+    counting and size accounting happen here, in the (parallel) task, so
+    the parent does no per-pair work at all.  Module-level so process-pool
+    workers can unpickle it; the configuration is bound via
+    :func:`functools.partial` and pickled once per phase.
     """
-    chunk, map_fn, combiner_fn = task
-    pairs: list[tuple[Hashable, Any]] = []
+    groups: dict[Hashable, list[Any]] = {}
+    pair_count = 0
+    comm = 0
     for record in chunk:
-        pairs.extend(map_record(record, map_fn, combiner_fn))
-    return pairs
+        emitted = map_record(record, map_fn, combiner_fn)
+        pair_count += len(emitted)
+        for key, value in emitted:
+            comm += size_of(value)
+            values = groups.get(key)
+            if values is None:
+                groups[key] = [value]
+            else:
+                values.append(value)
+    return partition_groups(groups, num_partitions), pair_count, comm
 
 
 def _run_reduce_task(
-    task: tuple[list[tuple[Hashable, list[Any]]], ReduceFn],
-) -> list[tuple[Hashable, list[Any]]]:
-    """One reduce task: reduce a batch of keys, returning per-key outputs.
+    slabs: list[dict[Hashable, list[Any]]],
+    *,
+    reduce_fn: ReduceFn,
+    size_of: SizeFn,
+    capacity: int | None,
+    strict: bool,
+) -> tuple[list[tuple[Hashable, list[Any]]] | None, list[tuple[Hashable, int]]]:
+    """One reduce task: merge a partition's pre-grouped buckets and reduce.
 
-    Per-key outputs (rather than a flat list) let the parent reassemble the
-    global output in sorted-key order regardless of how keys were batched.
+    ``slabs`` holds one bucket dict per map task, in task order; extending
+    value lists in that order reproduces the simulator's global record
+    order.  Returns ``(results, loads)``: per-key outputs plus per-key
+    loads.  Under strict capacity, a task whose partition contains an
+    overloaded key skips reducing and returns ``results=None`` — the parent
+    merges all loads and raises for the globally smallest offending key, so
+    the strict-mode exception is identical to the simulator's.
     """
-    items, reduce_fn = task
-    return [(key, list(reduce_fn(key, values))) for key, values in items]
+    merged: dict[Hashable, list[Any]] = {}
+    for slab in slabs:
+        for key, values in slab.items():
+            existing = merged.get(key)
+            if existing is None:
+                merged[key] = values
+            else:
+                existing.extend(values)
+    loads: list[tuple[Hashable, int]] = []
+    overloaded = False
+    items: list[tuple[Hashable, list[Any]]] = []
+    for key in ordered_keys(merged):
+        values = merged[key]
+        load = sum(size_of(value) for value in values)
+        loads.append((key, load))
+        if capacity is not None and load > capacity:
+            overloaded = True
+        items.append((key, values))
+    if strict and overloaded:
+        return None, loads
+    return [
+        (key, list(reduce_fn(key, values))) for key, values in items
+    ], loads
 
 
 def _chunk(records: list[Any], chunk_size: int) -> list[list[Any]]:
@@ -96,17 +167,22 @@ class ExecutionEngine:
         reduce_fn: (key, values) -> iterable of outputs; same picklability
             caveat.
         combiner_fn: optional mapper-side combiner, applied per record.
-        size_of: value-size function for capacity/communication accounting.
+        size_of: value-size function for capacity/communication accounting;
+            picklability caveat again (it runs inside map and reduce tasks).
         reducer_capacity: the paper's ``q``; checked per key, exactly like
             the simulator.
         strict_capacity: raise on overflow (True) or record violations.
         backend: backend name from :data:`repro.engine.backends.BACKENDS`
             or a pre-built :class:`Backend` instance.
         num_workers: worker-pool size (defaults to the machine's cores).
-        map_chunk_size: records per map task (default: spread records over
-            roughly four tasks per worker).
-        reduce_batch_size: keys per reduce task (default: roughly four
-            tasks per worker) — the "chunked task batches" knob.
+        map_chunk_size: records per map task (default: adaptive — about
+            four tasks per worker, but never chunks smaller than 16
+            records; a single task on the serial backend).
+        num_reduce_tasks: reduce partition count, fixed before the map
+            phase so map tasks can pre-partition their output (default:
+            four partitions per worker; one on the serial backend).  Empty
+            partitions are dropped, so this is an upper bound on dispatched
+            reduce tasks.
     """
 
     map_fn: MapFn
@@ -118,86 +194,100 @@ class ExecutionEngine:
     backend: str | Backend = "serial"
     num_workers: int | None = None
     map_chunk_size: int | None = None
-    reduce_batch_size: int | None = None
+    num_reduce_tasks: int | None = None
 
     def run(self, records: Iterable[Any]) -> EngineResult:
         """Execute the job end-to-end and return outputs plus metrics."""
         backend = get_backend(self.backend, max_workers=self.num_workers)
         materialized = list(records)
-
-        # --- map phase: chunk records into tasks, run on the backend.
-        map_started = time.perf_counter()
-        chunk_size = self.map_chunk_size or self._default_batch(
-            len(materialized), backend
+        num_partitions = self.num_reduce_tasks or self._default_partitions(
+            backend
         )
-        chunks = _chunk(materialized, chunk_size) if materialized else []
-        map_tasks = [(chunk, self.map_fn, self.combiner_fn) for chunk in chunks]
-        pair_lists = backend.run_tasks(_run_map_task, map_tasks)
-        map_seconds = time.perf_counter() - map_started
 
-        # --- shuffle: merge in task order (= record order), group by key,
-        # account sizes, and enforce the capacity exactly as the simulator
-        # does: per key, in sorted-key order.
-        shuffle_started = time.perf_counter()
-        groups: dict[Hashable, list[Any]] = {}
-        map_pairs = 0
-        comm = 0
-        for pairs in pair_lists:
-            map_pairs += len(pairs)
-            comm += sum(self.size_of(value) for _, value in pairs)
-            group_pairs(pairs, groups)
+        with backend:
+            # --- map phase: chunk records into tasks; each task returns its
+            # pairs pre-grouped by key and bucketed by reduce partition.
+            map_started = time.perf_counter()
+            chunk_size = self.map_chunk_size or self._default_chunk(
+                len(materialized), backend
+            )
+            chunks = _chunk(materialized, chunk_size) if materialized else []
+            map_task = partial(
+                _run_map_task,
+                map_fn=self.map_fn,
+                combiner_fn=self.combiner_fn,
+                size_of=self.size_of,
+                num_partitions=num_partitions,
+            )
+            map_results = backend.run_tasks(map_task, chunks)
+            map_seconds = time.perf_counter() - map_started
 
-        keys = ordered_keys(groups)
+            # --- shuffle: a transpose.  Collect each partition's buckets
+            # across map tasks (task order = record order) and drop empty
+            # partitions; no per-pair or per-key work happens here.
+            shuffle_started = time.perf_counter()
+            map_pairs = sum(result[1] for result in map_results)
+            comm = sum(result[2] for result in map_results)
+            partitions: list[list[dict[Hashable, list[Any]]]] = []
+            for p in range(num_partitions):
+                slabs = [
+                    result[0][p] for result in map_results if result[0][p]
+                ]
+                if slabs:
+                    partitions.append(slabs)
+            shuffle_seconds = time.perf_counter() - shuffle_started
+
+            # --- reduce phase: each task merges its partition's buckets,
+            # accounts per-key loads, and reduces.
+            reduce_started = time.perf_counter()
+            reduce_task = partial(
+                _run_reduce_task,
+                reduce_fn=self.reduce_fn,
+                size_of=self.size_of,
+                capacity=self.reducer_capacity,
+                strict=self.strict_capacity,
+            )
+            task_results = backend.run_tasks(reduce_task, partitions)
+            reduce_run_seconds = time.perf_counter() - reduce_started
+
+        # --- post-pass (pool already released; its shutdown is not timed):
+        # merge per-task loads, enforce capacity in global sorted-key order
+        # (identical to the simulator), and reassemble outputs in that same
+        # order.
+        post_started = time.perf_counter()
         loads: dict[Hashable, int] = {}
-        violations: list[Hashable] = []
-        for key in keys:
-            load = sum(self.size_of(v) for v in groups[key])
-            loads[key] = load
-            if self.reducer_capacity is not None and load > self.reducer_capacity:
-                if self.strict_capacity:
-                    raise CapacityExceededError(
-                        f"reducer for key {key!r} received load {load} "
-                        f"> capacity {self.reducer_capacity}",
-                        key=key,
-                        load=load,
-                        capacity=self.reducer_capacity,
-                    )
-                violations.append(key)
-
-        batch_size = self.reduce_batch_size or self._default_batch(
-            len(keys), backend
-        )
-        num_partitions = max(1, -(-len(keys) // batch_size)) if keys else 0
-        partitions = [
-            bucket
-            for bucket in hash_partition(keys, num_partitions or 1)
-            if bucket
-        ]
-        reduce_tasks = [
-            ([(key, groups[key]) for key in bucket], self.reduce_fn)
-            for bucket in partitions
-        ]
-        task_loads = tuple(
-            sum(loads[key] for key in bucket) for bucket in partitions
-        )
-        shuffle_seconds = time.perf_counter() - shuffle_started
-
-        # --- reduce phase: run the batches, then reassemble outputs in
-        # sorted-key order so results are byte-identical to the simulator.
-        reduce_started = time.perf_counter()
-        task_results = backend.run_tasks(_run_reduce_task, reduce_tasks)
         outputs_by_key: dict[Hashable, list[Any]] = {}
-        for result in task_results:
-            for key, outs in result:
-                outputs_by_key[key] = outs
+        task_loads: list[int] = []
+        for results, partition_loads in task_results:
+            task_loads.append(sum(load for _, load in partition_loads))
+            loads.update(partition_loads)
+            if results is not None:
+                for key, outs in results:
+                    outputs_by_key[key] = outs
+        keys = ordered_keys(loads)
+        violations: list[Hashable] = []
+        if self.reducer_capacity is not None:
+            for key in keys:
+                if loads[key] > self.reducer_capacity:
+                    if self.strict_capacity:
+                        raise CapacityExceededError(
+                            f"reducer for key {key!r} received load "
+                            f"{loads[key]} > capacity {self.reducer_capacity}",
+                            key=key,
+                            load=loads[key],
+                            capacity=self.reducer_capacity,
+                        )
+                    violations.append(key)
         outputs = [out for key in keys for out in outputs_by_key[key]]
-        reduce_seconds = time.perf_counter() - reduce_started
+        reduce_seconds = reduce_run_seconds + (
+            time.perf_counter() - post_started
+        )
 
         metrics = JobMetrics(
             map_input_records=len(materialized),
             map_output_pairs=map_pairs,
             communication_cost=comm,
-            num_reducers=len(groups),
+            num_reducers=len(loads),
             reducer_loads=loads,
             max_reducer_load=max(loads.values(), default=0),
             capacity=self.reducer_capacity,
@@ -207,15 +297,15 @@ class ExecutionEngine:
         engine_metrics = EngineMetrics(
             backend=backend.name,
             num_workers=backend.max_workers,
-            num_map_tasks=len(map_tasks),
-            num_reduce_tasks=len(reduce_tasks),
+            num_map_tasks=len(chunks),
+            num_reduce_tasks=len(partitions),
             timings=PhaseTimings(
                 map_seconds=map_seconds,
                 shuffle_seconds=shuffle_seconds,
                 reduce_seconds=reduce_seconds,
             ),
             bytes_moved=comm,
-            task_loads=task_loads,
+            task_loads=tuple(task_loads),
             capacity=self.reducer_capacity,
         )
         return EngineResult(
@@ -223,13 +313,22 @@ class ExecutionEngine:
         )
 
     @staticmethod
-    def _default_batch(num_items: int, backend: Backend) -> int:
-        """Default batch size: about four tasks per worker, at least 1."""
-        if num_items <= 0:
+    def _default_chunk(num_records: int, backend: Backend) -> int:
+        """Adaptive map chunk size: ~4 tasks per worker, floored at 16
+        records per task so dispatch overhead never dominates."""
+        if num_records <= 0:
             return 1
         if isinstance(backend, SerialBackend):
-            return num_items
-        return max(1, -(-num_items // (backend.max_workers * 4)))
+            return num_records
+        target = -(-num_records // (backend.max_workers * _TASKS_PER_WORKER))
+        return min(num_records, max(_MIN_MAP_CHUNK, target))
+
+    @staticmethod
+    def _default_partitions(backend: Backend) -> int:
+        """Default reduce partition count: ~4 per worker, 1 when serial."""
+        if isinstance(backend, SerialBackend):
+            return 1
+        return backend.max_workers * _TASKS_PER_WORKER
 
 
 def execute_schema(
@@ -242,7 +341,7 @@ def execute_schema(
     num_workers: int | None = None,
     strict_capacity: bool = True,
     map_chunk_size: int | None = None,
-    reduce_batch_size: int | None = None,
+    num_reduce_tasks: int | None = None,
 ) -> EngineResult:
     """Execute a solved mapping schema over per-input records.
 
@@ -266,6 +365,6 @@ def execute_schema(
         backend=backend,
         num_workers=num_workers,
         map_chunk_size=map_chunk_size,
-        reduce_batch_size=reduce_batch_size,
+        num_reduce_tasks=num_reduce_tasks,
     )
     return engine.run(wrapped)

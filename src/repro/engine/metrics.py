@@ -15,7 +15,15 @@ from dataclasses import dataclass
 
 @dataclass(frozen=True)
 class PhaseTimings:
-    """Wall-clock seconds spent in each phase of one engine run."""
+    """Wall-clock seconds spent in each phase of one engine run.
+
+    With the partitioned shuffle, ``shuffle_seconds`` covers only the
+    parent's bucket transpose (grouping and size accounting happen inside
+    map tasks; the final merge and capacity accounting inside reduce
+    tasks), and ``reduce_seconds`` includes the parent's post-pass that
+    reassembles outputs in sorted-key order.  Worker-pool startup happens
+    outside all three phases and is not counted.
+    """
 
     map_seconds: float = 0.0
     shuffle_seconds: float = 0.0
@@ -36,7 +44,9 @@ class EngineMetrics:
         num_workers: worker-pool size the backend was configured with
             (1 for the serial backend).
         num_map_tasks: map tasks (record chunks) dispatched.
-        num_reduce_tasks: reduce tasks (hash partitions of keys) dispatched.
+        num_reduce_tasks: reduce tasks dispatched — the non-empty hash
+            partitions out of the fixed partition count chosen before the
+            map phase.
         timings: per-phase wall times.
         bytes_moved: total value size shipped through the shuffle, in the
             same size units the schema counts — equal to the job's

@@ -1,0 +1,264 @@
+"""Quick, self-contained engine benchmarks: scenarios plus a speedup table.
+
+Three synthetic scenarios stress the engine's three phases one at a time —
+the workload shapes E18 measures — and a small skew join reproduces E17's
+shape.  Everything here is module-level and picklable, so every scenario
+runs unchanged on the ``processes`` backend, and the map/reduce functions
+live in ``src`` (not ``benchmarks/``) so worker processes can import them
+regardless of how the interpreter was launched.
+
+* ``map_heavy`` — the mapper compresses a 64 KiB payload per record
+  (``zlib`` releases the GIL, so the ``threads`` backend scales on real
+  cores); the reduce is a trivial sum.
+* ``reduce_heavy`` — trivial mapper; each reducer compresses the payload
+  once per value.
+* ``shuffle_heavy`` — each record fans out to 24 keys across a 509-key
+  space with a trivial sum reduce, so wall clock is dominated by
+  partitioning, merging, and task plumbing rather than user code.
+
+:func:`run_scenarios` and :func:`run_join_bench` both return plain row
+dicts (one per scenario × backend) ready for
+:func:`repro.utils.tables.format_table`; ``repro bench`` prints them and
+``benchmarks/bench_e18_engine_scenarios.py`` persists them.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from typing import Any, Iterable, Iterator
+
+from repro.engine.backends import BACKENDS
+from repro.engine.engine import EngineResult, ExecutionEngine
+
+#: 64 KiB of incompressible-ish payload the GIL-releasing scenarios chew on.
+_BLOB = bytes(range(256)) * 256
+
+#: Default record counts per scenario at ``scale=1.0`` — each lands the
+#: serial wall clock in the few-hundred-millisecond range.
+_SCENARIO_RECORDS = {
+    "map_heavy": 400,
+    "reduce_heavy": 800,
+    "shuffle_heavy": 4000,
+}
+
+
+def compress_map(record: int) -> Iterator[tuple[int, int]]:
+    """Map-heavy mapper: two GIL-releasing compressions per record."""
+    digest = zlib.crc32(zlib.compress(_BLOB, 6))
+    digest = zlib.crc32(zlib.compress(_BLOB[::-1], 6), digest)
+    yield record % 32, (record + digest) & 0xFFFF
+
+
+def tag_map(record: int) -> Iterator[tuple[int, int]]:
+    """Trivial mapper: tag each record with one of 48 keys."""
+    yield record % 48, record
+
+
+def fanout_map(record: int) -> list[tuple[int, int]]:
+    """Shuffle-heavy mapper: 24 small pairs across a 509-key space."""
+    base = record * 31
+    return [((base + f * 67) % 509, 1) for f in range(24)]
+
+
+def sum_reduce(key: Any, values: Iterable[int]) -> Iterator[tuple[Any, int]]:
+    """Trivial reducer: sum the values."""
+    yield key, sum(values)
+
+
+def compress_reduce(key: Any, values: Iterable[int]) -> Iterator[tuple[Any, int]]:
+    """Reduce-heavy reducer: one GIL-releasing compression per value."""
+    acc = 0
+    for value in values:
+        acc = zlib.crc32(zlib.compress(_BLOB, 6), acc + (value & 0xFF))
+    yield key, acc
+
+
+#: Scenario name -> (map_fn, reduce_fn).
+SCENARIOS = {
+    "map_heavy": (compress_map, sum_reduce),
+    "reduce_heavy": (tag_map, compress_reduce),
+    "shuffle_heavy": (fanout_map, sum_reduce),
+}
+
+
+def _ordered_backends(backends: Iterable[str] | None) -> list[str]:
+    """Backend run order with ``serial`` first, so every later backend has
+    a baseline for its speedup column and an output set to check against."""
+    names = list(backends) if backends else list(BACKENDS)
+    if "serial" in names:
+        names.remove("serial")
+        names.insert(0, "serial")
+    return names
+
+
+def run_scenario(
+    name: str,
+    backend: str,
+    *,
+    scale: float = 1.0,
+    num_workers: int | None = None,
+) -> tuple[EngineResult, float]:
+    """Run one scenario on one backend; returns the result and wall seconds."""
+    map_fn, reduce_fn = SCENARIOS[name]
+    records = list(range(max(1, int(_SCENARIO_RECORDS[name] * scale))))
+    engine = ExecutionEngine(
+        map_fn=map_fn,
+        reduce_fn=reduce_fn,
+        backend=backend,
+        num_workers=num_workers,
+    )
+    started = time.perf_counter()
+    result = engine.run(records)
+    return result, time.perf_counter() - started
+
+
+def run_scenarios(
+    *,
+    scenarios: Iterable[str] | None = None,
+    backends: Iterable[str] | None = None,
+    scale: float = 1.0,
+    repeat: int = 1,
+    num_workers: int | None = None,
+) -> list[dict[str, object]]:
+    """Benchmark scenarios × backends; best-of-*repeat* wall per cell.
+
+    Each scenario's serial run is the speedup baseline; every backend's
+    outputs are asserted identical to serial's, so a row in the table is
+    also a correctness check.
+    """
+    rows: list[dict[str, object]] = []
+    for name in scenarios or sorted(SCENARIOS):
+        serial_wall: float | None = None
+        serial_outputs: list | None = None
+        for backend in _ordered_backends(backends):
+            best: tuple[EngineResult, float] | None = None
+            for _ in range(max(1, repeat)):
+                result, wall = run_scenario(
+                    name, backend, scale=scale, num_workers=num_workers
+                )
+                if best is None or wall < best[1]:
+                    best = (result, wall)
+            result, wall = best
+            if backend == "serial":
+                serial_wall, serial_outputs = wall, result.outputs
+            elif serial_outputs is not None:
+                assert result.outputs == serial_outputs, (name, backend)
+            rows.append(
+                {
+                    "scenario": name,
+                    "backend": backend,
+                    "wall_s": round(wall, 3),
+                    "speedup_vs_serial": (
+                        round(serial_wall / wall, 2) if serial_wall else ""
+                    ),
+                    "map_s": round(result.engine.timings.map_seconds, 3),
+                    "shuffle_s": round(
+                        result.engine.timings.shuffle_seconds, 3
+                    ),
+                    "reduce_s": round(result.engine.timings.reduce_seconds, 3),
+                    "reduce_tasks": result.engine.num_reduce_tasks,
+                    "outputs": len(result.outputs),
+                }
+            )
+    return rows
+
+
+def run_join_bench(
+    *,
+    tuples: int = 500,
+    keys: int = 8,
+    q: int = 120,
+    skew: float = 1.3,
+    seed: int = 7,
+    method: str = "auto",
+    backends: Iterable[str] | None = None,
+    repeat: int = 1,
+    num_workers: int | None = None,
+) -> list[dict[str, object]]:
+    """A fast subset of E17: the schema skew join across backends."""
+    from repro.apps.skew_join import schema_skew_join
+    from repro.workloads.relations import generate_join_workload
+
+    x, y = generate_join_workload(tuples, tuples, keys, skew, seed=seed)
+    rows: list[dict[str, object]] = []
+    serial_wall: float | None = None
+    serial_triples = None
+    for backend in _ordered_backends(backends):
+        best_wall: float | None = None
+        best_run = None
+        for _ in range(max(1, repeat)):
+            started = time.perf_counter()
+            run = schema_skew_join(
+                x, y, q, method=method, backend=backend,
+                num_workers=num_workers,
+            )
+            wall = time.perf_counter() - started
+            if best_wall is None or wall < best_wall:
+                best_wall, best_run = wall, run
+        if backend == "serial":
+            serial_wall, serial_triples = best_wall, best_run.triple_set()
+        elif serial_triples is not None:
+            assert best_run.triple_set() == serial_triples, backend
+        rows.append(
+            {
+                "scenario": "skew_join",
+                "backend": backend,
+                "wall_s": round(best_wall, 3),
+                "speedup_vs_serial": (
+                    round(serial_wall / best_wall, 2) if serial_wall else ""
+                ),
+                "map_s": round(best_run.engine.timings.map_seconds, 3),
+                "shuffle_s": round(
+                    best_run.engine.timings.shuffle_seconds, 3
+                ),
+                "reduce_s": round(best_run.engine.timings.reduce_seconds, 3),
+                "reduce_tasks": best_run.engine.num_reduce_tasks,
+                "outputs": len(best_run.triples),
+            }
+        )
+    return rows
+
+
+def check_regression(
+    rows: Iterable[dict[str, object]],
+    *,
+    max_threads_slowdown: float = 1.3,
+    min_serial_seconds: float = 0.02,
+) -> list[str]:
+    """Perf smoke check: threads must not be grossly slower than serial.
+
+    Returns human-readable failure strings (empty = pass).  The bound is
+    deliberately generous — it catches engine-level regressions (a serial
+    bottleneck reappearing in the parallel path) without flaking on
+    scheduler noise or single-core machines, where threads ≈ serial.
+    Scenarios whose serial wall is under *min_serial_seconds* are skipped
+    (at millisecond scale the ratio is rounding noise, not signal), and a
+    run in which *no* scenario could be compared — missing serial/threads
+    rows, or everything too fast — fails rather than passing vacuously.
+    """
+    failures: list[str] = []
+    compared = 0
+    by_scenario: dict[str, dict[str, float]] = {}
+    for row in rows:
+        by_scenario.setdefault(str(row["scenario"]), {})[
+            str(row["backend"])
+        ] = float(row["wall_s"])
+    for scenario, walls in by_scenario.items():
+        serial = walls.get("serial")
+        threads = walls.get("threads")
+        if serial is None or threads is None or serial < min_serial_seconds:
+            continue
+        compared += 1
+        if threads > serial * max_threads_slowdown:
+            failures.append(
+                f"{scenario}: threads {threads:.3f}s > "
+                f"{max_threads_slowdown}x serial {serial:.3f}s"
+            )
+    if not compared:
+        failures.append(
+            "perf check compared nothing: need serial and threads rows "
+            f"with serial >= {min_serial_seconds}s (got scenarios: "
+            f"{sorted(by_scenario) or 'none'})"
+        )
+    return failures

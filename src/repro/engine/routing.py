@@ -10,7 +10,9 @@ backend (closures would not survive pickling).
 Records routed by these helpers are wrapped with their input index:
 ``(i, record)`` for A2A, ``(side, i, record)`` with ``side in {"x", "y"}``
 for X2Y.  Reduce functions receive those wrapped values and can recover
-exactly-once semantics through :func:`canonical_meeting`.
+exactly-once semantics through :func:`canonical_meeting`, or — cheaper when
+a meeting is tested per output pair — through a per-schema lookup table
+precomputed once by :func:`a2a_meeting_table` / :func:`x2y_meeting_table`.
 """
 
 from __future__ import annotations
@@ -51,11 +53,67 @@ def canonical_meeting(
     A valid schema guarantees the intersection is non-empty; emitting a
     pair's output only when the executing reducer equals this index makes
     the distributed result exactly-once despite replication.
+
+    Membership lists built by :func:`a2a_memberships` and
+    :func:`x2y_memberships` are sorted ascending, so the smallest common
+    index is found by a linear two-pointer merge — no per-pair set
+    construction.  Unsorted inputs still get the correct answer through a
+    set-intersection fallback.  Apps that test a meeting per *output* pair
+    should precompute :func:`a2a_meeting_table` / :func:`x2y_meeting_table`
+    once per schema instead of calling this in the hot loop.
     """
-    common = set(reducers_a) & set(reducers_b)
+    seq_a = reducers_a if isinstance(reducers_a, (list, tuple)) else list(reducers_a)
+    seq_b = reducers_b if isinstance(reducers_b, (list, tuple)) else list(reducers_b)
+    pos_a = pos_b = 0
+    len_a, len_b = len(seq_a), len(seq_b)
+    while pos_a < len_a and pos_b < len_b:
+        item_a, item_b = seq_a[pos_a], seq_b[pos_b]
+        if item_a == item_b:
+            return item_a
+        if item_a < item_b:
+            pos_a += 1
+        else:
+            pos_b += 1
+    # The merge can only miss a common element when a list was unsorted;
+    # fall back to the exact set intersection before declaring failure.
+    common = set(seq_a) & set(seq_b)
     if not common:
         raise ValueError("inputs share no reducer; schema is invalid for this pair")
-    return min(common)
+    return min(common)  # pragma: no cover - unsorted-input fallback
+
+
+def a2a_meeting_table(schema: A2ASchema) -> dict[tuple[int, int], int]:
+    """Canonical meeting reducer for every covered A2A pair, ``i < j``.
+
+    Iterating reducers in ascending index order means the first reducer a
+    pair is seen at *is* its smallest shared reducer, so one pass over the
+    schema replaces a :func:`canonical_meeting` call per output pair with a
+    dict lookup.  The table is plain data, hence picklable into reduce
+    tasks on the ``processes`` backend.
+    """
+    owners: dict[tuple[int, int], int] = {}
+    for r, members in enumerate(schema.reducers):
+        for a_pos, i in enumerate(members):
+            for j in members[a_pos + 1 :]:
+                pair = (i, j) if i < j else (j, i)
+                if pair not in owners:
+                    owners[pair] = r
+    return owners
+
+
+def x2y_meeting_table(schema: X2YSchema) -> dict[tuple[int, int], int]:
+    """Canonical meeting reducer for every X2Y cross pair ``(x_i, y_j)``.
+
+    Same one-pass construction as :func:`a2a_meeting_table`; keys are
+    ``(x_index, y_index)``.
+    """
+    owners: dict[tuple[int, int], int] = {}
+    for r, (x_part, y_part) in enumerate(schema.reducers):
+        for i in x_part:
+            for j in y_part:
+                if (i, j) not in owners:
+                    owners[(i, j)] = r
+    return owners
 
 
 def route_a2a(

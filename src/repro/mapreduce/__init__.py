@@ -7,6 +7,7 @@ from repro.mapreduce.shuffle import (
     hash_partition,
     map_record,
     ordered_keys,
+    partition_groups,
     stable_hash,
 )
 from repro.mapreduce.job import JobResult, MapReduceJob
@@ -27,5 +28,6 @@ __all__ = [
     "group_pairs",
     "ordered_keys",
     "hash_partition",
+    "partition_groups",
     "stable_hash",
 ]

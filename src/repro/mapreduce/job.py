@@ -4,6 +4,14 @@ This is the substrate substitution for a real Hadoop-style cluster (see
 DESIGN.md): the paper's metrics — communication cost, reducer count,
 per-reducer load against the capacity ``q`` — are defined on this abstract
 model, which the job executes faithfully in-process.
+
+The simulator deliberately keeps the simple one-dict shuffle even though
+the execution engine (:mod:`repro.engine.engine`) moved to a partitioned
+task contract (map tasks return partition-bucketed groups, reduce tasks
+merge their own partition): the shared helpers in
+:mod:`repro.mapreduce.shuffle` plus the sorted-key reduce order are what
+keep the two executors byte-identical, which
+:mod:`repro.engine.crossval` verifies.
 """
 
 from __future__ import annotations

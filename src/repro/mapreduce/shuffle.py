@@ -5,10 +5,18 @@ simulator) and :mod:`repro.engine` (the parallel execution engine) implement
 the same abstract model: mappers emit key-value pairs, an optional combiner
 folds each mapper's emissions, and the shuffle groups values by key.  These
 helpers hold that logic in one place so the two executors cannot drift.
+
+The engine's shuffle is *partitioned*: map tasks pre-group their pairs by
+reduce partition (:func:`partition_groups` over :func:`stable_hash`) so the
+parent process never re-hashes individual pairs.  The simulator keeps the
+single-dict shuffle (:func:`group_pairs`) — its job is to define the
+metrics, not to be fast — and stays byte-identical to the engine because
+both executors reduce keys in :func:`ordered_keys` order.
 """
 
 from __future__ import annotations
 
+import numbers
 import zlib
 from typing import Any, Hashable, Iterable
 
@@ -46,9 +54,8 @@ def group_pairs(
 ) -> dict[Hashable, list[Any]]:
     """Shuffle: append ``(key, value)`` pairs into per-key value lists.
 
-    Passing an existing *groups* dict accumulates across calls (the engine
-    merges one map task's output at a time); values keep arrival order so
-    grouping is deterministic for a fixed record order.
+    Passing an existing *groups* dict accumulates across calls; values keep
+    arrival order so grouping is deterministic for a fixed record order.
     """
     if groups is None:
         groups = {}
@@ -70,14 +77,37 @@ def ordered_keys(groups: dict[Hashable, Any]) -> list[Hashable]:
 
 
 def stable_hash(key: Hashable) -> int:
-    """A hash that is stable across interpreter runs.
+    """A hash that is stable across interpreter runs and processes, and
+    consistent with equality for the key types jobs actually use.
 
     The builtin ``hash()`` is salted per process for strings (and tuples
     containing them), which would make the engine's partitioning — and with
     it the per-task load metrics written to benchmark artifacts —
-    nondeterministic between identical runs.  CRC32 over the key's ``repr``
-    is stable for the value-like keys jobs use (ints, strings, tuples).
+    nondeterministic between identical runs.  Numbers, however, hash
+    *unsalted* in CPython, so numeric keys reuse ``hash()`` directly —
+    which also preserves the hash/equality contract (``1``, ``1.0`` and
+    ``True`` are equal and must land in the same partition, or the
+    partitioned shuffle would reduce "the same" key in two tasks).
+    Strings and bytes go through CRC32, and tuples mix their elements'
+    stable hashes (the same multiply-xor scheme CPython uses for tuple
+    hashing).  Everything else falls back to ``hash()`` for numeric types
+    and CRC32 over ``repr`` otherwise; keys of exotic types are supported
+    only insofar as equal keys produce equal reprs.
     """
+    kind = type(key)
+    if kind is int or kind is bool or kind is float:
+        return hash(key) & 0xFFFFFFFF
+    if kind is str:
+        return zlib.crc32(key.encode("utf-8", "backslashreplace"))
+    if kind is tuple:
+        acc = 0x345678
+        for item in key:
+            acc = ((acc * 1000003) ^ stable_hash(item)) & 0xFFFFFFFF
+        return acc ^ len(key)
+    if kind is bytes:
+        return zlib.crc32(key)
+    if isinstance(key, numbers.Number):
+        return hash(key) & 0xFFFFFFFF
     return zlib.crc32(repr(key).encode("utf-8", "backslashreplace"))
 
 
@@ -87,9 +117,10 @@ def hash_partition(
     """Assign each key to one of *num_partitions* buckets by stable hash.
 
     The relative order of keys within a bucket follows the input order, so
-    partitioning a sorted key list yields sorted buckets.  This is the
-    engine's shuffle partitioner: one bucket becomes one reduce task, and
-    :func:`stable_hash` makes the assignment reproducible across runs.
+    partitioning a sorted key list yields sorted buckets.
+    :func:`stable_hash` makes the assignment reproducible across runs and
+    across worker processes — mapper-side partitioning in different
+    processes agrees with the parent by construction.
     """
     if num_partitions <= 0:
         raise InvalidInstanceError(
@@ -98,4 +129,29 @@ def hash_partition(
     buckets: list[list[Hashable]] = [[] for _ in range(num_partitions)]
     for key in keys:
         buckets[stable_hash(key) % num_partitions].append(key)
+    return buckets
+
+
+def partition_groups(
+    groups: dict[Hashable, list[Any]], num_partitions: int
+) -> list[dict[Hashable, list[Any]]]:
+    """Split a key-grouped dict into per-reduce-partition dicts.
+
+    This is the mapper-side half of the engine's partitioned shuffle: each
+    map task groups its own pairs by key, then buckets the *distinct* keys
+    by :func:`stable_hash` — one hash per key instead of one per pair.  The
+    returned list has exactly *num_partitions* dicts (empty ones included;
+    the engine drops empty partitions after transposing across map tasks).
+    """
+    if num_partitions <= 0:
+        raise InvalidInstanceError(
+            f"num_partitions must be positive, got {num_partitions}"
+        )
+    if num_partitions == 1:
+        return [groups]
+    buckets: list[dict[Hashable, list[Any]]] = [
+        {} for _ in range(num_partitions)
+    ]
+    for key, values in groups.items():
+        buckets[stable_hash(key) % num_partitions][key] = values
     return buckets

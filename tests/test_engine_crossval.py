@@ -71,19 +71,26 @@ class TestSchemaCrossValidation:
 
 
 class TestApplicationCrossValidation:
-    def test_similarity_join_engine_serial_is_byte_identical(self):
+    """Outputs *and* JobMetrics must match the simulator on every backend,
+    not just serial — partitioning may batch keys differently, but nothing
+    observable may change."""
+
+    @pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
+    def test_similarity_join_engine_is_byte_identical(self, backend):
         documents = generate_documents(24, 50, seed=11)
         simulator = run_similarity_join(documents, 50, 0.2)
-        engine = run_similarity_join(documents, 50, 0.2, backend="serial")
+        engine = run_similarity_join(documents, 50, 0.2, backend=backend)
         assert engine.pairs == simulator.pairs
         assert engine.metrics == simulator.metrics
         assert engine.schema.reducers == simulator.schema.reducers
         assert engine.engine is not None and simulator.engine is None
+        assert engine.engine.backend == backend
 
-    def test_skew_join_engine_serial_is_byte_identical(self):
+    @pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
+    def test_skew_join_engine_is_byte_identical(self, backend):
         x, y = generate_join_workload(240, 240, 8, 1.3, seed=5)
         simulator = schema_skew_join(x, y, 70)
-        engine = schema_skew_join(x, y, 70, backend="serial")
+        engine = schema_skew_join(x, y, 70, backend=backend)
         assert engine.triples == simulator.triples
         assert engine.metrics == simulator.metrics
         assert engine.heavy_keys == simulator.heavy_keys
