@@ -1,0 +1,67 @@
+"""E19 (new): out-of-core execution — memory-bounded vs unbounded shuffle.
+
+The spill-to-disk shuffle exists so jobs survive inputs whose intermediate
+state does not fit in memory; E19 measures what that insurance costs when
+it kicks in.  The shuffle-heavy scenario (tiny pairs, huge fan-out — the
+workload shape with the largest buffered state per record) runs on every
+backend twice: fully in-memory, and with a deliberately tiny
+``memory_budget`` that forces many sorted runs to disk.
+
+Expected shape: identical outputs in both modes on every backend (asserted
+inside :func:`repro.engine.quickbench.run_out_of_core`); budgeted rows show
+non-zero ``spill_runs``/``spilled_bytes`` with ``peak_buffered`` pinned
+near the budget instead of growing with the input; the budgeted wall clock
+pays a constant-factor serialization tax — the price of bounded memory,
+not a scaling cliff.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import emit, run_once
+from repro.engine.backends import BACKENDS, available_workers
+from repro.engine.quickbench import check_spill, run_out_of_core
+from repro.utils.tables import format_table
+
+SCALE = 1.0
+MEMORY_BUDGET = 512
+REPEAT = 2
+
+
+def compute_rows() -> list[dict[str, object]]:
+    return run_out_of_core(
+        scenario="shuffle_heavy",
+        scale=SCALE,
+        memory_budget=MEMORY_BUDGET,
+        repeat=REPEAT,
+    )
+
+
+@pytest.mark.benchmark(group="E19")
+def test_e19_out_of_core(benchmark):
+    rows = run_once(benchmark, compute_rows)
+    emit(
+        "E19",
+        format_table(
+            rows,
+            title=(
+                f"E19: out-of-core shuffle, unbounded vs memory_budget="
+                f"{MEMORY_BUDGET} pairs (scale={SCALE}, best of {REPEAT}, "
+                f"{available_workers()} workers)"
+            ),
+        ),
+        rows=rows,
+    )
+
+    assert len(rows) == 2 * len(BACKENDS)
+    # Budgeted cells must actually have spilled, and the peak buffered
+    # pair count must be bounded by the budget (plus one record's
+    # emissions), or the bench is not measuring out-of-core execution.
+    assert check_spill(rows) == []
+    for row in rows:
+        if row["mode"] == "unbounded":
+            assert row["spill_runs"] == 0
+        else:
+            assert int(row["spill_runs"]) >= 2
+            assert int(row["spilled_bytes"]) > 0

@@ -31,10 +31,12 @@ from repro.core import (
     solve_x2y,
     summarize,
 )
+from repro.dataset import Dataset, as_dataset
 from repro.engine import (
     BACKENDS,
     EngineMetrics,
     EngineResult,
+    ExecutionConfig,
     ExecutionEngine,
     execute_schema,
 )
@@ -45,6 +47,7 @@ from repro.exceptions import (
     InvalidSchemaError,
     ReproError,
     SolverLimitError,
+    SpillError,
 )
 from repro.mapreduce import MapReduceJob, SimulatedCluster, schedule_loads
 
@@ -68,15 +71,19 @@ __all__ = [
     "SimulatedCluster",
     "schedule_loads",
     "ExecutionEngine",
+    "ExecutionConfig",
     "EngineResult",
     "EngineMetrics",
     "execute_schema",
     "BACKENDS",
+    "Dataset",
+    "as_dataset",
     "ReproError",
     "InvalidInstanceError",
     "InfeasibleInstanceError",
     "InvalidSchemaError",
     "CapacityExceededError",
     "SolverLimitError",
+    "SpillError",
     "__version__",
 ]

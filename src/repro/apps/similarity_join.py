@@ -19,6 +19,8 @@ from repro.apps.common import a2a_meeting_table, a2a_memberships
 from repro.core.instance import A2AInstance
 from repro.core.schema import A2ASchema
 from repro.core.selector import solve_a2a
+from repro.dataset import Dataset
+from repro.engine.config import ExecutionConfig, resolve_execution
 from repro.engine.engine import execute_schema
 from repro.engine.metrics import EngineMetrics
 from repro.mapreduce.job import MapReduceJob
@@ -75,13 +77,14 @@ def _similarity_reduce(
 
 
 def run_similarity_join(
-    documents: list[Document],
+    documents: list[Document] | Dataset,
     q: int,
     threshold: float,
     *,
     method: str = "auto",
     backend: str | None = None,
     num_workers: int | None = None,
+    config: ExecutionConfig | None = None,
 ) -> SimilarityJoinRun:
     """Run the schema-driven similarity join end to end.
 
@@ -90,16 +93,24 @@ def run_similarity_join(
     strictly: a correct schema never overflows, so an exception here means
     a bug, not a workload property.
 
-    With ``backend=None`` the job runs on the reference simulator; naming a
-    backend (``"serial"``, ``"threads"``, ``"processes"``) routes it
-    through :mod:`repro.engine` instead, which produces identical pairs and
-    additionally reports phase timings in ``run.engine``.
+    With neither ``backend=`` nor ``config=`` the job runs on the
+    reference simulator; naming a backend (``"serial"``, ``"threads"``,
+    ``"processes"``) or passing an
+    :class:`~repro.engine.config.ExecutionConfig` (which may set a
+    ``memory_budget`` for the out-of-core shuffle) routes it through
+    :mod:`repro.engine` instead, which produces identical pairs and
+    additionally reports phase timings in ``run.engine``.  *documents* may
+    be a :class:`~repro.dataset.Dataset` (materialized once for schema
+    planning — the sizes must be known before any record is routed).
     """
+    if isinstance(documents, Dataset):
+        documents = documents.materialize()
     instance = A2AInstance([d.size for d in documents], q)
     schema = solve_a2a(instance, method)
     owners = a2a_meeting_table(schema)
 
-    if backend is not None:
+    execution = resolve_execution(config, backend, num_workers)
+    if execution is not None:
         reduce_fn = partial(
             _similarity_reduce,
             owners=owners,
@@ -109,8 +120,7 @@ def run_similarity_join(
             schema,
             documents,
             reduce_fn,
-            backend=backend,
-            num_workers=num_workers,
+            config=execution,
         )
         return SimilarityJoinRun(
             pairs=tuple(result.outputs),

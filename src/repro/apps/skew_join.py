@@ -18,6 +18,7 @@ from repro.apps.common import x2y_memberships, x2y_meeting_table
 from repro.core.instance import X2YInstance
 from repro.core.schema import X2YSchema
 from repro.core.selector import solve_x2y
+from repro.engine.config import ExecutionConfig, resolve_execution
 from repro.engine.engine import ExecutionEngine
 from repro.engine.metrics import EngineMetrics
 from repro.mapreduce.job import MapReduceJob
@@ -169,6 +170,7 @@ def schema_skew_join(
     method: str = "auto",
     backend: str | None = None,
     num_workers: int | None = None,
+    config: ExecutionConfig | None = None,
 ) -> SkewJoinRun:
     """Skew-aware join: X2Y mapping schemas for heavy keys, hashing for light.
 
@@ -179,8 +181,11 @@ def schema_skew_join(
     Light keys keep the conventional per-key reducer ``("light", key)``.
     Capacity is enforced strictly: by construction nothing overflows.
 
-    With ``backend=None`` the job runs on the reference simulator; naming a
-    backend (``"serial"``, ``"threads"``, ``"processes"``) runs the same
+    With neither ``backend=`` nor ``config=`` the job runs on the
+    reference simulator; naming a backend (``"serial"``, ``"threads"``,
+    ``"processes"``) or passing an
+    :class:`~repro.engine.config.ExecutionConfig` (which may set a
+    ``memory_budget`` for the out-of-core shuffle) runs the same
     map/reduce functions through :mod:`repro.engine`, producing identical
     triples plus phase timings in ``run.engine``.
     """
@@ -226,15 +231,15 @@ def schema_skew_join(
     map_fn = partial(_skew_map, members=members, heavy=heavy_set)
     reduce_fn = partial(_skew_reduce, members=members)
 
-    if backend is not None:
-        engine = ExecutionEngine(
+    execution = resolve_execution(config, backend, num_workers)
+    if execution is not None:
+        engine = ExecutionEngine.from_config(
+            execution,
             map_fn=map_fn,
             reduce_fn=reduce_fn,
             size_of=_skew_record_size,
             reducer_capacity=q,
             strict_capacity=True,
-            backend=backend,
-            num_workers=num_workers,
         )
         result = engine.run(records)
         return SkewJoinRun(

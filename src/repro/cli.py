@@ -10,7 +10,9 @@ Commands:
 * ``verify --file schema.json`` — re-verify a persisted schema.
 * ``run --app skew-join --q 80 --backend processes`` — execute a
   schema-driven application on an engine backend and print job plus
-  phase-timing metrics.
+  phase-timing metrics.  ``--memory-budget N`` bounds each map task to
+  ``N`` buffered pairs and spills the rest to disk (out-of-core mode);
+  the spill counters are printed after the metrics tables.
 * ``bench [--scale 1.0] [--repeat 1] [--check]`` — a fast subset of the
   E17/E18 engine benchmarks: the skew join plus the map/reduce/shuffle-heavy
   scenarios across all backends, printed as a speedup table.  ``--check``
@@ -50,11 +52,61 @@ def _positive_int(text: str) -> int:
 
 
 def _parse_sizes(text: str) -> list[int]:
-    """Parse a comma-separated size list, e.g. ``3,5,2``."""
+    """Parse and validate a comma-separated size list, e.g. ``3,5,2``.
+
+    Sizes (and ``--q-values`` entries) must be strictly positive integers
+    and the list must be non-empty, so bad input fails here with a clear
+    message instead of surfacing as a confusing error deeper in the
+    solver.
+    """
     try:
-        return [int(part) for part in text.split(",") if part.strip()]
+        values = [int(part) for part in text.split(",") if part.strip()]
     except ValueError as exc:
         raise argparse.ArgumentTypeError(f"bad size list {text!r}") from exc
+    if not values:
+        raise argparse.ArgumentTypeError(
+            f"size list must contain at least one integer, got {text!r}"
+        )
+    for value in values:
+        if value <= 0:
+            raise argparse.ArgumentTypeError(
+                f"sizes must be positive, got {value}"
+            )
+    return values
+
+
+#: Options whose value is a comma-separated integer list and may therefore
+#: legitimately start with ``-`` (a negative entry the validator should
+#: report).  ``main`` glues such values onto their flag with ``=`` so
+#: argparse does not mistake them for options and die with the opaque
+#: "expected one argument".
+_SIZE_LIST_FLAGS = frozenset({"--sizes", "--x-sizes", "--y-sizes", "--q-values"})
+
+
+def _absorb_size_values(argv: list[str]) -> list[str]:
+    """Rewrite ``--sizes -3,5`` into ``--sizes=-3,5`` so validation runs.
+
+    Only values that look like an integer list (a ``-`` followed by a
+    digit) are absorbed; anything else is left for argparse to treat as
+    the option-missing-its-argument error it is.
+    """
+    rewritten: list[str] = []
+    index = 0
+    while index < len(argv):
+        token = argv[index]
+        if (
+            token in _SIZE_LIST_FLAGS
+            and index + 1 < len(argv)
+            and len(argv[index + 1]) >= 2
+            and argv[index + 1][0] == "-"
+            and argv[index + 1][1].isdigit()
+        ):
+            rewritten.append(f"{token}={argv[index + 1]}")
+            index += 2
+            continue
+        rewritten.append(token)
+        index += 1
+    return rewritten
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -102,6 +154,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--q", type=int, required=True)
     run.add_argument("--backend", default="serial", choices=sorted(BACKENDS))
     run.add_argument("--num-workers", type=_positive_int, default=None)
+    run.add_argument(
+        "--memory-budget",
+        type=_positive_int,
+        default=None,
+        help="max buffered pairs per map task before spilling to disk "
+        "(default: unbounded, fully in-memory shuffle)",
+    )
+    run.add_argument(
+        "--spill-dir",
+        default=None,
+        help="base directory for spill files (default: system temp dir)",
+    )
     run.add_argument("--method", default="auto")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument(
@@ -153,9 +217,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--num-workers", type=_positive_int, default=None
     )
     bench.add_argument(
+        "--memory-budget",
+        type=_positive_int,
+        default=None,
+        help="also run the E19 memory-bounded comparison (unbounded vs "
+        "this budget) and include its spill rows",
+    )
+    bench.add_argument(
+        "--json-out",
+        default=None,
+        help="write the raw bench rows to this JSON file",
+    )
+    bench.add_argument(
         "--check",
         action="store_true",
-        help="exit 1 if threads is >1.3x slower than serial (perf smoke)",
+        help="exit 1 if threads is >1.3x slower than serial, or (with "
+        "--memory-budget) if the budgeted run failed to spill (perf smoke)",
     )
 
     return parser
@@ -174,11 +251,19 @@ def _print_schema(schema, as_json: bool) -> None:
 
 def _run_app(args: argparse.Namespace) -> int:
     """Handle ``repro run``: generate a workload, execute it, print metrics."""
+    from repro.engine.config import ExecutionConfig
+
+    config = ExecutionConfig(
+        backend=args.backend,
+        num_workers=args.num_workers,
+        memory_budget=args.memory_budget,
+        spill_dir=args.spill_dir,
+    )
     if args.app == "similarity":
         from repro.apps.similarity_join import run_similarity_join
-        from repro.workloads.documents import generate_documents
+        from repro.workloads.documents import document_dataset
 
-        documents = generate_documents(
+        documents = document_dataset(
             args.m, args.q, profile=args.profile, seed=args.seed
         )
         run = run_similarity_join(
@@ -186,8 +271,7 @@ def _run_app(args: argparse.Namespace) -> int:
             args.q,
             args.threshold,
             method=args.method,
-            backend=args.backend,
-            num_workers=args.num_workers,
+            config=config,
         )
         print(f"app       : similarity join ({args.m} documents, q={args.q})")
         print(f"schema    : {run.schema.algorithm}, {run.schema.num_reducers} reducers")
@@ -204,8 +288,7 @@ def _run_app(args: argparse.Namespace) -> int:
             y,
             args.q,
             method=args.method,
-            backend=args.backend,
-            num_workers=args.num_workers,
+            config=config,
         )
         print(
             f"app       : skew join ({args.tuples}x{args.tuples} tuples, "
@@ -215,6 +298,13 @@ def _run_app(args: argparse.Namespace) -> int:
         print(f"outputs   : {len(run.triples)} triples")
     print(format_table([run.metrics.as_row()], title="job metrics"))
     print(format_table([run.engine.as_row()], title="engine metrics"))
+    if args.memory_budget is not None:
+        metrics = run.metrics
+        print(
+            f"spill     : {metrics.spilled_bytes} bytes in "
+            f"{metrics.spill_runs} runs (budget {args.memory_budget} pairs, "
+            f"peak buffered {metrics.peak_buffered_pairs})"
+        )
     return 0
 
 
@@ -223,7 +313,9 @@ def _run_bench(args: argparse.Namespace) -> int:
     from repro.engine.backends import available_workers
     from repro.engine.quickbench import (
         check_regression,
+        check_spill,
         run_join_bench,
+        run_out_of_core,
         run_scenarios,
     )
 
@@ -255,19 +347,59 @@ def _run_bench(args: argparse.Namespace) -> int:
             ),
         )
     )
+    spill_rows: list[dict[str, object]] = []
+    if args.memory_budget is not None:
+        spill_rows = run_out_of_core(
+            backends=backends,
+            scale=args.scale,
+            memory_budget=args.memory_budget,
+            repeat=args.repeat,
+            num_workers=args.num_workers,
+        )
+        print(
+            format_table(
+                spill_rows,
+                title=(
+                    "out-of-core: unbounded vs memory_budget="
+                    f"{args.memory_budget} (outputs asserted identical)"
+                ),
+            )
+        )
+    if args.json_out:
+        import json
+
+        with open(args.json_out, "w") as handle:
+            json.dump(
+                {"rows": rows, "out_of_core_rows": spill_rows},
+                handle,
+                indent=2,
+                default=str,
+            )
+            handle.write("\n")
     if args.check:
         failures = check_regression(rows)
+        if args.memory_budget is not None:
+            failures += check_spill(spill_rows)
         for failure in failures:
             print(f"PERF REGRESSION: {failure}", file=sys.stderr)
         if failures:
             return 1
-        print("perf smoke: ok (threads within 1.3x of serial everywhere)")
+        print(
+            "perf smoke: ok (threads within 1.3x of serial everywhere"
+            + (
+                "; budgeted runs spilled and matched in-memory outputs)"
+                if args.memory_budget is not None
+                else ")"
+            )
+        )
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit status."""
-    args = build_parser().parse_args(argv)
+    if argv is None:
+        argv = sys.argv[1:]
+    args = build_parser().parse_args(_absorb_size_values(list(argv)))
     try:
         if args.command == "solve-a2a":
             schema = solve_a2a(A2AInstance(args.sizes, args.q), args.method)
@@ -287,8 +419,12 @@ def main(argv: list[str] | None = None) -> int:
         elif args.command == "bench":
             return _run_bench(args)
         elif args.command == "verify":
-            with open(args.file) as handle:
-                loaded = repro_io.loads(handle.read())
+            try:
+                with open(args.file) as handle:
+                    loaded = repro_io.loads(handle.read())
+            except OSError as error:
+                print(f"error: cannot read {args.file!r}: {error}", file=sys.stderr)
+                return 1
             report = loaded.verify()  # type: ignore[union-attr]
             print(report.summary())
             if not report.valid:

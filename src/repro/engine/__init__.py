@@ -35,6 +35,7 @@ from repro.engine.backends import (
     available_workers,
     get_backend,
 )
+from repro.engine.config import ExecutionConfig, resolve_execution
 from repro.engine.crossval import (
     CrossValidationReport,
     compare_results,
@@ -52,6 +53,8 @@ from repro.engine.routing import (
 
 __all__ = [
     "ExecutionEngine",
+    "ExecutionConfig",
+    "resolve_execution",
     "EngineResult",
     "execute_schema",
     "Backend",

@@ -32,8 +32,34 @@ from __future__ import annotations
 import os
 import pickle
 from abc import ABC, abstractmethod
+from collections import deque
 from functools import partial
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterable, Sequence
+
+#: In-flight futures per worker when consuming a streaming task iterable:
+#: enough to keep every worker busy without materializing the stream.
+_WINDOW_PER_WORKER = 4
+
+
+def _windowed_submit(
+    pool: Any, fn: Callable[[Any], Any], tasks: Iterable[Any], window: int
+) -> list[Any]:
+    """Submit tasks from an iterable with a bounded in-flight window.
+
+    ``Executor.map`` consumes its whole iterable up front, which would
+    materialize a streaming dataset's chunks in the submission queue;
+    this helper keeps at most *window* futures pending, pulling the next
+    task only as earlier results are collected.  Results keep task order.
+    """
+    results: list[Any] = []
+    pending: deque[Any] = deque()
+    for task in tasks:
+        pending.append(pool.submit(fn, task))
+        if len(pending) >= window:
+            results.append(pending.popleft().result())
+    while pending:
+        results.append(pending.popleft().result())
+    return results
 
 
 def available_workers() -> int:
@@ -63,9 +89,15 @@ class Backend(ABC):
 
     @abstractmethod
     def run_tasks(
-        self, fn: Callable[[Any], Any], tasks: Sequence[Any]
+        self, fn: Callable[[Any], Any], tasks: Iterable[Any]
     ) -> list[Any]:
-        """Run ``fn`` over every task payload; results keep task order."""
+        """Run ``fn`` over every task payload; results keep task order.
+
+        *tasks* may be any iterable; non-sequence iterables (generators,
+        streaming chunk producers) are consumed lazily — the serial
+        backend pulls one task at a time, pooled backends keep a bounded
+        window of submissions in flight.
+        """
 
     def _make_pool(self) -> Any:
         """Build the reusable worker pool; ``None`` for poolless backends."""
@@ -102,9 +134,9 @@ class SerialBackend(Backend):
         super().__init__(max_workers=1)
 
     def run_tasks(
-        self, fn: Callable[[Any], Any], tasks: Sequence[Any]
+        self, fn: Callable[[Any], Any], tasks: Iterable[Any]
     ) -> list[Any]:
-        """Run tasks in a plain loop."""
+        """Run tasks in a plain loop (lazily for streaming iterables)."""
         return [fn(task) for task in tasks]
 
 
@@ -119,9 +151,15 @@ class ThreadBackend(Backend):
         return ThreadPoolExecutor(max_workers=self.max_workers)
 
     def run_tasks(
-        self, fn: Callable[[Any], Any], tasks: Sequence[Any]
+        self, fn: Callable[[Any], Any], tasks: Iterable[Any]
     ) -> list[Any]:
         """Run tasks on a thread pool; exceptions propagate to the caller."""
+        if not isinstance(tasks, Sequence):
+            window = self.max_workers * _WINDOW_PER_WORKER
+            if self._pool is not None:
+                return _windowed_submit(self._pool, fn, tasks, window)
+            with self._make_pool() as pool:
+                return _windowed_submit(pool, fn, tasks, window)
         if not tasks:
             return []
         if self._pool is not None:
@@ -185,15 +223,27 @@ class ProcessBackend(Backend):
         return pool
 
     def run_tasks(
-        self, fn: Callable[[Any], Any], tasks: Sequence[Any]
+        self, fn: Callable[[Any], Any], tasks: Iterable[Any]
     ) -> list[Any]:
-        """Run tasks on a process pool in chunked batches."""
+        """Run tasks on a process pool in chunked batches.
+
+        Streaming (non-sequence) task iterables go through windowed
+        single-task submission instead of chunked ``map`` — the function
+        blob is still pickled once and cached per worker.
+        """
+        if not isinstance(tasks, Sequence):
+            call = partial(_call_pickled, pickle.dumps(fn))
+            window = self.max_workers * _WINDOW_PER_WORKER
+            if self._pool is not None:
+                return _windowed_submit(self._pool, call, tasks, window)
+            with self._make_pool() as pool:
+                return _windowed_submit(pool, call, tasks, window)
         if not tasks:
             return []
+        call = partial(_call_pickled, pickle.dumps(fn))
         chunksize = self.chunksize or max(
             1, -(-len(tasks) // (self.max_workers * 4))
         )
-        call = partial(_call_pickled, pickle.dumps(fn))
         if self._pool is not None:
             return list(self._pool.map(call, tasks, chunksize=chunksize))
         with self._make_pool() as pool:

@@ -27,20 +27,37 @@ parallel backends produce the same observables for any orderable key space.
 :class:`~repro.core.schema.A2ASchema` or :class:`~repro.core.schema.X2YSchema`
 plus per-input records and replicates each record to exactly the reducers
 the schema assigns its input to.
+
+Two knobs make the engine *out-of-core*: records may arrive as a streaming
+:class:`~repro.dataset.Dataset` (consumed chunk by chunk, never
+materialized in the parent), and a ``memory_budget`` bounds the pairs a map
+task buffers before spilling sorted runs to disk
+(:mod:`repro.engine.spill`), which reduce tasks stream-merge back in
+sorted-key order.  Outputs and strict-mode exceptions are identical to the
+in-memory path; only the spill counters in the job metrics differ.
 """
 
 from __future__ import annotations
 
+import shutil
 import time
 from dataclasses import dataclass
 from functools import partial
-from typing import Any, Hashable, Iterable, Sequence
+from typing import Any, Hashable, Iterable, Iterator, Sequence
 
 from repro.core.schema import A2ASchema, X2YSchema
+from repro.dataset import Dataset, as_dataset, iter_chunks
 from repro.engine.backends import Backend, SerialBackend, get_backend
+from repro.engine.config import ExecutionConfig
 from repro.engine.metrics import EngineMetrics, PhaseTimings
 from repro.engine.routing import build_schema_plan
-from repro.exceptions import CapacityExceededError
+from repro.engine.spill import (
+    MapSpill,
+    make_spill_dir,
+    merge_sources,
+    spill_groups,
+)
+from repro.exceptions import CapacityExceededError, InvalidInstanceError
 from repro.mapreduce.metrics import JobMetrics
 from repro.mapreduce.shuffle import (
     map_record,
@@ -56,6 +73,11 @@ _MIN_MAP_CHUNK = 16
 #: Target number of tasks per pool worker; enough slack for load balancing
 #: without drowning the run in task overhead.
 _TASKS_PER_WORKER = 4
+
+#: Map chunk size when the record count is unknown (streaming datasets):
+#: large enough to amortize dispatch, small enough to bound the number of
+#: records in flight per task.
+_STREAM_CHUNK = 1024
 
 
 @dataclass(frozen=True)
@@ -79,73 +101,126 @@ def _run_map_task(
     combiner_fn: ReduceFn | None,
     size_of: SizeFn,
     num_partitions: int,
-) -> tuple[list[dict[Hashable, list[Any]]], int, int]:
+    memory_budget: int | None = None,
+    spill_dir: str | None = None,
+    check_keys: bool = True,
+) -> tuple[
+    list[dict[Hashable, list[Any]]], int, int, int, int, MapSpill | None
+]:
     """One map task: map (and combine) a chunk into partition-bucketed groups.
 
-    Returns ``(buckets, pair_count, comm)`` where ``buckets[p]`` maps each
-    key of reduce partition ``p`` to its value list in record order.  Pair
-    counting and size accounting happen here, in the (parallel) task, so
-    the parent does no per-pair work at all.  Module-level so process-pool
-    workers can unpickle it; the configuration is bound via
-    :func:`functools.partial` and pickled once per phase.
+    Returns ``(buckets, pair_count, comm, record_count, peak_buffered,
+    spill)`` where ``buckets[p]`` maps each key of reduce partition ``p``
+    to its value list in record order.  Pair counting and size accounting
+    happen here, in the (parallel) task, so the parent does no per-pair
+    work at all.  Module-level so process-pool workers can unpickle it;
+    the configuration is bound via :func:`functools.partial` and pickled
+    once per phase.
+
+    With a *memory_budget*, the task flushes its buffered groups to
+    per-partition sorted run files in *spill_dir* whenever the buffered
+    pair count reaches the budget; whatever remains at the end of the
+    chunk is returned in-memory as usual, so unbudgeted runs take this
+    exact code path with zero flushes.  *check_keys* rejects keys that are
+    not equal to themselves (NaN floats and friends): such keys cannot be
+    grouped consistently by any shuffle — each NaN object becomes its own
+    dict entry — and would silently diverge between the dict-based and the
+    sorted spill-file merge.
     """
     groups: dict[Hashable, list[Any]] = {}
     pair_count = 0
     comm = 0
+    record_count = 0
+    buffered = 0
+    peak_buffered = 0
+    spill = MapSpill() if memory_budget is not None else None
     for record in chunk:
+        record_count += 1
         emitted = map_record(record, map_fn, combiner_fn)
         pair_count += len(emitted)
+        buffered += len(emitted)
         for key, value in emitted:
             comm += size_of(value)
             values = groups.get(key)
             if values is None:
+                if check_keys and key != key:
+                    raise InvalidInstanceError(
+                        f"map emitted a non-self-equal key {key!r} (e.g. "
+                        "NaN): such keys cannot be grouped consistently; "
+                        "use a self-equal surrogate key instead"
+                    )
                 groups[key] = [value]
             else:
                 values.append(value)
-    return partition_groups(groups, num_partitions), pair_count, comm
+        if spill is not None:
+            # Peak tracking is tied to the budget: unbounded runs report 0
+            # so their JobMetrics stay identical across backends (the
+            # unbounded peak would just echo the backend's chunking).
+            if buffered > peak_buffered:
+                peak_buffered = buffered
+            if buffered >= memory_budget and groups:
+                spill_groups(groups, num_partitions, spill_dir, spill)
+                groups = {}
+                buffered = 0
+    return (
+        partition_groups(groups, num_partitions),
+        pair_count,
+        comm,
+        record_count,
+        peak_buffered,
+        spill,
+    )
 
 
 def _run_reduce_task(
-    slabs: list[dict[Hashable, list[Any]]],
+    sources: list[Any],
     *,
     reduce_fn: ReduceFn,
     size_of: SizeFn,
     capacity: int | None,
     strict: bool,
 ) -> tuple[list[tuple[Hashable, list[Any]]] | None, list[tuple[Hashable, int]]]:
-    """One reduce task: merge a partition's pre-grouped buckets and reduce.
+    """One reduce task: merge a partition's sources and reduce each key.
 
-    ``slabs`` holds one bucket dict per map task, in task order; extending
-    value lists in that order reproduces the simulator's global record
-    order.  Returns ``(results, loads)``: per-key outputs plus per-key
+    ``sources`` holds, in spill order (map-task order, then flush order
+    within a task, with each task's in-memory leftover last), either
+    bucket dicts or paths of sorted run files.  Extending value lists in
+    that order reproduces the simulator's global record order.  When every
+    source is in-memory the merge is the dict-based fast path; as soon as
+    one source lives on disk the whole partition goes through the
+    streaming external merge, which holds one key's merged values at a
+    time.  Returns ``(results, loads)``: per-key outputs plus per-key
     loads.  Under strict capacity, a task whose partition contains an
-    overloaded key skips reducing and returns ``results=None`` — the parent
-    merges all loads and raises for the globally smallest offending key, so
-    the strict-mode exception is identical to the simulator's.
+    overloaded key discards its outputs and returns ``results=None`` — the
+    parent merges all loads and raises for the globally smallest offending
+    key, so the strict-mode exception is identical to the simulator's.
     """
-    merged: dict[Hashable, list[Any]] = {}
-    for slab in slabs:
-        for key, values in slab.items():
-            existing = merged.get(key)
-            if existing is None:
-                merged[key] = values
-            else:
-                existing.extend(values)
+    stream: Iterable[tuple[Hashable, list[Any]]]
+    if any(isinstance(source, str) for source in sources):
+        stream = merge_sources(sources)
+    else:
+        merged: dict[Hashable, list[Any]] = {}
+        for slab in sources:
+            for key, values in slab.items():
+                existing = merged.get(key)
+                if existing is None:
+                    merged[key] = values
+                else:
+                    existing.extend(values)
+        stream = ((key, merged[key]) for key in ordered_keys(merged))
     loads: list[tuple[Hashable, int]] = []
     overloaded = False
-    items: list[tuple[Hashable, list[Any]]] = []
-    for key in ordered_keys(merged):
-        values = merged[key]
+    results: list[tuple[Hashable, list[Any]]] = []
+    for key, values in stream:
         load = sum(size_of(value) for value in values)
         loads.append((key, load))
         if capacity is not None and load > capacity:
             overloaded = True
-        items.append((key, values))
+        if not (strict and overloaded):
+            results.append((key, list(reduce_fn(key, values))))
     if strict and overloaded:
         return None, loads
-    return [
-        (key, list(reduce_fn(key, values))) for key, values in items
-    ], loads
+    return results, loads
 
 
 def _chunk(records: list[Any], chunk_size: int) -> list[list[Any]]:
@@ -183,6 +258,15 @@ class ExecutionEngine:
             four partitions per worker; one on the serial backend).  Empty
             partitions are dropped, so this is an upper bound on dispatched
             reduce tasks.
+        memory_budget: maximum key-value pairs a map task buffers before
+            spilling its groups to sorted on-disk runs (``None`` keeps the
+            fully in-memory shuffle).  Outputs, metrics, and strict-mode
+            exceptions are identical either way; the budget only bounds
+            memory, at the cost of disk traffic (reported in the job
+            metrics' spill counters).
+        spill_dir: base directory for spill files (``None``: the system
+            temporary directory).  Each run spills into its own
+            subdirectory, which is removed when the run finishes.
     """
 
     map_fn: MapFn
@@ -195,49 +279,127 @@ class ExecutionEngine:
     num_workers: int | None = None
     map_chunk_size: int | None = None
     num_reduce_tasks: int | None = None
+    memory_budget: int | None = None
+    spill_dir: str | None = None
 
-    def run(self, records: Iterable[Any]) -> EngineResult:
-        """Execute the job end-to-end and return outputs plus metrics."""
+    @classmethod
+    def from_config(
+        cls,
+        config: ExecutionConfig,
+        *,
+        map_fn: MapFn,
+        reduce_fn: ReduceFn,
+        **kwargs: Any,
+    ) -> "ExecutionEngine":
+        """Build an engine from an :class:`ExecutionConfig` plus job fields."""
+        return cls(
+            map_fn=map_fn, reduce_fn=reduce_fn, **config.engine_kwargs(), **kwargs
+        )
+
+    def run(self, records: Iterable[Any] | Dataset) -> EngineResult:
+        """Execute the job end-to-end and return outputs plus metrics.
+
+        *records* may be any iterable or a :class:`~repro.dataset.Dataset`;
+        non-materialized datasets are consumed chunk by chunk, so the full
+        input is never held in the parent at once (pooled backends keep a
+        bounded submission window of chunks in flight).
+        """
+        if self.memory_budget is not None and self.memory_budget <= 0:
+            raise InvalidInstanceError(
+                f"memory_budget must be positive, got {self.memory_budget}"
+            )
         backend = get_backend(self.backend, max_workers=self.num_workers)
-        materialized = list(records)
+        dataset = as_dataset(records)
         num_partitions = self.num_reduce_tasks or self._default_partitions(
             backend
         )
+        run_spill_dir = (
+            make_spill_dir(self.spill_dir)
+            if self.memory_budget is not None
+            else None
+        )
+        try:
+            return self._run_phases(
+                backend, dataset, num_partitions, run_spill_dir
+            )
+        finally:
+            if run_spill_dir is not None:
+                shutil.rmtree(run_spill_dir, ignore_errors=True)
 
+    def _run_phases(
+        self,
+        backend: Backend,
+        dataset: Dataset,
+        num_partitions: int,
+        run_spill_dir: str | None,
+    ) -> EngineResult:
+        """The three phases plus the post-pass (spill dir managed by run)."""
         with backend:
             # --- map phase: chunk records into tasks; each task returns its
-            # pairs pre-grouped by key and bucketed by reduce partition.
+            # pairs pre-grouped by key and bucketed by reduce partition
+            # (overflow beyond the memory budget goes to sorted spill runs).
             map_started = time.perf_counter()
             chunk_size = self.map_chunk_size or self._default_chunk(
-                len(materialized), backend
+                dataset.length, backend, self.memory_budget
             )
-            chunks = _chunk(materialized, chunk_size) if materialized else []
+            chunks: Iterable[list[Any]]
+            if dataset.is_materialized:
+                materialized = dataset.materialize()
+                chunks = (
+                    _chunk(materialized, chunk_size) if materialized else []
+                )
+            else:
+                chunks = iter_chunks(dataset, chunk_size)
             map_task = partial(
                 _run_map_task,
                 map_fn=self.map_fn,
                 combiner_fn=self.combiner_fn,
                 size_of=self.size_of,
                 num_partitions=num_partitions,
+                memory_budget=self.memory_budget,
+                spill_dir=run_spill_dir,
+                check_keys=(
+                    self.strict_capacity or self.memory_budget is not None
+                ),
             )
             map_results = backend.run_tasks(map_task, chunks)
             map_seconds = time.perf_counter() - map_started
 
-            # --- shuffle: a transpose.  Collect each partition's buckets
-            # across map tasks (task order = record order) and drop empty
-            # partitions; no per-pair or per-key work happens here.
+            # --- shuffle: a transpose.  Collect each partition's sources
+            # across map tasks — spilled runs in flush order, then the
+            # task's in-memory leftover — and drop empty partitions; no
+            # per-pair or per-key work happens here.
             shuffle_started = time.perf_counter()
+            map_inputs = sum(result[3] for result in map_results)
             map_pairs = sum(result[1] for result in map_results)
             comm = sum(result[2] for result in map_results)
-            partitions: list[list[dict[Hashable, list[Any]]]] = []
+            peak_buffered = max(
+                (result[4] for result in map_results), default=0
+            )
+            spilled_bytes = sum(
+                result[5].spilled_bytes
+                for result in map_results
+                if result[5] is not None
+            )
+            spill_runs = sum(
+                result[5].spill_runs
+                for result in map_results
+                if result[5] is not None
+            )
+            partitions: list[list[Any]] = []
             for p in range(num_partitions):
-                slabs = [
-                    result[0][p] for result in map_results if result[0][p]
-                ]
-                if slabs:
-                    partitions.append(slabs)
+                sources: list[Any] = []
+                for result in map_results:
+                    spill = result[5]
+                    if spill is not None:
+                        sources.extend(spill.partition_runs(p))
+                    if result[0][p]:
+                        sources.append(result[0][p])
+                if sources:
+                    partitions.append(sources)
             shuffle_seconds = time.perf_counter() - shuffle_started
 
-            # --- reduce phase: each task merges its partition's buckets,
+            # --- reduce phase: each task merges its partition's sources,
             # accounts per-key loads, and reduces.
             reduce_started = time.perf_counter()
             reduce_task = partial(
@@ -284,7 +446,7 @@ class ExecutionEngine:
         )
 
         metrics = JobMetrics(
-            map_input_records=len(materialized),
+            map_input_records=map_inputs,
             map_output_pairs=map_pairs,
             communication_cost=comm,
             num_reducers=len(loads),
@@ -293,11 +455,14 @@ class ExecutionEngine:
             capacity=self.reducer_capacity,
             capacity_violations=tuple(violations),
             output_records=len(outputs),
+            spilled_bytes=spilled_bytes,
+            spill_runs=spill_runs,
+            peak_buffered_pairs=peak_buffered,
         )
         engine_metrics = EngineMetrics(
             backend=backend.name,
             num_workers=backend.max_workers,
-            num_map_tasks=len(chunks),
+            num_map_tasks=len(map_results),
             num_reduce_tasks=len(partitions),
             timings=PhaseTimings(
                 map_seconds=map_seconds,
@@ -313,15 +478,33 @@ class ExecutionEngine:
         )
 
     @staticmethod
-    def _default_chunk(num_records: int, backend: Backend) -> int:
+    def _default_chunk(
+        num_records: int | None,
+        backend: Backend,
+        memory_budget: int | None = None,
+    ) -> int:
         """Adaptive map chunk size: ~4 tasks per worker, floored at 16
-        records per task so dispatch overhead never dominates."""
-        if num_records <= 0:
+        records per task so dispatch overhead never dominates.
+
+        With an unknown record count (streaming dataset) the chunk is a
+        fixed :data:`_STREAM_CHUNK`; with a memory budget it is
+        additionally capped at the budget, so a budgeted serial run never
+        materializes the whole input as one giant chunk.
+        """
+        if num_records is None:
+            chunk = _STREAM_CHUNK
+        elif num_records <= 0:
             return 1
-        if isinstance(backend, SerialBackend):
-            return num_records
-        target = -(-num_records // (backend.max_workers * _TASKS_PER_WORKER))
-        return min(num_records, max(_MIN_MAP_CHUNK, target))
+        elif isinstance(backend, SerialBackend):
+            chunk = num_records
+        else:
+            target = -(
+                -num_records // (backend.max_workers * _TASKS_PER_WORKER)
+            )
+            chunk = min(num_records, max(_MIN_MAP_CHUNK, target))
+        if memory_budget is not None:
+            chunk = min(chunk, max(_MIN_MAP_CHUNK, memory_budget))
+        return chunk
 
     @staticmethod
     def _default_partitions(backend: Backend) -> int:
@@ -333,7 +516,7 @@ class ExecutionEngine:
 
 def execute_schema(
     schema: A2ASchema | X2YSchema,
-    records: Sequence[Any] | tuple[Sequence[Any], Sequence[Any]],
+    records: Sequence[Any] | Dataset | tuple[Sequence[Any], Sequence[Any]],
     reduce_fn: ReduceFn,
     *,
     combiner_fn: ReduceFn | None = None,
@@ -342,29 +525,43 @@ def execute_schema(
     strict_capacity: bool = True,
     map_chunk_size: int | None = None,
     num_reduce_tasks: int | None = None,
+    memory_budget: int | None = None,
+    spill_dir: str | None = None,
+    config: ExecutionConfig | None = None,
 ) -> EngineResult:
     """Execute a solved mapping schema over per-input records.
 
-    For an :class:`A2ASchema`, *records* is a sequence aligned with the
-    instance's inputs (record ``i`` has size ``sizes[i]``); reducers receive
-    values wrapped as ``(i, record)``.  For an :class:`X2YSchema`, *records*
-    is a ``(x_records, y_records)`` pair and values arrive as
+    For an :class:`A2ASchema`, *records* is a sequence (or streaming
+    :class:`~repro.dataset.Dataset`) aligned with the instance's inputs
+    (record ``i`` has size ``sizes[i]``); reducers receive values wrapped
+    as ``(i, record)``.  For an :class:`X2YSchema`, *records* is a
+    ``(x_records, y_records)`` pair and values arrive as
     ``(side, i, record)``.  Each record is replicated to exactly the
     reducers the schema assigns its input to; reduce keys are the schema's
     reducer indices; capacity ``q`` is enforced with the instance's declared
     sizes, so a valid schema can never overflow.
+
+    Execution knobs can be given individually or bundled in *config* (an
+    :class:`~repro.engine.config.ExecutionConfig`), which takes precedence
+    over the individual keyword arguments when both are supplied.
     """
     map_fn, size_of, wrapped = build_schema_plan(schema, records)
-    engine = ExecutionEngine(
+    if config is None:
+        config = ExecutionConfig(
+            backend=backend,
+            num_workers=num_workers,
+            map_chunk_size=map_chunk_size,
+            num_reduce_tasks=num_reduce_tasks,
+            memory_budget=memory_budget,
+            spill_dir=spill_dir,
+        )
+    engine = ExecutionEngine.from_config(
+        config,
         map_fn=map_fn,
         reduce_fn=reduce_fn,
         combiner_fn=combiner_fn,
         size_of=size_of,
         reducer_capacity=schema.instance.q,
         strict_capacity=strict_capacity,
-        backend=backend,
-        num_workers=num_workers,
-        map_chunk_size=map_chunk_size,
-        num_reduce_tasks=num_reduce_tasks,
     )
     return engine.run(wrapped)

@@ -26,8 +26,10 @@ from __future__ import annotations
 
 import time
 import zlib
+from functools import partial
 from typing import Any, Iterable, Iterator
 
+from repro.dataset import Dataset
 from repro.engine.backends import BACKENDS
 from repro.engine.engine import EngineResult, ExecutionEngine
 
@@ -81,6 +83,16 @@ SCENARIOS = {
     "shuffle_heavy": (fanout_map, sum_reduce),
 }
 
+#: Pairs each scenario's mapper emits per record.  The spill trigger fires
+#: between records, so a budgeted run's peak buffered pairs can overshoot
+#: the budget by up to one record's fan-out; :func:`run_out_of_core` turns
+#: this into the per-row ``peak_bound`` that :func:`check_spill` enforces.
+_SCENARIO_FANOUT = {
+    "map_heavy": 1,
+    "reduce_heavy": 1,
+    "shuffle_heavy": 24,
+}
+
 
 def _ordered_backends(backends: Iterable[str] | None) -> list[str]:
     """Backend run order with ``serial`` first, so every later backend has
@@ -98,15 +110,24 @@ def run_scenario(
     *,
     scale: float = 1.0,
     num_workers: int | None = None,
+    memory_budget: int | None = None,
 ) -> tuple[EngineResult, float]:
-    """Run one scenario on one backend; returns the result and wall seconds."""
+    """Run one scenario on one backend; returns the result and wall seconds.
+
+    Records are fed as a streaming :class:`~repro.dataset.Dataset` (a
+    range factory), so the engine's out-of-core data path — lazy chunking
+    plus, with a *memory_budget*, the spill-to-disk shuffle — is what gets
+    measured.
+    """
     map_fn, reduce_fn = SCENARIOS[name]
-    records = list(range(max(1, int(_SCENARIO_RECORDS[name] * scale))))
+    count = max(1, int(_SCENARIO_RECORDS[name] * scale))
+    records = Dataset.from_factory(partial(range, count), length=count)
     engine = ExecutionEngine(
         map_fn=map_fn,
         reduce_fn=reduce_fn,
         backend=backend,
         num_workers=num_workers,
+        memory_budget=memory_budget,
     )
     started = time.perf_counter()
     result = engine.run(records)
@@ -120,12 +141,15 @@ def run_scenarios(
     scale: float = 1.0,
     repeat: int = 1,
     num_workers: int | None = None,
+    memory_budget: int | None = None,
 ) -> list[dict[str, object]]:
     """Benchmark scenarios × backends; best-of-*repeat* wall per cell.
 
     Each scenario's serial run is the speedup baseline; every backend's
     outputs are asserted identical to serial's, so a row in the table is
-    also a correctness check.
+    also a correctness check.  With a *memory_budget* every cell runs the
+    spill-to-disk shuffle (and the serial baseline proves budgeted output
+    identity across backends).
     """
     rows: list[dict[str, object]] = []
     for name in scenarios or sorted(SCENARIOS):
@@ -135,7 +159,11 @@ def run_scenarios(
             best: tuple[EngineResult, float] | None = None
             for _ in range(max(1, repeat)):
                 result, wall = run_scenario(
-                    name, backend, scale=scale, num_workers=num_workers
+                    name,
+                    backend,
+                    scale=scale,
+                    num_workers=num_workers,
+                    memory_budget=memory_budget,
                 )
                 if best is None or wall < best[1]:
                     best = (result, wall)
@@ -175,9 +203,11 @@ def run_join_bench(
     backends: Iterable[str] | None = None,
     repeat: int = 1,
     num_workers: int | None = None,
+    memory_budget: int | None = None,
 ) -> list[dict[str, object]]:
     """A fast subset of E17: the schema skew join across backends."""
     from repro.apps.skew_join import schema_skew_join
+    from repro.engine.config import ExecutionConfig
     from repro.workloads.relations import generate_join_workload
 
     x, y = generate_join_workload(tuples, tuples, keys, skew, seed=seed)
@@ -185,14 +215,16 @@ def run_join_bench(
     serial_wall: float | None = None
     serial_triples = None
     for backend in _ordered_backends(backends):
+        config = ExecutionConfig(
+            backend=backend,
+            num_workers=num_workers,
+            memory_budget=memory_budget,
+        )
         best_wall: float | None = None
         best_run = None
         for _ in range(max(1, repeat)):
             started = time.perf_counter()
-            run = schema_skew_join(
-                x, y, q, method=method, backend=backend,
-                num_workers=num_workers,
-            )
+            run = schema_skew_join(x, y, q, method=method, config=config)
             wall = time.perf_counter() - started
             if best_wall is None or wall < best_wall:
                 best_wall, best_run = wall, run
@@ -218,6 +250,105 @@ def run_join_bench(
             }
         )
     return rows
+
+
+def run_out_of_core(
+    *,
+    scenario: str = "shuffle_heavy",
+    backends: Iterable[str] | None = None,
+    scale: float = 1.0,
+    memory_budget: int = 512,
+    repeat: int = 1,
+    num_workers: int | None = None,
+) -> list[dict[str, object]]:
+    """E19: one scenario, unbounded vs memory-budgeted, per backend.
+
+    For every backend the scenario runs twice — fully in-memory and with
+    *memory_budget* — and the two output lists are asserted identical, so
+    each pair of rows is a correctness proof of the spill path on that
+    backend.  Rows carry the spill counters (bytes, runs, peak buffered
+    pairs) next to the wall clocks, which is the bench's point: what does
+    bounding memory cost in time, and how much actually hit disk.
+    """
+    rows: list[dict[str, object]] = []
+    for backend in _ordered_backends(backends):
+        per_mode: dict[str, tuple[EngineResult, float]] = {}
+        for mode, budget in (("unbounded", None), ("budgeted", memory_budget)):
+            best: tuple[EngineResult, float] | None = None
+            for _ in range(max(1, repeat)):
+                result, wall = run_scenario(
+                    scenario,
+                    backend,
+                    scale=scale,
+                    num_workers=num_workers,
+                    memory_budget=budget,
+                )
+                if best is None or wall < best[1]:
+                    best = (result, wall)
+            per_mode[mode] = best
+        unbounded, budgeted = per_mode["unbounded"], per_mode["budgeted"]
+        assert budgeted[0].outputs == unbounded[0].outputs, (
+            scenario,
+            backend,
+            "spilled outputs diverged from in-memory outputs",
+        )
+        for mode, (result, wall) in per_mode.items():
+            metrics = result.metrics
+            rows.append(
+                {
+                    "scenario": scenario,
+                    "backend": backend,
+                    "mode": mode,
+                    "memory_budget": (
+                        memory_budget if mode == "budgeted" else ""
+                    ),
+                    "wall_s": round(wall, 3),
+                    "spill_runs": metrics.spill_runs,
+                    "spilled_bytes": metrics.spilled_bytes,
+                    "peak_buffered": metrics.peak_buffered_pairs,
+                    "peak_bound": (
+                        memory_budget - 1 + _SCENARIO_FANOUT[scenario]
+                        if mode == "budgeted"
+                        else ""
+                    ),
+                    "outputs": len(result.outputs),
+                }
+            )
+    return rows
+
+
+def check_spill(rows: Iterable[dict[str, object]]) -> list[str]:
+    """Smoke check for the out-of-core rows: budgeted cells must spill.
+
+    A budgeted run that wrote zero runs means the budget never bound —
+    the scenario was sized wrong or the spill trigger regressed — and a
+    peak above the row's ``peak_bound`` (budget plus one record's fan-out,
+    the documented overshoot of the between-records flush trigger) means
+    the budget did not actually bound memory.  Returns human-readable
+    failure strings (empty = pass).
+    """
+    failures: list[str] = []
+    checked = 0
+    for row in rows:
+        if row.get("mode") != "budgeted":
+            continue
+        checked += 1
+        label = f"{row['scenario']}/{row['backend']}"
+        if int(row["spill_runs"]) < 1:
+            failures.append(
+                f"{label}: budgeted run spilled no runs "
+                f"(budget {row['memory_budget']})"
+            )
+        bound = row.get("peak_bound")
+        if bound not in (None, "") and int(row["peak_buffered"]) > int(bound):
+            failures.append(
+                f"{label}: peak buffered pairs {row['peak_buffered']} "
+                f"exceeds bound {bound} "
+                f"(budget {row['memory_budget']} + one record's fan-out)"
+            )
+    if not checked:
+        failures.append("spill check compared nothing: no budgeted rows")
+    return failures
 
 
 def check_regression(

@@ -18,9 +18,10 @@ precomputed once by :func:`a2a_meeting_table` / :func:`x2y_meeting_table`.
 from __future__ import annotations
 
 from functools import partial
-from typing import Any, Callable, Hashable, Iterable, Sequence
+from typing import Any, Callable, Hashable, Iterable, Iterator, Sequence
 
 from repro.core.schema import A2ASchema, X2YSchema
+from repro.dataset import Dataset
 from repro.exceptions import InvalidInstanceError
 
 
@@ -157,10 +158,34 @@ def tagged_size(
     return (x_sizes if side == "x" else y_sizes)[index]
 
 
+def _enumerate_checked(
+    records: Iterable[Any], expected: int
+) -> Iterator[tuple[int, Any]]:
+    """``enumerate`` that enforces the instance's record count lazily.
+
+    Streaming datasets of unknown length cannot be counted before the run,
+    so the count check happens as records flow past: an extra or missing
+    record raises :class:`InvalidInstanceError` instead of a confusing
+    ``IndexError`` deep inside the membership lookup.
+    """
+    count = 0
+    for index, record in enumerate(records):
+        if index >= expected:
+            raise InvalidInstanceError(
+                f"schema expects {expected} records, got more"
+            )
+        yield index, record
+        count += 1
+    if count != expected:
+        raise InvalidInstanceError(
+            f"schema expects {expected} records, got {count}"
+        )
+
+
 def build_schema_plan(
     schema: A2ASchema | X2YSchema,
-    records: Sequence[Any] | tuple[Sequence[Any], Sequence[Any]],
-) -> tuple[Callable, Callable, list[Any]]:
+    records: Sequence[Any] | Dataset | tuple[Sequence[Any], Sequence[Any]],
+) -> tuple[Callable, Callable, list[Any] | Dataset]:
     """Turn a schema plus per-input records into ``(map_fn, size_of, wrapped)``.
 
     This is the single source of the schema-to-execution encoding: both the
@@ -168,8 +193,30 @@ def build_schema_plan(
     side of cross-validation (:mod:`repro.engine.crossval`) build their jobs
     from it, so the two executors cannot drift in how records are wrapped,
     routed, or sized.  Validates record counts against the instance.
+
+    An A2A *records* source may be a :class:`~repro.dataset.Dataset`; the
+    wrapping then stays lazy (``wrapped`` is itself a dataset), so the
+    engine can stream the records without materializing them.  X2Y takes
+    its two sides as sequences (datasets per side are materialized — the
+    sides are concatenated and tagged, which needs their lengths anyway).
     """
     if isinstance(schema, A2ASchema):
+        if isinstance(records, Dataset):
+            if (
+                records.length is not None
+                and records.length != schema.instance.m
+            ):
+                raise InvalidInstanceError(
+                    f"schema expects {schema.instance.m} records, "
+                    f"got {records.length}"
+                )
+            memberships = tuple(tuple(m) for m in a2a_memberships(schema))
+            map_fn = partial(route_a2a, memberships=memberships)
+            size_of = partial(indexed_size, sizes=schema.instance.sizes)
+            return map_fn, size_of, Dataset.from_factory(
+                partial(_enumerate_checked, records, schema.instance.m),
+                length=records.length,
+            )
         if len(records) != schema.instance.m:
             raise InvalidInstanceError(
                 f"schema expects {schema.instance.m} records, got {len(records)}"
@@ -186,6 +233,10 @@ def build_schema_plan(
             raise InvalidInstanceError(
                 "X2Y execution takes records as an (x_records, y_records) pair"
             ) from exc
+        if isinstance(x_records, Dataset):
+            x_records = x_records.materialize()
+        if isinstance(y_records, Dataset):
+            y_records = y_records.materialize()
         if len(x_records) != schema.instance.m or len(y_records) != schema.instance.n:
             raise InvalidInstanceError(
                 f"schema expects {schema.instance.m} X records and "

@@ -1,0 +1,214 @@
+"""Spill-to-disk shuffle: sorted run files plus streaming external merge.
+
+When an :class:`~repro.engine.engine.ExecutionEngine` runs with a
+``memory_budget``, map tasks no longer buffer an unbounded number of
+key-value pairs: once the buffered pair count reaches the budget, the
+task's current groups are hash-partitioned (the same
+:func:`~repro.mapreduce.shuffle.partition_groups` the in-memory path uses)
+and each non-empty partition is written to disk as a *sorted run* — the
+partition's ``(key, values)`` items in sorted-key order, pickled one item
+at a time.  Reduce tasks then stream-merge their partition's runs (plus
+any in-memory leftovers) with a k-way heap merge, so at any moment a
+reduce task holds one key's merged value list, not the whole partition.
+
+Two invariants make the spilled path bit-identical to the in-memory one:
+
+* **Key order** — runs are sorted and merged by key, which is exactly the
+  ``sorted(keys)`` order :func:`~repro.mapreduce.shuffle.ordered_keys`
+  reduces in.  Keys must therefore be totally orderable; a run over
+  unorderable keys raises :class:`~repro.exceptions.SpillError` instead of
+  silently diverging (the in-memory path falls back to insertion order,
+  which disk-resident runs cannot reproduce).
+* **Value order** — for one key, sources are merged in *spill order*:
+  map-task order first, then flush order within a task, with the task's
+  in-memory leftover last.  That is precisely the record order the
+  in-memory path produces by extending value lists slab by slab.
+
+Run files are plain pickle streams in a per-run temporary directory owned
+by the engine (workers on the ``processes`` backend write to the shared
+directory and return file paths; the parent removes the directory when
+the run finishes).
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterator
+
+from repro.exceptions import SpillError
+from repro.mapreduce.shuffle import partition_groups
+
+#: A reduce task's input source: an in-memory bucket dict, or the path of
+#: a spilled run file (distinguished by ``isinstance(source, str)``).
+Source = Any
+
+
+@dataclass
+class MapSpill:
+    """What one map task spilled: per-flush run files plus counters.
+
+    ``flushes[f][p]`` is the run-file path partition ``p`` received in
+    flush ``f`` (``None`` when the partition had no keys in that flush).
+    Flush order is record order, which the reduce-side merge preserves.
+    """
+
+    flushes: list[tuple[str | None, ...]] = field(default_factory=list)
+    spilled_bytes: int = 0
+    spill_runs: int = 0
+
+    def partition_runs(self, partition: int) -> list[str]:
+        """This task's run files for one partition, in flush order."""
+        return [
+            flush[partition]
+            for flush in self.flushes
+            if flush[partition] is not None
+        ]
+
+
+def _sorted_items(
+    groups: dict[Hashable, list[Any]]
+) -> list[tuple[Hashable, list[Any]]]:
+    """Group items in sorted-key order; unorderable keys are a hard error."""
+    try:
+        return sorted(groups.items(), key=lambda item: item[0])
+    except TypeError as exc:
+        raise SpillError(
+            "out-of-core shuffle requires totally orderable keys "
+            f"(sorting failed: {exc}); run without memory_budget to use "
+            "the in-memory insertion-order fallback"
+        ) from exc
+
+
+def write_run(
+    groups: dict[Hashable, list[Any]], spill_dir: str
+) -> tuple[str, int]:
+    """Write one partition's groups as a sorted run file.
+
+    Returns ``(path, bytes_written)``.  The file is a pickled item count
+    followed by that many pickled ``(key, values)`` items in sorted-key
+    order; the count header lets :func:`iter_run` distinguish a complete
+    run from one truncated at an item boundary (which a bare pickle
+    stream would silently read as a shorter run).
+    """
+    items = _sorted_items(groups)
+    fd, path = tempfile.mkstemp(dir=spill_dir, suffix=".run")
+    with os.fdopen(fd, "wb") as handle:
+        pickle.dump(len(items), handle, protocol=pickle.HIGHEST_PROTOCOL)
+        for item in items:
+            pickle.dump(item, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    return path, os.path.getsize(path)
+
+
+def spill_groups(
+    groups: dict[Hashable, list[Any]],
+    num_partitions: int,
+    spill_dir: str,
+    spill: MapSpill,
+) -> None:
+    """Flush a map task's buffered groups to per-partition sorted runs.
+
+    Appends one flush entry to *spill* (a path per partition, ``None`` for
+    partitions with no keys this flush) and updates its byte/run counters.
+    The caller clears the in-memory groups afterwards.
+    """
+    flush: list[str | None] = []
+    for bucket in partition_groups(groups, num_partitions):
+        if not bucket:
+            flush.append(None)
+            continue
+        path, nbytes = write_run(bucket, spill_dir)
+        flush.append(path)
+        spill.spilled_bytes += nbytes
+        spill.spill_runs += 1
+    spill.flushes.append(tuple(flush))
+
+
+def iter_run(path: str) -> Iterator[tuple[Hashable, list[Any]]]:
+    """Stream ``(key, values)`` items back out of one run file.
+
+    Every failure mode — unreadable file, garbage bytes, or a run holding
+    fewer items than its count header promises — raises
+    :class:`~repro.exceptions.SpillError`; a truncated run must never be
+    silently read as a shorter one (the reduce task would drop keys and
+    produce wrong outputs without any error).
+    """
+    try:
+        handle = open(path, "rb")
+    except OSError as exc:
+        raise SpillError(f"cannot open spill run {path!r}: {exc}") from exc
+    with handle:
+        try:
+            expected = pickle.load(handle)
+            if not isinstance(expected, int) or expected < 0:
+                raise SpillError(
+                    f"corrupt spill run {path!r}: bad item count header "
+                    f"{expected!r}"
+                )
+            for _ in range(expected):
+                yield pickle.load(handle)
+        except (EOFError, pickle.UnpicklingError, OSError) as exc:
+            raise SpillError(
+                f"corrupt or truncated spill run {path!r}: {exc}"
+            ) from exc
+
+
+def _iter_source(source: Source) -> Iterator[tuple[Hashable, list[Any]]]:
+    """Sorted item stream for one source (run file or in-memory dict)."""
+    if isinstance(source, str):
+        return iter_run(source)
+    return iter(_sorted_items(source))
+
+
+def merge_sources(
+    sources: list[Source],
+) -> Iterator[tuple[Hashable, list[Any]]]:
+    """K-way merge of sorted sources, yielding ``(key, merged_values)``.
+
+    Keys come out in globally sorted order; a key appearing in several
+    sources has its value lists concatenated in source order (the heap
+    breaks key ties on the source index), which reproduces the in-memory
+    path's task-order/flush-order value concatenation.  Only the head item
+    of each source is held at a time, so memory is bounded by the largest
+    single key, not the partition.
+    """
+    heap: list[tuple[Hashable, int, list[Any], Iterator]] = []
+    for index, source in enumerate(sources):
+        stream = _iter_source(source)
+        head = next(stream, None)
+        if head is not None:
+            heap.append((head[0], index, head[1], stream))
+    try:
+        heapq.heapify(heap)
+        while heap:
+            key, index, values, stream = heapq.heappop(heap)
+            merged = list(values)
+            head = next(stream, None)
+            if head is not None:
+                heapq.heappush(heap, (head[0], index, head[1], stream))
+            while heap and heap[0][0] == key:
+                _, other_index, other_values, other_stream = heapq.heappop(
+                    heap
+                )
+                merged.extend(other_values)
+                head = next(other_stream, None)
+                if head is not None:
+                    heapq.heappush(
+                        heap, (head[0], other_index, head[1], other_stream)
+                    )
+            yield key, merged
+    except TypeError as exc:
+        raise SpillError(
+            "out-of-core shuffle requires totally orderable keys "
+            f"(merge comparison failed: {exc})"
+        ) from exc
+
+
+def make_spill_dir(base_dir: str | None = None) -> str:
+    """Create the temporary directory one engine run spills into."""
+    if base_dir is not None:
+        os.makedirs(base_dir, exist_ok=True)
+    return tempfile.mkdtemp(prefix="repro-spill-", dir=base_dir)

@@ -68,6 +68,17 @@ class SolverLimitError(ReproError):
     """An exact solver exceeded its configured node or size budget."""
 
 
+class SpillError(ReproError):
+    """The out-of-core shuffle could not spill or merge its data.
+
+    Raised when a memory-budgeted run encounters keys that cannot be
+    totally ordered (spill runs are merged in sorted-key order, so
+    orderable keys are a hard requirement of the out-of-core path — the
+    in-memory path tolerates unorderable keys by falling back to insertion
+    order) or when a spill file is truncated or unreadable.
+    """
+
+
 class UnknownMethodError(ReproError, ValueError):
     """A method name does not exist in the algorithm registry.
 

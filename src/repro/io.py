@@ -4,6 +4,12 @@ Mapping schemas are plans computed ahead of job submission; a production
 deployment computes them in a driver and ships them to mappers.  This
 module gives instances and schemas a stable JSON wire format with strict
 round-tripping, so plans can be persisted, diffed and replayed.
+
+Strict round-tripping means strict *loading*: unknown format versions are
+rejected (a ``version`` newer than this library understands must not be
+half-parsed into a wrong plan), and missing or mistyped fields raise
+:class:`~repro.exceptions.InvalidInstanceError` with the offending field
+named, never a raw ``KeyError``/``TypeError``.
 """
 
 from __future__ import annotations
@@ -16,6 +22,56 @@ from repro.core.schema import A2ASchema, X2YSchema
 from repro.exceptions import InvalidInstanceError
 
 _FORMAT_VERSION = 1
+
+
+def _check_version(payload: dict[str, Any], what: str) -> None:
+    """Reject payloads declaring a format version this library cannot read.
+
+    A payload without a ``version`` field is treated as version 1 (the
+    field was always written but never checked, so hand-crafted fixtures
+    commonly omit it).
+    """
+    version = payload.get("version", _FORMAT_VERSION)
+    if version != _FORMAT_VERSION:
+        raise InvalidInstanceError(
+            f"unsupported {what} format version {version!r} "
+            f"(this library reads version {_FORMAT_VERSION})"
+        )
+
+
+def _require(payload: dict[str, Any], field: str, what: str) -> Any:
+    """Fetch a required field, naming it on failure."""
+    if not isinstance(payload, dict):
+        raise InvalidInstanceError(
+            f"{what} payload must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    if field not in payload:
+        raise InvalidInstanceError(f"{what} payload is missing {field!r}")
+    return payload[field]
+
+
+def _require_int_list(payload: dict[str, Any], field: str, what: str) -> list:
+    """Fetch a required list-of-integers field (bool is not an integer)."""
+    value = _require(payload, field, what)
+    if not isinstance(value, list) or any(
+        not isinstance(item, int) or isinstance(item, bool) for item in value
+    ):
+        raise InvalidInstanceError(
+            f"{what} field {field!r} must be a list of integers, "
+            f"got {value!r}"
+        )
+    return value
+
+
+def _require_int(payload: dict[str, Any], field: str, what: str) -> int:
+    """Fetch a required integer field (bool is not an integer)."""
+    value = _require(payload, field, what)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise InvalidInstanceError(
+            f"{what} field {field!r} must be an integer, got {value!r}"
+        )
+    return value
 
 
 def instance_to_dict(instance: A2AInstance | X2YInstance) -> dict[str, Any]:
@@ -40,11 +96,24 @@ def instance_to_dict(instance: A2AInstance | X2YInstance) -> dict[str, Any]:
 
 def instance_from_dict(payload: dict[str, Any]) -> A2AInstance | X2YInstance:
     """Deserialize an instance; raises :class:`InvalidInstanceError` on bad input."""
+    if not isinstance(payload, dict):
+        raise InvalidInstanceError(
+            f"instance payload must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    _check_version(payload, "instance")
     kind = payload.get("kind")
     if kind == "a2a":
-        return A2AInstance(payload["sizes"], payload["q"])
+        return A2AInstance(
+            _require_int_list(payload, "sizes", "a2a instance"),
+            _require_int(payload, "q", "a2a instance"),
+        )
     if kind == "x2y":
-        return X2YInstance(payload["x_sizes"], payload["y_sizes"], payload["q"])
+        return X2YInstance(
+            _require_int_list(payload, "x_sizes", "x2y instance"),
+            _require_int_list(payload, "y_sizes", "x2y instance"),
+            _require_int(payload, "q", "x2y instance"),
+        )
     raise InvalidInstanceError(f"unknown instance kind {kind!r}")
 
 
@@ -74,16 +143,46 @@ def schema_to_dict(schema: A2ASchema | X2YSchema) -> dict[str, Any]:
 
 def schema_from_dict(payload: dict[str, Any]) -> A2ASchema | X2YSchema:
     """Deserialize a schema; raises :class:`InvalidInstanceError` on bad input."""
+    if not isinstance(payload, dict):
+        raise InvalidInstanceError(
+            f"schema payload must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    _check_version(payload, "schema")
     kind = payload.get("kind")
-    instance = instance_from_dict(payload["instance"])
+    instance = instance_from_dict(_require(payload, "instance", "schema"))
     algorithm = payload.get("algorithm", "unspecified")
-    if kind == "a2a":
-        assert isinstance(instance, A2AInstance)
-        return A2ASchema.from_lists(instance, payload["reducers"], algorithm=algorithm)
-    if kind == "x2y":
-        assert isinstance(instance, X2YInstance)
-        reducers = [(r["x"], r["y"]) for r in payload["reducers"]]
-        return X2YSchema.from_lists(instance, reducers, algorithm=algorithm)
+    reducers = _require(payload, "reducers", "schema")
+    if not isinstance(reducers, list):
+        raise InvalidInstanceError(
+            f"schema field 'reducers' must be a list, got {reducers!r}"
+        )
+    try:
+        if kind == "a2a":
+            if not isinstance(instance, A2AInstance):
+                raise InvalidInstanceError(
+                    "a2a schema carries a non-a2a instance"
+                )
+            return A2ASchema.from_lists(instance, reducers, algorithm=algorithm)
+        if kind == "x2y":
+            if not isinstance(instance, X2YInstance):
+                raise InvalidInstanceError(
+                    "x2y schema carries a non-x2y instance"
+                )
+            pairs = [
+                (
+                    _require(r, "x", "x2y reducer"),
+                    _require(r, "y", "x2y reducer"),
+                )
+                for r in reducers
+            ]
+            return X2YSchema.from_lists(instance, pairs, algorithm=algorithm)
+    except (TypeError, ValueError) as exc:
+        if isinstance(exc, InvalidInstanceError):
+            raise
+        raise InvalidInstanceError(
+            f"malformed schema reducers: {exc}"
+        ) from exc
     raise InvalidInstanceError(f"unknown schema kind {kind!r}")
 
 
@@ -98,9 +197,14 @@ def loads(text: str) -> A2AInstance | X2YInstance | A2ASchema | X2YSchema:
     """Deserialize a JSON string produced by :func:`dumps`.
 
     Dispatches on the presence of a ``reducers`` field (schema) versus a
-    bare instance payload.
+    bare instance payload.  Text that is not valid JSON raises
+    :class:`InvalidInstanceError` rather than leaking
+    :class:`json.JSONDecodeError` to the caller.
     """
-    payload = json.loads(text)
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise InvalidInstanceError(f"not valid JSON: {exc}") from exc
     if not isinstance(payload, dict):
         raise InvalidInstanceError("expected a JSON object")
     if "reducers" in payload:

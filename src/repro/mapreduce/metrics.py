@@ -25,6 +25,18 @@ class JobMetrics:
         capacity_violations: keys whose load exceeded the capacity (only
             populated when enforcement is non-strict; strict mode raises).
         output_records: records produced by reducers.
+        spilled_bytes: bytes written to on-disk shuffle runs by map tasks
+            (0 for the simulator and for unbounded engine runs; these
+            three counters describe the physical execution, not the
+            paper's analytical model, so cross-validation against the
+            simulator ignores them).
+        spill_runs: sorted run files written during the map phase.
+        peak_buffered_pairs: most key-value pairs any single map task held
+            in memory at once, measured only in memory-budgeted runs
+            (0 otherwise — the unbounded peak would merely echo the
+            backend's chunking and break cross-backend metric identity).
+            It may overshoot the budget by at most one record's emissions,
+            since the flush triggers between records.
     """
 
     map_input_records: int = 0
@@ -36,6 +48,9 @@ class JobMetrics:
     capacity: int | None = None
     capacity_violations: tuple = ()
     output_records: int = 0
+    spilled_bytes: int = 0
+    spill_runs: int = 0
+    peak_buffered_pairs: int = 0
 
     @property
     def mean_reducer_load(self) -> float:

@@ -93,6 +93,19 @@ def stable_hash(key: Hashable) -> int:
     hashing).  Everything else falls back to ``hash()`` for numeric types
     and CRC32 over ``repr`` otherwise; keys of exotic types are supported
     only insofar as equal keys produce equal reprs.
+
+    **Contract:** the guarantees above hold only for keys that are equal
+    to themselves.  ``float('nan')`` is not (``nan != nan``), which breaks
+    grouping itself, not just hashing: every NaN *object* becomes its own
+    dict group, on CPython >= 3.10 ``hash(nan)`` is id-based so the
+    partition assignment is not even stable across processes, and exotic
+    containers holding NaN hash equal through the ``repr`` fallback while
+    comparing unequal.  The execution engine therefore rejects
+    non-self-equal keys whenever it must merge groups deterministically
+    (strict capacity mode, and always in out-of-core runs, where the
+    sorted spill-file merge could otherwise silently diverge from dict
+    grouping); the reference simulator keeps the raw dict semantics,
+    which the test suite pins.
     """
     kind = type(key)
     if kind is int or kind is bool or kind is float:

@@ -10,7 +10,12 @@ is a token-document generator with a configurable size distribution.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
+from typing import Iterator
 
+import numpy as np
+
+from repro.dataset import Dataset
 from repro.exceptions import InvalidInstanceError
 from repro.utils.rng import SeedLike, make_rng
 from repro.workloads.distributions import sample_sizes
@@ -75,6 +80,57 @@ def generate_documents(
             Document(doc_id=doc_id, tokens=tuple(vocabulary[t] for t in token_ids))
         )
     return documents
+
+
+def _iter_documents(
+    m: int,
+    q: int,
+    profile: str,
+    vocabulary_size: int,
+    seed: int,
+) -> Iterator[Document]:
+    """Yield the corpus of :func:`generate_documents` one document at a time.
+
+    Sizes are sampled up front (they are ``m`` small integers — the part
+    that must be known for schema planning anyway); the token payloads,
+    which dominate memory, are produced lazily.
+    """
+    rng = make_rng(seed)
+    sizes = sample_sizes(profile, m, q, seed=rng)
+    vocabulary = [f"tok{v}" for v in range(vocabulary_size)]
+    for doc_id, size in enumerate(sizes):
+        token_ids = rng.integers(0, vocabulary_size, size=size)
+        yield Document(
+            doc_id=doc_id, tokens=tuple(vocabulary[t] for t in token_ids)
+        )
+
+
+def document_dataset(
+    m: int,
+    q: int,
+    *,
+    profile: str = "zipf",
+    vocabulary_size: int = 500,
+    seed: SeedLike = None,
+) -> Dataset:
+    """The corpus of :func:`generate_documents` as a streaming dataset.
+
+    Every iteration replays the same seeded generator, so the dataset is
+    re-iterable and deterministic (an unseeded call draws one concrete
+    seed at construction time and pins it), while the token payloads are
+    produced on demand instead of being held all at once.
+    """
+    if vocabulary_size <= 0:
+        raise InvalidInstanceError(
+            f"vocabulary_size must be positive, got {vocabulary_size}"
+        )
+    if not isinstance(seed, int):
+        # Pin one concrete seed so re-iteration replays the same corpus.
+        seed = int(make_rng(seed).integers(0, np.iinfo(np.int64).max))
+    return Dataset.from_factory(
+        partial(_iter_documents, m, q, profile, vocabulary_size, seed),
+        length=m,
+    )
 
 
 def all_pairs_above(

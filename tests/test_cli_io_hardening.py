@@ -1,0 +1,192 @@
+"""Hardening tests: CLI size-list edge cases, verify error paths, io strictness."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import _absorb_size_values, main
+from repro.core.instance import A2AInstance
+from repro.core.selector import solve_a2a
+from repro.exceptions import InvalidInstanceError
+from repro.io import dumps, instance_from_dict, loads, schema_from_dict
+
+
+class TestSizeListParsing:
+    """Negative/zero/empty size lists must die with the validator's
+    message, not argparse's opaque "expected one argument"."""
+
+    def test_negative_sizes_a2a(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve-a2a", "--sizes", "-3,5", "--q", "10"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "must be positive" in err
+        assert "expected one argument" not in err
+
+    def test_negative_sizes_x2y_both_sides(self, capsys):
+        for flag, value in (("--x-sizes", "-4,5"), ("--y-sizes", "-1,2")):
+            args = {
+                "--x-sizes": "4,5",
+                "--y-sizes": "3,3",
+                flag: value,
+            }
+            with pytest.raises(SystemExit) as excinfo:
+                main(
+                    [
+                        "solve-x2y",
+                        "--x-sizes",
+                        args["--x-sizes"],
+                        "--y-sizes",
+                        args["--y-sizes"],
+                        "--q",
+                        "10",
+                    ]
+                )
+            assert excinfo.value.code == 2
+            err = capsys.readouterr().err
+            assert "must be positive" in err
+            assert "expected one argument" not in err
+
+    def test_zero_sizes_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve-a2a", "--sizes", "0,5", "--q", "10"])
+        assert excinfo.value.code == 2
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_empty_size_list_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve-a2a", "--sizes", ",", "--q", "10"])
+        assert excinfo.value.code == 2
+        assert "at least one integer" in capsys.readouterr().err
+
+    def test_negative_q_values_in_sweep(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--sizes", "2,3", "--q-values", "-10,20"])
+        assert excinfo.value.code == 2
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_garbage_size_list_still_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve-a2a", "--sizes", "3,banana", "--q", "10"])
+        assert excinfo.value.code == 2
+        assert "bad size list" in capsys.readouterr().err
+
+    def test_absorb_only_rewrites_numeric_values(self):
+        assert _absorb_size_values(["--sizes", "-3,5"]) == ["--sizes=-3,5"]
+        # A following option must not be eaten.
+        assert _absorb_size_values(["--sizes", "--q"]) == ["--sizes", "--q"]
+        # Already-glued and positive forms pass through.
+        assert _absorb_size_values(["--sizes=-3,5"]) == ["--sizes=-3,5"]
+        assert _absorb_size_values(["--sizes", "3,5"]) == ["--sizes", "3,5"]
+
+    def test_positive_path_still_works(self, capsys):
+        assert main(["solve-a2a", "--sizes", "3,5,2", "--q", "10"]) == 0
+        assert "reducers" in capsys.readouterr().out
+
+
+class TestVerifyErrorPaths:
+    def test_verify_bad_json_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json at all")
+        assert main(["verify", "--file", str(path)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_verify_missing_file_exits_one(self, tmp_path, capsys):
+        assert main(["verify", "--file", str(tmp_path / "nope.json")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_verify_valid_roundtrip_still_ok(self, tmp_path, capsys):
+        schema = solve_a2a(A2AInstance([3, 5, 2], 10))
+        path = tmp_path / "schema.json"
+        path.write_text(dumps(schema))
+        assert main(["verify", "--file", str(path)]) == 0
+
+
+class TestIoStrictness:
+    def test_unknown_version_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="format version"):
+            instance_from_dict(
+                {"version": 99, "kind": "a2a", "sizes": [1], "q": 4}
+            )
+        with pytest.raises(InvalidInstanceError, match="format version"):
+            schema_from_dict(
+                {
+                    "version": "2.0",
+                    "kind": "a2a",
+                    "instance": {"kind": "a2a", "sizes": [1], "q": 4},
+                    "reducers": [[0]],
+                }
+            )
+
+    def test_missing_version_still_accepted(self):
+        restored = instance_from_dict({"kind": "a2a", "sizes": [2, 3], "q": 6})
+        assert restored == A2AInstance([2, 3], 6)
+
+    def test_missing_fields_raise_invalid_instance_not_keyerror(self):
+        with pytest.raises(InvalidInstanceError, match="missing 'sizes'"):
+            instance_from_dict({"kind": "a2a", "q": 5})
+        with pytest.raises(InvalidInstanceError, match="missing 'q'"):
+            instance_from_dict({"kind": "a2a", "sizes": [1, 2]})
+        with pytest.raises(InvalidInstanceError, match="missing 'x_sizes'"):
+            instance_from_dict({"kind": "x2y", "y_sizes": [1], "q": 5})
+        with pytest.raises(InvalidInstanceError, match="missing 'instance'"):
+            schema_from_dict({"kind": "a2a", "reducers": [[0]]})
+
+    def test_mistyped_fields_raise_invalid_instance(self):
+        with pytest.raises(InvalidInstanceError, match="list of integers"):
+            instance_from_dict({"kind": "a2a", "sizes": "3,5", "q": 5})
+        with pytest.raises(InvalidInstanceError, match="list of integers"):
+            instance_from_dict({"kind": "a2a", "sizes": [1, True], "q": 5})
+        with pytest.raises(InvalidInstanceError, match="must be an integer"):
+            instance_from_dict({"kind": "a2a", "sizes": [1, 2], "q": "5"})
+        with pytest.raises(InvalidInstanceError, match="must be a list"):
+            schema_from_dict(
+                {
+                    "kind": "a2a",
+                    "instance": {"kind": "a2a", "sizes": [1, 1], "q": 4},
+                    "reducers": "nope",
+                }
+            )
+
+    def test_malformed_x2y_reducers_wrapped(self):
+        with pytest.raises(InvalidInstanceError):
+            schema_from_dict(
+                {
+                    "kind": "x2y",
+                    "instance": {
+                        "kind": "x2y",
+                        "x_sizes": [2],
+                        "y_sizes": [2],
+                        "q": 5,
+                    },
+                    "reducers": [{"x": [0]}],  # missing "y"
+                }
+            )
+
+    def test_non_dict_payloads_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            instance_from_dict([1, 2, 3])
+        with pytest.raises(InvalidInstanceError):
+            schema_from_dict("schema")
+
+    def test_loads_wraps_json_decode_error(self):
+        with pytest.raises(InvalidInstanceError, match="not valid JSON"):
+            loads("{oops")
+
+    def test_kind_mismatch_between_schema_and_instance(self):
+        with pytest.raises(InvalidInstanceError, match="non-x2y instance"):
+            schema_from_dict(
+                {
+                    "kind": "x2y",
+                    "instance": {"kind": "a2a", "sizes": [1, 1], "q": 4},
+                    "reducers": [],
+                }
+            )
+
+    def test_roundtrip_unchanged(self):
+        schema = solve_a2a(A2AInstance([3, 5, 2, 4], 10))
+        assert loads(dumps(schema)) == schema
+        payload = json.loads(dumps(schema))
+        assert payload["version"] == 1

@@ -143,7 +143,7 @@ def sum_reduce(key, values):
 class TestMapTaskContract:
     def test_map_task_buckets_pairs_and_accounts(self):
         chunk = ["a b a", "b c"]
-        buckets, pair_count, comm = _run_map_task(
+        buckets, pair_count, comm, record_count, peak, spill = _run_map_task(
             chunk,
             map_fn=word_map,
             combiner_fn=None,
@@ -152,6 +152,9 @@ class TestMapTaskContract:
         )
         assert pair_count == 5
         assert comm == 5
+        assert record_count == 2
+        assert peak == 0  # only measured in memory-budgeted runs
+        assert spill is None
         assert len(buckets) == 4
         merged = {}
         for bucket in buckets:

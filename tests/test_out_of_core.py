@@ -1,0 +1,327 @@
+"""Out-of-core execution: spill-to-disk shuffle, budgets, and key contracts.
+
+The acceptance bar for the spill path is *bit-identity*: the same app
+workload run with an artificially tiny ``memory_budget`` (forcing several
+spill runs per partition) and with unbounded memory must produce identical
+outputs and identical strict-mode exceptions on every backend.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+import pytest
+
+from repro.apps.skew_join import schema_skew_join
+from repro.core.instance import A2AInstance
+from repro.core.selector import solve_a2a
+from repro.engine.backends import BACKENDS
+from repro.engine.config import ExecutionConfig, resolve_execution
+from repro.engine.crossval import validate_against_simulator
+from repro.engine.engine import ExecutionEngine
+from repro.engine.quickbench import (
+    check_spill,
+    fanout_map,
+    run_out_of_core,
+    sum_reduce,
+)
+from repro.engine.spill import MapSpill, merge_sources, write_run
+from repro.exceptions import (
+    CapacityExceededError,
+    InvalidInstanceError,
+    SpillError,
+)
+from repro.mapreduce.job import MapReduceJob
+from repro.workloads.relations import generate_join_workload
+
+ALL_BACKENDS = sorted(BACKENDS)
+
+
+def index_reduce(key, values):
+    """Module-level (picklable) reducer: the sorted input indices."""
+    yield key, tuple(sorted(i for i, _ in values))
+
+
+def mod3_map(record):
+    """Module-level (picklable) mapper that overloads three keys."""
+    yield record % 3, 1
+
+
+def fanout_engine(backend: str, memory_budget: int | None, **kwargs):
+    return ExecutionEngine(
+        map_fn=fanout_map,
+        reduce_fn=sum_reduce,
+        backend=backend,
+        memory_budget=memory_budget,
+        **kwargs,
+    )
+
+
+class TestSpillPrimitives:
+    def test_write_and_read_run_roundtrip_sorted(self, tmp_path):
+        groups = {"b": [2, 3], "a": [1], "c": [4]}
+        path, nbytes = write_run(groups, str(tmp_path))
+        assert nbytes == os.path.getsize(path) > 0
+        items = list(merge_sources([path]))
+        assert items == [("a", [1]), ("b", [2, 3]), ("c", [4])]
+
+    def test_merge_concatenates_in_source_order(self, tmp_path):
+        first, _ = write_run({"k": [1, 2], "a": [0]}, str(tmp_path))
+        second, _ = write_run({"k": [3], "z": [9]}, str(tmp_path))
+        leftover = {"k": [4]}
+        merged = dict(merge_sources([first, second, leftover]))
+        assert merged["k"] == [1, 2, 3, 4]
+        assert list(merged) == ["a", "k", "z"]
+
+    def test_merge_handles_cross_type_equal_keys(self, tmp_path):
+        # 1 == 1.0: the merge must group them exactly like a dict would.
+        first, _ = write_run({1: ["int"]}, str(tmp_path))
+        merged = dict(merge_sources([first, {1.0: ["float"]}]))
+        assert merged == {1: ["int", "float"]}
+
+    def test_unorderable_keys_raise_spill_error(self, tmp_path):
+        with pytest.raises(SpillError, match="orderable"):
+            write_run({"a": [1], (1, 2): [2]}, str(tmp_path))
+        with pytest.raises(SpillError, match="orderable"):
+            list(merge_sources([{"a": [1]}, {(1, 2): [2]}]))
+
+    def test_corrupt_run_raises_spill_error(self, tmp_path):
+        path = tmp_path / "bad.run"
+        path.write_bytes(b"\x80\x05 this is not a pickle stream")
+        with pytest.raises(SpillError, match="corrupt"):
+            list(merge_sources([str(path)]))
+
+    def test_missing_run_raises_spill_error(self, tmp_path):
+        with pytest.raises(SpillError, match="cannot open"):
+            list(merge_sources([str(tmp_path / "gone.run")]))
+
+    def test_run_truncated_at_item_boundary_raises(self, tmp_path):
+        # A run whose count header promises more items than the file
+        # holds must fail loudly, not be read as a shorter run.
+        import pickle
+
+        path = tmp_path / "short.run"
+        with open(path, "wb") as handle:
+            pickle.dump(2, handle)
+            pickle.dump(("a", [1]), handle)  # second item missing
+        with pytest.raises(SpillError, match="truncated"):
+            list(merge_sources([str(path)]))
+
+    def test_map_spill_partition_runs_preserve_flush_order(self):
+        spill = MapSpill(
+            flushes=[("f0p0", None), ("f1p0", "f1p1"), (None, "f2p1")]
+        )
+        assert spill.partition_runs(0) == ["f0p0", "f1p0"]
+        assert spill.partition_runs(1) == ["f1p1", "f2p1"]
+
+
+class TestSpilledEqualsInMemory:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_fanout_outputs_identical_and_spilled(self, backend):
+        records = list(range(1500))
+        unbounded = fanout_engine(backend, None).run(records)
+        budgeted = fanout_engine(
+            backend, 64, num_reduce_tasks=2, map_chunk_size=400
+        ).run(records)
+        assert budgeted.outputs == unbounded.outputs
+        assert unbounded.metrics.spill_runs == 0
+        assert unbounded.metrics.spilled_bytes == 0
+        # >= 2 spill runs per partition, per the acceptance criteria.
+        assert budgeted.metrics.spill_runs >= 2 * 2
+        assert budgeted.metrics.spilled_bytes > 0
+        assert 0 < budgeted.metrics.peak_buffered_pairs <= 64 + 24
+        # Analytical metrics are identical either way.
+        assert budgeted.metrics.reducer_loads == unbounded.metrics.reducer_loads
+        assert (
+            budgeted.metrics.communication_cost
+            == unbounded.metrics.communication_cost
+        )
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_crossval_app_workload_tiny_budget(self, backend):
+        """The acceptance test: same app workload, tiny budget vs unbounded,
+        diffed against the reference simulator on every backend."""
+        instance = A2AInstance([3, 5, 2, 6, 4, 5, 3, 4], q=12)
+        schema = solve_a2a(instance)
+        records = [f"payload-{i}" for i in range(instance.m)]
+        results = {}
+        for budget in (None, 2):
+            engine_result, job_result, report = validate_against_simulator(
+                schema,
+                records,
+                index_reduce,
+                backend=backend,
+                memory_budget=budget,
+            )
+            assert report.ok, report.summary()
+            results[budget] = engine_result
+        assert results[2].outputs == results[None].outputs
+        assert results[2].metrics.spill_runs >= 2
+        assert results[None].metrics.spill_runs == 0
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_strict_mode_exception_identical(self, backend):
+        """An overloaded key must raise the same CapacityExceededError
+        (same key, load, capacity) with and without spilling."""
+
+        errors = {}
+        for budget in (None, 8):
+            engine = ExecutionEngine(
+                map_fn=mod3_map,
+                reduce_fn=sum_reduce,
+                reducer_capacity=5,
+                strict_capacity=True,
+                backend=backend,
+                memory_budget=budget,
+            )
+            with pytest.raises(CapacityExceededError) as excinfo:
+                engine.run(list(range(60)))
+            errors[budget] = excinfo.value
+        assert errors[8].key == errors[None].key
+        assert errors[8].load == errors[None].load
+        assert errors[8].capacity == errors[None].capacity
+        assert str(errors[8]) == str(errors[None])
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_skew_join_app_spilled_equals_in_memory(self, backend):
+        x, y = generate_join_workload(300, 300, 8, 1.3, seed=11)
+        baseline = schema_skew_join(x, y, 80, backend=backend)
+        budgeted = schema_skew_join(
+            x, y, 80, config=ExecutionConfig(backend=backend, memory_budget=32)
+        )
+        assert budgeted.triples == baseline.triples
+        assert budgeted.metrics.spill_runs >= 2
+        assert baseline.metrics.spill_runs == 0
+
+    def test_spill_dir_cleaned_up(self, tmp_path):
+        spill_base = tmp_path / "spills"
+        result = fanout_engine(
+            "serial", 32, spill_dir=str(spill_base)
+        ).run(list(range(500)))
+        assert result.metrics.spill_runs > 0
+        # The base dir survives but the per-run subdirectory is removed.
+        assert spill_base.exists()
+        assert list(spill_base.iterdir()) == []
+
+    def test_spill_dir_cleaned_up_on_strict_failure(self, tmp_path):
+        spill_base = tmp_path / "spills"
+        engine = ExecutionEngine(
+            map_fn=lambda r: [(0, 1)],
+            reduce_fn=sum_reduce,
+            reducer_capacity=3,
+            strict_capacity=True,
+            memory_budget=8,
+            spill_dir=str(spill_base),
+        )
+        with pytest.raises(CapacityExceededError):
+            engine.run(list(range(50)))
+        assert list(spill_base.iterdir()) == []
+
+
+class TestKeyContract:
+    def test_engine_rejects_nan_keys_in_strict_mode(self):
+        engine = ExecutionEngine(
+            map_fn=lambda r: [(float("nan"), r)],
+            reduce_fn=sum_reduce,
+            strict_capacity=True,
+        )
+        with pytest.raises(InvalidInstanceError, match="non-self-equal"):
+            engine.run([1, 2, 3])
+
+    def test_engine_rejects_nan_keys_when_budgeted_even_nonstrict(self):
+        engine = ExecutionEngine(
+            map_fn=lambda r: [(float("nan"), r)],
+            reduce_fn=sum_reduce,
+            strict_capacity=False,
+            memory_budget=1,
+        )
+        with pytest.raises(InvalidInstanceError, match="non-self-equal"):
+            engine.run([1, 2, 3])
+
+    def test_engine_nonstrict_unbudgeted_keeps_dict_semantics(self):
+        # Pin the historical behavior: without strict mode or a budget,
+        # NaN keys fall through to raw dict grouping (one group per NaN
+        # object within a chunk).
+        nan = float("nan")
+        engine = ExecutionEngine(
+            map_fn=lambda r: [(nan, r)],
+            reduce_fn=lambda k, v: [len(v)],
+            strict_capacity=False,
+        )
+        result = engine.run([1, 2, 3])
+        assert result.outputs == [3]  # same NaN object -> one dict group
+
+    def test_simulator_pins_nan_grouping_behavior(self):
+        # The reference simulator keeps raw dict semantics: distinct NaN
+        # objects group separately even though they all print as nan.
+        job = MapReduceJob(
+            map_fn=lambda r: [(float("nan"), r)],
+            reduce_fn=lambda k, v: [len(v)],
+        )
+        result = job.run([1, 2, 3])
+        assert result.outputs == [1, 1, 1]
+        assert result.metrics.num_reducers == 3
+        assert all(math.isnan(k) for k in result.metrics.reducer_loads)
+
+
+class TestConfigAndBench:
+    def test_execution_config_validates(self):
+        with pytest.raises(InvalidInstanceError, match="memory_budget"):
+            ExecutionConfig(memory_budget=0)
+        with pytest.raises(InvalidInstanceError, match="num_workers"):
+            ExecutionConfig(num_workers=-1)
+
+    def test_resolve_execution_precedence(self):
+        config = ExecutionConfig(backend="threads", memory_budget=9)
+        assert resolve_execution(config, "serial", 4) is config
+        assert resolve_execution(None, None, None) is None
+        legacy = resolve_execution(None, "processes", 2)
+        assert legacy.backend == "processes"
+        assert legacy.num_workers == 2
+        assert legacy.memory_budget is None
+
+    def test_engine_rejects_nonpositive_budget(self):
+        engine = fanout_engine("serial", None)
+        engine.memory_budget = 0
+        with pytest.raises(InvalidInstanceError, match="memory_budget"):
+            engine.run([1])
+
+    def test_run_out_of_core_rows_and_check(self):
+        rows = run_out_of_core(
+            backends=["serial", "threads"],
+            scale=0.2,
+            memory_budget=128,
+        )
+        assert len(rows) == 4  # two backends x two modes
+        assert check_spill(rows) == []
+        budgeted = [r for r in rows if r["mode"] == "budgeted"]
+        assert all(int(r["spill_runs"]) >= 1 for r in budgeted)
+        unbounded = [r for r in rows if r["mode"] == "unbounded"]
+        assert all(int(r["spill_runs"]) == 0 for r in unbounded)
+
+    def test_check_spill_flags_missing_spill(self):
+        rows = [
+            {
+                "scenario": "s",
+                "backend": "serial",
+                "mode": "budgeted",
+                "memory_budget": 10,
+                "spill_runs": 0,
+                "peak_buffered": 5,
+            }
+        ]
+        assert any("spilled no runs" in f for f in check_spill(rows))
+        assert any("compared nothing" in f for f in check_spill([]))
+
+    def test_check_spill_peak_bound_accounts_for_fanout(self):
+        # A budget smaller than one record's fan-out must not flag the
+        # documented budget+fanout overshoot as a failure...
+        rows = run_out_of_core(
+            backends=["serial"], scale=0.05, memory_budget=8
+        )
+        assert check_spill(rows) == []
+        # ...but a peak beyond budget + fan-out is a real failure.
+        bad = [dict(r) for r in rows if r["mode"] == "budgeted"]
+        bad[0]["peak_buffered"] = int(bad[0]["peak_bound"]) + 1
+        assert any("exceeds bound" in f for f in check_spill(bad))
