@@ -1,0 +1,202 @@
+"""E20 (new): cost-based planner vs the fixed method × backend grid.
+
+Two questions, one per table:
+
+1. **Choice quality** — on a sweep of instance shapes (uniform, mixed,
+   big/small, X2Y, multiway) × all three objectives, full planning
+   enumerates every registered method; the planner's pick must be within
+   10% of the best candidate it enumerated (it is the argmin, so the
+   regret is asserted to be ~0).  Rows record the chosen method, its
+   objective value, the best enumerated value, the regret, and the
+   problem lower bound, so the artifact tracks both planner quality and
+   heuristic-vs-bound gaps across PRs.
+
+2. **Execution quality** — the E17/E18 realistic app shape (the skew
+   join) runs over the fixed method × backend grid, plus one
+   planner-driven cell (``method="planned"``: per-heavy-key methods and
+   the execution configuration both planner-chosen).  The planner cell's
+   wall-clock regret vs the best fixed cell is reported; wall-clock
+   claims are hardware-gated like every engine bench (the committed
+   artifact records the worker count), so the regret column is advisory
+   on shared runners while output identity is always asserted.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.harness import emit, run_once
+from repro.apps.skew_join import naive_join, schema_skew_join
+from repro.engine.backends import available_workers
+from repro.planner import Environment, JobSpec, plan
+from repro.utils.tables import format_table
+from repro.workloads.relations import generate_join_workload
+
+#: Planning scenarios: name -> JobSpec constructor arguments.
+SCENARIOS: dict[str, JobSpec] = {
+    "a2a_uniform": JobSpec.a2a([4] * 12, q=12, method=None),
+    "a2a_mixed": JobSpec.a2a([3, 5, 2, 7, 4, 6, 1, 8], q=16, method=None),
+    "a2a_bigsmall": JobSpec.a2a([11, 3, 4, 5, 2, 6], q=20, method=None),
+    "x2y_uniform": JobSpec.x2y([2] * 6, [2] * 8, q=8, method=None),
+    "x2y_skewed": JobSpec.x2y([9, 2, 3, 1], [5, 3, 4], q=17, method=None),
+    "multiway_r3": JobSpec.multiway([2] * 8, q=9, r=3, method=None),
+}
+
+OBJECTIVES = ("min-reducers", "min-communication", "min-makespan")
+
+#: Fixed grid for the execution comparison: method x backend on the skew
+#: join ("auto" is the structural fast path; exact is omitted — heavy-key
+#: instances routinely exceed its tractable size).
+GRID_METHODS = ("auto", "equal_grid", "best_split_grid", "big_small", "greedy")
+GRID_BACKENDS = ("serial", "threads")
+
+TUPLES, KEYS, Q, SKEW, SEED = 400, 8, 120, 1.3, 7
+REPEAT = 2
+
+
+def plan_quality_rows() -> list[dict[str, object]]:
+    """Table 1: per-scenario × objective planning regret."""
+    env = Environment(num_workers=max(2, available_workers()), memory_bytes=None)
+    rows: list[dict[str, object]] = []
+    for name, base in sorted(SCENARIOS.items()):
+        for objective in OBJECTIVES:
+            spec = JobSpec(
+                kind=base.kind,
+                q=base.q,
+                sizes=base.sizes,
+                x_sizes=base.x_sizes,
+                y_sizes=base.y_sizes,
+                r=base.r,
+                objective=objective,
+                method=None,
+            )
+            planned = plan(spec, env)
+            scored = [
+                c for c in planned.candidates if c.status == "scored"
+            ]
+            best = min(c.objective_value for c in scored)
+            chosen_value = planned.chosen_score.objective_value
+            regret = (chosen_value / best - 1.0) if best else 0.0
+            rows.append(
+                {
+                    "scenario": name,
+                    "objective": objective,
+                    "chosen": planned.chosen,
+                    "chosen_value": chosen_value,
+                    "best_enumerated": best,
+                    "regret": round(regret, 4),
+                    "scored": len(scored),
+                    "skipped": sum(
+                        1 for c in planned.candidates if c.status == "skipped"
+                    ),
+                    "reducers_lb": planned.lower_bounds.get("num_reducers", ""),
+                }
+            )
+    return rows
+
+
+def execution_grid_rows() -> list[dict[str, object]]:
+    """Table 2: skew join across the fixed grid plus the planner cell."""
+    x, y = generate_join_workload(TUPLES, TUPLES, KEYS, SKEW, seed=SEED)
+    truth = naive_join(x, y)
+    rows: list[dict[str, object]] = []
+
+    def best_of(run_fn) -> tuple[float, object]:
+        best_wall, best_run = None, None
+        for _ in range(REPEAT):
+            started = time.perf_counter()
+            run = run_fn()
+            wall = time.perf_counter() - started
+            if best_wall is None or wall < best_wall:
+                best_wall, best_run = wall, run
+        return best_wall, best_run
+
+    for method in GRID_METHODS:
+        for backend in GRID_BACKENDS:
+            try:
+                wall, run = best_of(
+                    lambda: schema_skew_join(
+                        x, y, Q, method=method, backend=backend
+                    )
+                )
+            except Exception as error:  # a method may reject this shape
+                rows.append(
+                    {
+                        "cell": f"{method}/{backend}",
+                        "wall_s": "",
+                        "outputs": "",
+                        "note": type(error).__name__,
+                    }
+                )
+                continue
+            assert run.triple_set() == truth, (method, backend)
+            rows.append(
+                {
+                    "cell": f"{method}/{backend}",
+                    "wall_s": round(wall, 3),
+                    "outputs": len(run.triples),
+                    "note": "",
+                }
+            )
+
+    planned_wall, planned_run = best_of(
+        lambda: schema_skew_join(x, y, Q, method="planned")
+    )
+    assert planned_run.triple_set() == truth
+    fixed_walls = [
+        float(row["wall_s"]) for row in rows if row["wall_s"] != ""
+    ]
+    best_fixed = min(fixed_walls)
+    rows.append(
+        {
+            "cell": f"planner[{planned_run.engine.backend}]",
+            "wall_s": round(planned_wall, 3),
+            "outputs": len(planned_run.triples),
+            "note": (
+                f"wall regret vs best fixed: "
+                f"{planned_wall / best_fixed - 1.0:+.1%}"
+            ),
+        }
+    )
+    return rows
+
+
+def compute_rows() -> list[dict[str, object]]:
+    return plan_quality_rows() + execution_grid_rows()
+
+
+@pytest.mark.benchmark(group="E20")
+def test_e20_planner(benchmark):
+    rows = run_once(benchmark, compute_rows)
+    quality = [r for r in rows if "scenario" in r]
+    grid = [r for r in rows if "cell" in r]
+    emit(
+        "E20",
+        format_table(
+            quality,
+            title=(
+                "E20a: planner choice vs best enumerated candidate "
+                f"({len(SCENARIOS)} scenarios x {len(OBJECTIVES)} objectives)"
+            ),
+        )
+        + "\n"
+        + format_table(
+            grid,
+            title=(
+                f"E20b: skew join, fixed method x backend grid vs planner "
+                f"({TUPLES}x{TUPLES} tuples, q={Q}, best of {REPEAT}, "
+                f"{available_workers()} workers)"
+            ),
+        ),
+        rows=rows,
+    )
+
+    assert len(quality) == len(SCENARIOS) * len(OBJECTIVES)
+    # The acceptance bar: the planner's objective value is within 10% of
+    # the best candidate it enumerated, on every scenario x objective.
+    for row in quality:
+        assert float(row["regret"]) <= 0.10, row
+    # The planner cell exists and produced the exact join output.
+    assert any(str(row["cell"]).startswith("planner[") for row in grid)

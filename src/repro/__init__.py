@@ -50,6 +50,7 @@ from repro.exceptions import (
     SpillError,
 )
 from repro.mapreduce import MapReduceJob, SimulatedCluster, schedule_loads
+from repro.planner import Environment, JobSpec, Plan
 
 __version__ = "1.0.0"
 
@@ -78,6 +79,9 @@ __all__ = [
     "BACKENDS",
     "Dataset",
     "as_dataset",
+    "JobSpec",
+    "Plan",
+    "Environment",
     "ReproError",
     "InvalidInstanceError",
     "InfeasibleInstanceError",

@@ -4,18 +4,28 @@ The paper's social-network A2A example: for every pair of users, compute
 the friends they share.  Friend lists are the different-sized inputs; the
 mapping schema decides which reducers each user's list travels to, and
 each reducer emits results only for the pairs it canonically owns.
+
+Like the other applications, this is a thin spec builder over the
+planner: :func:`common_friends_spec` states the problem, the planner
+picks the schema, and the engine path funnels through
+:func:`repro.planner.run` (the default path stays on the reference
+simulator).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
+from typing import Iterator
 
-from repro.apps.common import a2a_memberships, canonical_meeting
-from repro.core.instance import A2AInstance
+from repro import planner
 from repro.core.schema import A2ASchema
-from repro.core.selector import solve_a2a
+from repro.engine.config import ExecutionConfig, resolve_execution
+from repro.engine.metrics import EngineMetrics
+from repro.engine.routing import a2a_meeting_table, a2a_memberships
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.metrics import JobMetrics
+from repro.planner import JobSpec, Plan
 from repro.workloads.social import User, common_friends
 
 
@@ -29,16 +39,57 @@ class CommonFriendsRun:
             decides what to drop — mirroring the problem statement where
             *every* pair corresponds to one output).
         schema: the mapping schema used.
-        metrics: simulator metrics.
+        metrics: simulator metrics (engine runs report the identical
+            analytical metrics).
+        engine: physical execution metrics when the run went through the
+            engine; ``None`` for simulator runs.
+        plan: the planner's full decision record for this run.
     """
 
     pairs: tuple[tuple[int, int, frozenset[int]], ...]
     schema: A2ASchema
     metrics: JobMetrics
+    engine: EngineMetrics | None = None
+    plan: Plan | None = None
 
     def as_dict(self) -> dict[tuple[int, int], frozenset[int]]:
         """The output keyed by user-id pair, for ground-truth comparison."""
         return {(a, b): shared for a, b, shared in self.pairs}
+
+
+def common_friends_spec(
+    users: list[User],
+    q: int,
+    *,
+    method: str = "auto",
+    objective: str = "min-reducers",
+) -> JobSpec:
+    """The common-friends problem as a declarative A2A spec."""
+    return JobSpec.a2a(
+        users,
+        q,
+        method=None if method == "planned" else method,
+        objective=objective,
+    )
+
+
+def _common_friends_reduce(
+    key,
+    values: list[tuple[int, User]],
+    *,
+    owners: dict[tuple[int, int], int],
+) -> Iterator[tuple[int, int, frozenset[int]]]:
+    """Engine-path reducer: emit canonically-owned pairs' shared friends.
+
+    Values arrive as ``(input_index, user)``; module-level (data bound via
+    :func:`functools.partial`) so the ``processes`` backend can pickle it.
+    """
+    by_position = sorted(values, key=lambda item: item[0])
+    for a_pos, (i, user_a) in enumerate(by_position):
+        for j, user_b in by_position[a_pos + 1 :]:
+            if owners[(i, j)] != key:
+                continue
+            yield (user_a.user_id, user_b.user_id, common_friends(user_a, user_b))
 
 
 def run_common_friends(
@@ -46,14 +97,44 @@ def run_common_friends(
     q: int,
     *,
     method: str = "auto",
+    objective: str = "min-reducers",
+    backend: str | None = None,
+    num_workers: int | None = None,
+    config: ExecutionConfig | None = None,
 ) -> CommonFriendsRun:
     """Run the schema-driven common-friends job end to end.
 
     Users are indexed by list position; capacity is enforced strictly
-    (a correct schema cannot overflow).
+    (a correct schema cannot overflow).  With neither ``backend=`` nor
+    ``config=`` the job runs on the reference simulator; naming a backend
+    or passing an :class:`~repro.engine.config.ExecutionConfig` routes it
+    through the engine with identical outputs.  ``method="planned"``
+    enables full cost-based planning under *objective* and defaults to
+    the plan's resolved execution configuration.
     """
-    instance = A2AInstance([u.size for u in users], q)
-    schema = solve_a2a(instance, method)
+    spec = common_friends_spec(users, q, method=method, objective=objective)
+    planned = planner.plan(spec)
+    schema = planned.schema()
+    owners = a2a_meeting_table(schema)
+
+    execution = resolve_execution(config, backend, num_workers)
+    if execution is None and method == "planned":
+        execution = planned.execution
+    if execution is not None:
+        result = planner.run(
+            planned,
+            users,
+            partial(_common_friends_reduce, owners=owners),
+            config=execution,
+        )
+        return CommonFriendsRun(
+            pairs=tuple(result.outputs),
+            schema=schema,
+            metrics=result.metrics,
+            engine=result.engine,
+            plan=planned,
+        )
+
     memberships = a2a_memberships(schema)
     position = {id(user): i for i, user in enumerate(users)}
 
@@ -67,7 +148,7 @@ def run_common_friends(
             i = position[id(user_a)]
             for user_b in ordered[a_pos + 1:]:
                 j = position[id(user_b)]
-                if canonical_meeting(memberships[i], memberships[j]) != key:
+                if owners[(i, j)] != key:
                     continue
                 yield (user_a.user_id, user_b.user_id, common_friends(user_a, user_b))
 
@@ -79,5 +160,8 @@ def run_common_friends(
     )
     result = job.run(users)
     return CommonFriendsRun(
-        pairs=tuple(result.outputs), schema=schema, metrics=result.metrics
+        pairs=tuple(result.outputs),
+        schema=schema,
+        metrics=result.metrics,
+        plan=planned,
     )

@@ -5,6 +5,13 @@ compared (the similarity function admits no LSH shortcut).  The schema
 decides which reducers each document travels to; each reducer compares the
 pairs it canonically owns and emits those above the threshold.
 
+The app is a thin spec builder over the planner pipeline:
+:func:`similarity_spec` states the problem as a
+:class:`~repro.planner.spec.JobSpec`, :func:`repro.planner.plan` picks the
+schema (the structural fast path by default, full cost-based planning
+with ``method="planned"``), and the engine path funnels through
+:func:`repro.planner.run`.
+
 Also provides the naive broadcast baseline (all documents to one reducer)
 used by E7 to show what the schema machinery buys.
 """
@@ -15,16 +22,16 @@ from dataclasses import dataclass
 from functools import partial
 from typing import Iterator
 
-from repro.apps.common import a2a_meeting_table, a2a_memberships
+from repro import planner
 from repro.core.instance import A2AInstance
 from repro.core.schema import A2ASchema
-from repro.core.selector import solve_a2a
 from repro.dataset import Dataset
 from repro.engine.config import ExecutionConfig, resolve_execution
-from repro.engine.engine import execute_schema
 from repro.engine.metrics import EngineMetrics
+from repro.engine.routing import a2a_meeting_table, a2a_memberships
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.metrics import JobMetrics
+from repro.planner import JobSpec, Plan
 from repro.workloads.documents import Document, jaccard
 
 
@@ -39,16 +46,39 @@ class SimilarityJoinRun:
         metrics: job metrics of the run (simulator and engine agree).
         engine: physical execution metrics when the run went through the
             engine (``backend=`` was given); ``None`` for simulator runs.
+        plan: the planner's full decision record for this run.
     """
 
     pairs: tuple[tuple[int, int, float], ...]
     schema: A2ASchema
     metrics: JobMetrics
     engine: EngineMetrics | None = None
+    plan: Plan | None = None
 
     def pair_set(self) -> set[tuple[int, int]]:
         """Just the id pairs, for comparison against ground truth."""
         return {(a, b) for a, b, _ in self.pairs}
+
+
+def similarity_spec(
+    documents: list[Document] | Dataset,
+    q: int,
+    *,
+    method: str = "auto",
+    objective: str = "min-reducers",
+) -> JobSpec:
+    """The similarity join as a declarative A2A spec.
+
+    ``method="planned"`` asks the planner for full cost-based method
+    choice under *objective*; any other value keeps the historical
+    semantics (``"auto"`` fast path or a pinned method name).
+    """
+    return JobSpec.a2a(
+        documents,
+        q,
+        method=None if method == "planned" else method,
+        objective=objective,
+    )
 
 
 def _similarity_reduce(
@@ -82,6 +112,7 @@ def run_similarity_join(
     threshold: float,
     *,
     method: str = "auto",
+    objective: str = "min-reducers",
     backend: str | None = None,
     num_workers: int | None = None,
     config: ExecutionConfig | None = None,
@@ -99,25 +130,32 @@ def run_similarity_join(
     :class:`~repro.engine.config.ExecutionConfig` (which may set a
     ``memory_budget`` for the out-of-core shuffle) routes it through
     :mod:`repro.engine` instead, which produces identical pairs and
-    additionally reports phase timings in ``run.engine``.  *documents* may
-    be a :class:`~repro.dataset.Dataset` (materialized once for schema
-    planning — the sizes must be known before any record is routed).
+    additionally reports phase timings in ``run.engine``.
+    ``method="planned"`` enables full cost-based planning under
+    *objective* and — when no execution knobs are given — runs on the
+    plan's resolved :class:`~repro.engine.config.ExecutionConfig`.
+    *documents* may be a :class:`~repro.dataset.Dataset` (materialized
+    once for schema planning — the sizes must be known before any record
+    is routed).
     """
     if isinstance(documents, Dataset):
         documents = documents.materialize()
-    instance = A2AInstance([d.size for d in documents], q)
-    schema = solve_a2a(instance, method)
+    spec = similarity_spec(documents, q, method=method, objective=objective)
+    planned = planner.plan(spec)
+    schema = planned.schema()
     owners = a2a_meeting_table(schema)
 
     execution = resolve_execution(config, backend, num_workers)
+    if execution is None and method == "planned":
+        execution = planned.execution
     if execution is not None:
         reduce_fn = partial(
             _similarity_reduce,
             owners=owners,
             threshold=threshold,
         )
-        result = execute_schema(
-            schema,
+        result = planner.run(
+            planned,
             documents,
             reduce_fn,
             config=execution,
@@ -127,6 +165,7 @@ def run_similarity_join(
             schema=schema,
             metrics=result.metrics,
             engine=result.engine,
+            plan=planned,
         )
 
     memberships = a2a_memberships(schema)
@@ -156,7 +195,10 @@ def run_similarity_join(
     )
     result = job.run(documents)
     return SimilarityJoinRun(
-        pairs=tuple(result.outputs), schema=schema, metrics=result.metrics
+        pairs=tuple(result.outputs),
+        schema=schema,
+        metrics=result.metrics,
+        plan=planned,
     )
 
 

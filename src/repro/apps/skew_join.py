@@ -14,15 +14,15 @@ from dataclasses import dataclass
 from functools import partial
 from typing import Hashable, Iterator
 
-from repro.apps.common import x2y_memberships, x2y_meeting_table
-from repro.core.instance import X2YInstance
+from repro import planner
 from repro.core.schema import X2YSchema
-from repro.core.selector import solve_x2y
 from repro.engine.config import ExecutionConfig, resolve_execution
 from repro.engine.engine import ExecutionEngine
 from repro.engine.metrics import EngineMetrics
+from repro.engine.routing import x2y_memberships, x2y_meeting_table
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.metrics import JobMetrics
+from repro.planner import Environment, JobSpec, Plan
 from repro.workloads.relations import Relation, Tuple2, heavy_hitters
 
 #: Wrapped record shipped through the executors:
@@ -42,6 +42,8 @@ class SkewJoinRun:
         schemas: the per-heavy-key schemas, keyed by join key.
         engine: physical execution metrics when ``backend=`` routed the run
             through the engine; ``None`` for simulator runs.
+        plans: the planner's per-heavy-key decision records, keyed by
+            join key.
     """
 
     triples: tuple[tuple[int, int, int], ...]
@@ -49,6 +51,7 @@ class SkewJoinRun:
     heavy_keys: tuple[int, ...] = ()
     schemas: dict[int, X2YSchema] | None = None
     engine: EngineMetrics | None = None
+    plans: dict[int, Plan] | None = None
 
     def triple_set(self) -> set[tuple[int, int, int]]:
         """The output as a set for comparison against ground truth."""
@@ -162,12 +165,35 @@ def _skew_record_size(record: SkewRecord) -> int:
     return record[4]
 
 
+def heavy_key_spec(
+    x_tuples: list[Tuple2],
+    y_tuples: list[Tuple2],
+    q: int,
+    *,
+    method: str = "auto",
+    objective: str = "min-reducers",
+) -> JobSpec:
+    """One heavy join key's tuples as a declarative X2Y spec.
+
+    ``method="planned"`` asks for full cost-based method choice per heavy
+    key; other values keep the historical semantics.
+    """
+    return JobSpec.x2y(
+        x_tuples,
+        y_tuples,
+        q,
+        method=None if method == "planned" else method,
+        objective=objective,
+    )
+
+
 def schema_skew_join(
     x: Relation,
     y: Relation,
     q: int,
     *,
     method: str = "auto",
+    objective: str = "min-reducers",
     backend: str | None = None,
     num_workers: int | None = None,
     config: ExecutionConfig | None = None,
@@ -187,7 +213,10 @@ def schema_skew_join(
     :class:`~repro.engine.config.ExecutionConfig` (which may set a
     ``memory_budget`` for the out-of-core shuffle) runs the same
     map/reduce functions through :mod:`repro.engine`, producing identical
-    triples plus phase timings in ``run.engine``.
+    triples plus phase timings in ``run.engine``.  ``method="planned"``
+    plans every heavy key's schema cost-based under *objective* and —
+    when no execution knobs are given — resolves the engine configuration
+    from the environment probe.
     """
     heavy = heavy_hitters(x, y, q)
     heavy_set = frozenset(heavy)
@@ -199,7 +228,9 @@ def schema_skew_join(
     for t in y.tuples:
         y_by_key.setdefault(t.key, []).append(t)
 
+    env = Environment.detect()
     schemas: dict[int, X2YSchema] = {}
+    plans: dict[int, Plan] = {}
     members: dict[int, SkewPlan] = {}
     for key in heavy:
         x_tuples = x_by_key.get(key, [])
@@ -208,10 +239,12 @@ def schema_skew_join(
             # One-sided heavy keys produce no join output at all; skip them
             # entirely rather than ship dead weight.
             continue
-        instance = X2YInstance(
-            [t.size for t in x_tuples], [t.size for t in y_tuples], q
+        spec = heavy_key_spec(
+            x_tuples, y_tuples, q, method=method, objective=objective
         )
-        schema = solve_x2y(instance, method)
+        planned = planner.plan(spec, env)
+        schema = planned.schema()
+        plans[key] = planned
         schemas[key] = schema
         x_members, y_members = x2y_memberships(schema)
         members[key] = (
@@ -232,6 +265,26 @@ def schema_skew_join(
     reduce_fn = partial(_skew_reduce, members=members)
 
     execution = resolve_execution(config, backend, num_workers)
+    if execution is None and method == "planned":
+        # The top-level job is not a single schema (composite light/heavy
+        # keys), so resolve the engine configuration from the aggregate
+        # shape: one reducer per light key plus every heavy schema's
+        # reducers, and the communication the mappers will actually ship.
+        light_keys = (set(x_by_key) | set(y_by_key)) - heavy_set
+        total_reducers = len(light_keys) + sum(
+            s.num_reducers for s in schemas.values()
+        )
+        light_comm = sum(
+            t.size
+            for t in (*x.tuples, *y.tuples)
+            if t.key not in heavy_set
+        )
+        execution = planner.resolve_execution_config(
+            env,
+            num_reducers=max(1, total_reducers),
+            communication_cost=light_comm
+            + sum(s.communication_cost for s in schemas.values()),
+        )
     if execution is not None:
         engine = ExecutionEngine.from_config(
             execution,
@@ -248,6 +301,7 @@ def schema_skew_join(
             heavy_keys=tuple(heavy),
             schemas=schemas,
             engine=result.engine,
+            plans=plans,
         )
 
     job = MapReduceJob(
@@ -263,4 +317,5 @@ def schema_skew_join(
         metrics=result.metrics,
         heavy_keys=tuple(heavy),
         schemas=schemas,
+        plans=plans,
     )

@@ -12,9 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from itertools import combinations
 
-from repro.core.multiway import MultiwayInstance, MultiwaySchema, multiway_bin_combining
+from repro import planner
+from repro.core.multiway import MultiwaySchema
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.metrics import JobMetrics
+from repro.planner import JobSpec, Plan
 from repro.workloads.documents import Document
 
 
@@ -45,10 +47,21 @@ class ThreeWayRun:
     triples: tuple[tuple[int, int, int, float], ...]
     schema: MultiwaySchema
     metrics: JobMetrics
+    plan: Plan | None = None
 
     def triple_set(self) -> set[tuple[int, int, int]]:
         """Just the id triples, for ground-truth comparison."""
         return {(a, b, c) for a, b, c, _ in self.triples}
+
+
+def threeway_spec(
+    documents: list[Document],
+    q: int,
+    *,
+    objective: str = "min-reducers",
+) -> JobSpec:
+    """Three-way similarity as a declarative multiway (r=3) spec."""
+    return JobSpec.multiway(documents, q, 3, objective=objective)
 
 
 def run_threeway_similarity(
@@ -60,10 +73,12 @@ def run_threeway_similarity(
 
     Each reducer evaluates only the triples whose *canonical* reducer it is
     (the smallest reducer index containing all three documents), so every
-    triple is emitted exactly once despite replication.
+    triple is emitted exactly once despite replication.  Multiway schemas
+    run on the reference simulator (the engine's schema router executes
+    pairwise schemas); the planner still records the plan.
     """
-    instance = MultiwayInstance([d.size for d in documents], q, 3)
-    schema = multiway_bin_combining(instance)
+    planned = planner.plan(threeway_spec(documents, q))
+    schema = planned.schema()
     memberships: list[list[int]] = [[] for _ in documents]
     for r, members in enumerate(schema.reducers):
         for i in members:
@@ -109,5 +124,8 @@ def run_threeway_similarity(
     )
     result = job.run(documents)
     return ThreeWayRun(
-        triples=tuple(result.outputs), schema=schema, metrics=result.metrics
+        triples=tuple(result.outputs),
+        schema=schema,
+        metrics=result.metrics,
+        plan=planned,
     )

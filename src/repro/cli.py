@@ -8,11 +8,19 @@ Commands:
 * ``sweep --sizes ... --q-values 10,20,40`` — the reducer-count tradeoff
   table for an A2A input set.
 * ``verify --file schema.json`` — re-verify a persisted schema.
+* ``plan --sizes 3,5,2,7 --q 12 [--objective min-communication]`` — run
+  the cost-based planner: print the candidate table and the chosen
+  method plus resolved execution configuration.  ``--explain`` shows the
+  per-candidate cost rows, ``--json-out plan.json`` serializes the plan
+  (``repro.planner.Plan.from_json`` loads it back), ``--x-sizes`` /
+  ``--y-sizes`` plan an X2Y instance, ``--r`` a multiway one.
 * ``run --app skew-join --q 80 --backend processes`` — execute a
   schema-driven application on an engine backend and print job plus
   phase-timing metrics.  ``--memory-budget N`` bounds each map task to
   ``N`` buffered pairs and spills the rest to disk (out-of-core mode);
-  the spill counters are printed after the metrics tables.
+  the spill counters are printed after the metrics tables.  ``--plan
+  auto`` lets the planner choose the schema method *and* the execution
+  configuration (``--objective`` sets what it optimizes).
 * ``bench [--scale 1.0] [--repeat 1] [--check]`` — a fast subset of the
   E17/E18 engine benchmarks: the skew join plus the map/reduce/shuffle-heavy
   scenarios across all backends, printed as a speedup table.  ``--check``
@@ -36,7 +44,8 @@ from repro.core.costs import summarize
 from repro.core.instance import A2AInstance, X2YInstance
 from repro.core.selector import A2A_METHODS, X2Y_METHODS, solve_a2a, solve_x2y
 from repro.engine.backends import BACKENDS
-from repro.exceptions import ReproError, UnknownMethodError
+from repro.exceptions import InvalidInstanceError, ReproError, UnknownMethodError
+from repro.planner import OBJECTIVES
 from repro.utils.tables import format_table
 
 
@@ -145,6 +154,39 @@ def build_parser() -> argparse.ArgumentParser:
     verify = commands.add_parser("verify", help="verify a persisted schema")
     verify.add_argument("--file", required=True)
 
+    plan_cmd = commands.add_parser(
+        "plan", help="cost-based plan: candidate table + chosen method/config"
+    )
+    plan_cmd.add_argument(
+        "--sizes", type=_parse_sizes, help="input sizes (A2A, or multiway with --r)"
+    )
+    plan_cmd.add_argument("--x-sizes", type=_parse_sizes, help="X-side sizes (X2Y)")
+    plan_cmd.add_argument("--y-sizes", type=_parse_sizes, help="Y-side sizes (X2Y)")
+    plan_cmd.add_argument("--q", type=int, required=True)
+    plan_cmd.add_argument(
+        "--r",
+        type=_positive_int,
+        default=None,
+        help="multiway meeting arity (with --sizes)",
+    )
+    plan_cmd.add_argument(
+        "--objective", default="min-reducers", choices=list(OBJECTIVES)
+    )
+    plan_cmd.add_argument(
+        "--method",
+        default=None,
+        help="pin a method, or 'auto' for the structural fast path "
+        "(default: full cost-based planning)",
+    )
+    plan_cmd.add_argument(
+        "--explain",
+        action="store_true",
+        help="show every cost column per candidate",
+    )
+    plan_cmd.add_argument(
+        "--json-out", default=None, help="write the serialized plan to this file"
+    )
+
     run = commands.add_parser(
         "run", help="execute a schema-driven app on an engine backend"
     )
@@ -152,7 +194,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--app", required=True, choices=["similarity", "skew-join"]
     )
     run.add_argument("--q", type=int, required=True)
-    run.add_argument("--backend", default="serial", choices=sorted(BACKENDS))
+    run.add_argument(
+        "--backend",
+        default=None,
+        choices=sorted(BACKENDS),
+        help="engine backend (default: serial, or planner-chosen with "
+        "--plan auto)",
+    )
+    run.add_argument(
+        "--plan",
+        default=None,
+        choices=["auto"],
+        help="let the planner choose the schema method and the execution "
+        "configuration (explicit engine knobs like --backend or "
+        "--memory-budget take precedence over the planner's)",
+    )
+    run.add_argument(
+        "--objective",
+        default="min-reducers",
+        choices=list(OBJECTIVES),
+        help="what --plan auto optimizes",
+    )
     run.add_argument("--num-workers", type=_positive_int, default=None)
     run.add_argument(
         "--memory-budget",
@@ -217,6 +279,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--num-workers", type=_positive_int, default=None
     )
     bench.add_argument(
+        "--plan",
+        default=None,
+        choices=["auto"],
+        help="add a planner-driven row (method and execution both "
+        "planner-chosen) to the join bench",
+    )
+    bench.add_argument(
+        "--objective",
+        default="min-reducers",
+        choices=list(OBJECTIVES),
+        help="what the planner-driven row optimizes",
+    )
+    bench.add_argument(
         "--memory-budget",
         type=_positive_int,
         default=None,
@@ -249,16 +324,81 @@ def _print_schema(schema, as_json: bool) -> None:
         print(f"  reducer {index}: {reducer}")
 
 
+def _run_plan(args: argparse.Namespace) -> int:
+    """Handle ``repro plan``: plan a spec, print the table, serialize."""
+    from repro.planner import Environment, JobSpec
+    from repro.planner import plan as plan_spec
+
+    if args.x_sizes is not None or args.y_sizes is not None:
+        if args.sizes is not None or args.r is not None:
+            raise InvalidInstanceError(
+                "--x-sizes/--y-sizes (X2Y) cannot be combined with "
+                "--sizes or --r"
+            )
+        if args.x_sizes is None or args.y_sizes is None:
+            raise InvalidInstanceError(
+                "X2Y planning needs both --x-sizes and --y-sizes"
+            )
+        spec = JobSpec.x2y(
+            args.x_sizes,
+            args.y_sizes,
+            args.q,
+            objective=args.objective,
+            method=args.method,
+        )
+    elif args.sizes is not None:
+        if args.r is not None:
+            spec = JobSpec.multiway(
+                args.sizes,
+                args.q,
+                args.r,
+                objective=args.objective,
+                method=args.method,
+            )
+        else:
+            spec = JobSpec.a2a(
+                args.sizes, args.q, objective=args.objective, method=args.method
+            )
+    else:
+        raise InvalidInstanceError(
+            "plan needs --sizes (A2A/multiway) or --x-sizes/--y-sizes (X2Y)"
+        )
+    planned = plan_spec(spec, Environment.detect())
+    print(planned.describe(explain=args.explain))
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            handle.write(planned.to_json())
+            handle.write("\n")
+        print(f"plan written to {args.json_out}")
+    return 0
+
+
 def _run_app(args: argparse.Namespace) -> int:
     """Handle ``repro run``: generate a workload, execute it, print metrics."""
     from repro.engine.config import ExecutionConfig
 
-    config = ExecutionConfig(
-        backend=args.backend,
-        num_workers=args.num_workers,
-        memory_budget=args.memory_budget,
-        spill_dir=args.spill_dir,
+    plan_mode = args.plan == "auto"
+    method = "planned" if plan_mode else args.method
+    engine_knobs_given = any(
+        value is not None
+        for value in (
+            args.backend,
+            args.num_workers,
+            args.memory_budget,
+            args.spill_dir,
+        )
     )
+    if plan_mode and not engine_knobs_given:
+        # No explicit knobs: the applications run on the plan's resolved
+        # ExecutionConfig.
+        config = None
+    else:
+        config = ExecutionConfig(
+            backend=args.backend or "serial",
+            num_workers=args.num_workers,
+            memory_budget=args.memory_budget,
+            spill_dir=args.spill_dir,
+        )
     if args.app == "similarity":
         from repro.apps.similarity_join import run_similarity_join
         from repro.workloads.documents import document_dataset
@@ -270,11 +410,14 @@ def _run_app(args: argparse.Namespace) -> int:
             documents,
             args.q,
             args.threshold,
-            method=args.method,
+            method=method,
+            objective=args.objective,
             config=config,
         )
         print(f"app       : similarity join ({args.m} documents, q={args.q})")
         print(f"schema    : {run.schema.algorithm}, {run.schema.num_reducers} reducers")
+        if plan_mode and run.plan is not None:
+            print(f"plan      : {run.plan.chosen} — {run.plan.rationale}")
         print(f"outputs   : {len(run.pairs)} pairs >= {args.threshold}")
     else:
         from repro.apps.skew_join import schema_skew_join
@@ -287,7 +430,8 @@ def _run_app(args: argparse.Namespace) -> int:
             x,
             y,
             args.q,
-            method=args.method,
+            method=method,
+            objective=args.objective,
             config=config,
         )
         print(
@@ -295,7 +439,20 @@ def _run_app(args: argparse.Namespace) -> int:
             f"{args.keys} keys, skew={args.skew}, q={args.q})"
         )
         print(f"heavy keys: {list(run.heavy_keys)}")
+        if plan_mode and run.plans:
+            chosen = {key: planned.chosen for key, planned in run.plans.items()}
+            print(f"plan      : per-heavy-key methods {chosen}")
         print(f"outputs   : {len(run.triples)} triples")
+    if plan_mode and run.engine is not None:
+        source = (
+            "explicit knobs override the planner"
+            if engine_knobs_given
+            else "planner-resolved"
+        )
+        print(
+            f"execution : {source} backend={run.engine.backend}, "
+            f"workers={run.engine.num_workers}"
+        )
     print(format_table([run.metrics.as_row()], title="job metrics"))
     print(format_table([run.engine.as_row()], title="engine metrics"))
     if args.memory_budget is not None:
@@ -316,6 +473,7 @@ def _run_bench(args: argparse.Namespace) -> int:
         check_spill,
         run_join_bench,
         run_out_of_core,
+        run_planned_join,
         run_scenarios,
     )
 
@@ -332,6 +490,12 @@ def _run_bench(args: argparse.Namespace) -> int:
         repeat=args.repeat,
         num_workers=args.num_workers,
     )
+    if args.plan == "auto":
+        rows += run_planned_join(
+            tuples=args.tuples,
+            repeat=args.repeat,
+            objective=args.objective,
+        )
     rows += run_scenarios(
         backends=backends,
         scale=args.scale,
@@ -414,6 +578,8 @@ def main(argv: list[str] | None = None) -> int:
         elif args.command == "sweep":
             rows = sweep_a2a_reducers(args.sizes, args.q_values)
             print(format_table(rows, title="A2A reducers vs q"))
+        elif args.command == "plan":
+            return _run_plan(args)
         elif args.command == "run":
             return _run_app(args)
         elif args.command == "bench":

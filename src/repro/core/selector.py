@@ -2,11 +2,17 @@
 
 ``solve_a2a`` and ``solve_x2y`` are the library's front doors.  With
 ``method="auto"`` they dispatch on the structure the paper's algorithms
-key on — uniform sizes, presence of big inputs — and otherwise they look
-the method up by name, so experiments can sweep algorithms uniformly.
+key on — uniform sizes, presence of big inputs.  That structural
+heuristic now lives in :mod:`repro.planner.fastpath` (it is the
+cost-based planner's fast path); these functions are thin compatibility
+wrappers over it, so the planner and the historical API cannot drift.
+Named methods are looked up in the registries below, so experiments can
+sweep algorithms uniformly.
 """
 
 from __future__ import annotations
+
+from typing import Mapping
 
 from repro.core.a2a import (
     big_small,
@@ -48,28 +54,39 @@ X2Y_METHODS = {
 }
 
 
+def require_method(kind: str, method: str, registry: Mapping[str, object]) -> None:
+    """Raise :class:`UnknownMethodError` unless *method* is registered.
+
+    The single place the "unknown method" message is built, so every
+    front door (``solve_a2a``/``solve_x2y``, the planner, the CLI) lists
+    the valid method names the same way instead of echoing the bad name
+    with no hint.
+    """
+    if method not in registry:
+        raise UnknownMethodError(
+            f"unknown {kind} method {method!r}; choose from "
+            f"{sorted(registry)} or 'auto'"
+        )
+
+
 def solve_a2a(instance: A2AInstance, method: str = "auto") -> A2ASchema:
     """Build a mapping schema for an A2A instance.
 
     ``method="auto"`` picks: for uniform sizes, the better of the plain
     grouping scheme and the covering-design scheme; the big/small scheme
-    when some input exceeds ``q // 2``; the bin-pairing scheme otherwise.
-    Named methods come from :data:`A2A_METHODS`.
+    when some input exceeds ``q // 2``; the bin-pairing scheme otherwise
+    (the planner's fast path — see
+    :func:`repro.planner.fastpath.fast_path_a2a`).  Named methods come
+    from :data:`A2A_METHODS`.
     """
     instance.check_feasible()
     if method == "auto":
-        if len(set(instance.sizes)) == 1:
-            candidates = [equal_sized_grouping(instance), grouped_covering(instance)]
-            return min(candidates, key=lambda s: s.num_reducers)
-        half = instance.q // 2
-        if any(w > half for w in instance.sizes):
-            return big_small(instance)
-        return ffd_pairing(instance)
-    if method not in A2A_METHODS:
-        raise UnknownMethodError(
-            f"unknown A2A method {method!r}; choose from "
-            f"{sorted(A2A_METHODS)} or 'auto'"
-        )
+        # Imported lazily: the planner package imports these registries.
+        from repro.planner.fastpath import fast_path_a2a
+
+        chosen, considered, _ = fast_path_a2a(instance)
+        return considered[chosen]
+    require_method("A2A", method, A2A_METHODS)
     return A2A_METHODS[method](instance)
 
 
@@ -86,19 +103,9 @@ def solve_x2y(instance: X2YInstance, method: str = "auto") -> X2YSchema:
     """
     instance.check_feasible()
     if method == "auto":
-        if len(set(instance.x_sizes)) == 1 and len(set(instance.y_sizes)) == 1:
-            return equal_sized_grid(instance)
-        half = instance.q // 2
-        has_big = any(w > half for w in instance.x_sizes) or any(
-            w > half for w in instance.y_sizes
-        )
-        if has_big:
-            candidates = [big_small_x2y(instance), best_split_grid(instance)]
-            return min(candidates, key=lambda s: s.num_reducers)
-        return best_split_grid(instance)
-    if method not in X2Y_METHODS:
-        raise UnknownMethodError(
-            f"unknown X2Y method {method!r}; choose from "
-            f"{sorted(X2Y_METHODS)} or 'auto'"
-        )
+        from repro.planner.fastpath import fast_path_x2y
+
+        chosen, considered, _ = fast_path_x2y(instance)
+        return considered[chosen]
+    require_method("X2Y", method, X2Y_METHODS)
     return X2Y_METHODS[method](instance)

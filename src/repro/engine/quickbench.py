@@ -252,6 +252,51 @@ def run_join_bench(
     return rows
 
 
+def run_planned_join(
+    *,
+    tuples: int = 500,
+    keys: int = 8,
+    q: int = 120,
+    skew: float = 1.3,
+    seed: int = 7,
+    objective: str = "min-reducers",
+    repeat: int = 1,
+) -> list[dict[str, object]]:
+    """One planner-driven row for the join bench (``bench --plan auto``).
+
+    Runs the skew join with ``method="planned"``: every heavy key's
+    schema is chosen cost-based under *objective* and the execution
+    configuration is resolved from the environment probe, so the row
+    shows what the planner would pick against the fixed backend sweep.
+    """
+    from repro.apps.skew_join import schema_skew_join
+    from repro.workloads.relations import generate_join_workload
+
+    x, y = generate_join_workload(tuples, tuples, keys, skew, seed=seed)
+    best_wall: float | None = None
+    best_run = None
+    for _ in range(max(1, repeat)):
+        started = time.perf_counter()
+        run = schema_skew_join(x, y, q, method="planned", objective=objective)
+        wall = time.perf_counter() - started
+        if best_wall is None or wall < best_wall:
+            best_wall, best_run = wall, run
+    engine = best_run.engine
+    return [
+        {
+            "scenario": "skew_join",
+            "backend": f"planned[{engine.backend}]",
+            "wall_s": round(best_wall, 3),
+            "speedup_vs_serial": "",
+            "map_s": round(engine.timings.map_seconds, 3),
+            "shuffle_s": round(engine.timings.shuffle_seconds, 3),
+            "reduce_s": round(engine.timings.reduce_seconds, 3),
+            "reduce_tasks": engine.num_reduce_tasks,
+            "outputs": len(best_run.triples),
+        }
+    ]
+
+
 def run_out_of_core(
     *,
     scenario: str = "shuffle_heavy",

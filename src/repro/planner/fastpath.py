@@ -1,0 +1,121 @@
+"""The planner's fast path: structural method choice without cost sweeps.
+
+This is the paper's dispatch heuristic — previously the body of
+``solve_a2a(..., method="auto")`` / ``solve_x2y(..., method="auto")`` in
+:mod:`repro.core.selector` — reimplemented as a planner stage that also
+reports *which* candidates it compared and *why* it chose, so a fast-path
+:class:`~repro.planner.plan.Plan` is as inspectable as a fully enumerated
+one.  The selector keeps ``method="auto"`` as a thin compatibility
+wrapper over these functions, so the historical choice is pinned in one
+place.
+
+The rules, keyed on instance structure exactly as the paper presents the
+algorithms:
+
+* **A2A** — uniform sizes: the better of the plain grouping scheme and
+  the covering-design scheme; any input above ``q // 2``: the big/small
+  scheme; otherwise bin-pairing.
+* **X2Y** — uniform on both sides: the equal-sized grid; big inputs
+  present: the better of the big/small scheme and the best-split grid;
+  otherwise the best-split grid.
+* **Multiway** — the bin-combining scheme (the only registered method).
+
+Ties between compared candidates keep the first listed method, matching
+the historical ``min()`` behavior.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.a2a import (
+    big_small,
+    equal_sized_grouping,
+    ffd_pairing,
+    grouped_covering,
+)
+from repro.core.instance import A2AInstance, X2YInstance
+from repro.core.multiway import MultiwayInstance, multiway_bin_combining
+from repro.core.x2y import best_split_grid, big_small_x2y, equal_sized_grid
+
+
+#: A fast-path decision: chosen registry method name, the schemas of every
+#: candidate the rule compared (name -> schema, in comparison order), and a
+#: one-line statement of the structural rule that fired.
+FastPathChoice = tuple[str, dict[str, Any], str]
+
+
+def fast_path_a2a(instance: A2AInstance) -> FastPathChoice:
+    """Structural A2A dispatch (the historical ``method="auto"`` choice)."""
+    if len(set(instance.sizes)) == 1:
+        considered = {
+            "equal_grouping": equal_sized_grouping(instance),
+            "grouped_covering": grouped_covering(instance),
+        }
+        chosen = min(considered, key=lambda name: considered[name].num_reducers)
+        return (
+            chosen,
+            considered,
+            "uniform sizes: better of plain grouping and covering design",
+        )
+    half = instance.q // 2
+    if any(w > half for w in instance.sizes):
+        return (
+            "big_small",
+            {"big_small": big_small(instance)},
+            f"big inputs present (> q//2 = {half}): big/small scheme",
+        )
+    return (
+        "bin_pairing",
+        {"bin_pairing": ffd_pairing(instance)},
+        "mixed sizes, no big inputs: bin-pairing scheme",
+    )
+
+
+def fast_path_x2y(instance: X2YInstance) -> FastPathChoice:
+    """Structural X2Y dispatch (the historical ``method="auto"`` choice)."""
+    if len(set(instance.x_sizes)) == 1 and len(set(instance.y_sizes)) == 1:
+        return (
+            "equal_grid",
+            {"equal_grid": equal_sized_grid(instance)},
+            "uniform sizes on both sides: equal-sized grid",
+        )
+    half = instance.q // 2
+    has_big = any(w > half for w in instance.x_sizes) or any(
+        w > half for w in instance.y_sizes
+    )
+    if has_big:
+        considered = {
+            "big_small": big_small_x2y(instance),
+            "best_split_grid": best_split_grid(instance),
+        }
+        chosen = min(considered, key=lambda name: considered[name].num_reducers)
+        return (
+            chosen,
+            considered,
+            f"big inputs present (> q//2 = {half}): better of big/small "
+            "and best-split grid",
+        )
+    return (
+        "best_split_grid",
+        {"best_split_grid": best_split_grid(instance)},
+        "mixed sizes, no big inputs: best-split grid",
+    )
+
+
+def fast_path_multiway(instance: MultiwayInstance) -> FastPathChoice:
+    """Multiway dispatch: the bin-combining scheme is the only method."""
+    return (
+        "bin_combining",
+        {"bin_combining": multiway_bin_combining(instance)},
+        "multiway: generalized bin-combining scheme",
+    )
+
+
+def fast_path(instance: A2AInstance | X2YInstance | MultiwayInstance) -> FastPathChoice:
+    """Dispatch on instance type; see the per-kind functions."""
+    if isinstance(instance, A2AInstance):
+        return fast_path_a2a(instance)
+    if isinstance(instance, X2YInstance):
+        return fast_path_x2y(instance)
+    return fast_path_multiway(instance)

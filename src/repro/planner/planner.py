@@ -1,0 +1,358 @@
+"""Cost-based planning: enumerate, score, choose, resolve execution.
+
+:func:`plan` is the pipeline's middle stage: it takes a declarative
+:class:`~repro.planner.spec.JobSpec` plus an
+:class:`~repro.planner.environment.Environment` and produces an
+inspectable :class:`~repro.planner.plan.Plan`.  Three modes, selected by
+``spec.method``:
+
+* ``"auto"`` — the **fast path**: the structural dispatch heuristic from
+  :mod:`repro.planner.fastpath` (identical choice to the historical
+  ``solve_*(..., method="auto")``), scoring only the candidates the rule
+  compares.
+* ``None`` — **full planning**: every method in the registries
+  (:data:`~repro.core.selector.A2A_METHODS` /
+  :data:`~repro.core.selector.X2Y_METHODS` /
+  :data:`MULTIWAY_METHODS`) is built and scored with
+  :func:`repro.core.costs.summarize`-style metrics plus an LPT makespan
+  estimate on the environment's worker pool; the winner minimizes the
+  spec's objective.  The exponential ``exact`` solvers are skipped above
+  a size threshold, and a method that raises is recorded as failed, not
+  fatal.
+* a method name — **pinned**: that method, still scored, so the plan
+  remains inspectable.
+
+Every plan also resolves an :class:`~repro.engine.config.ExecutionConfig`
+from the environment via :func:`resolve_execution_config` — the rules are
+deterministic and documented on that function (and in the README's knob
+table), so a plan is reproducible given the same spec and environment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.bounds import (
+    a2a_communication_lower_bound,
+    a2a_reducer_lower_bound,
+    x2y_communication_lower_bound,
+    x2y_reducer_lower_bound,
+)
+from repro.core.instance import A2AInstance, X2YInstance
+from repro.core.multiway import (
+    MultiwayInstance,
+    multiway_bin_combining,
+    multiway_reducer_lower_bound,
+)
+from repro.core.selector import A2A_METHODS, X2Y_METHODS, require_method
+from repro.engine.config import ExecutionConfig
+from repro.exceptions import InvalidInstanceError, ReproError
+from repro.mapreduce.cluster import schedule_loads
+from repro.planner.environment import Environment
+from repro.planner.fastpath import fast_path
+from repro.planner.plan import CandidateScore, Plan
+from repro.planner.spec import JobSpec
+
+#: Multiway methods (the pairwise kinds use the selector registries).
+MULTIWAY_METHODS = {"bin_combining": multiway_bin_combining}
+
+#: The exact A2A solver's branch-and-bound is exponential in the input
+#: count; above this many inputs the planner skips it instead of burning
+#: the node budget (matches the solver's documented m <= ~10-12 range).
+EXACT_A2A_INPUT_LIMIT = 10
+
+#: The exact X2Y solver is tractable for roughly m * n <= 30 cross pairs.
+EXACT_X2Y_PAIR_LIMIT = 30
+
+#: The greedy set-cover heuristics re-scan all uncovered pairs per
+#: reducer (quadratic-and-worse in the input count); above this many
+#: inputs the planner skips them — on instances that large they are
+#: never competitive on planning latency, which full planning pays even
+#: for candidates it does not choose.
+GREEDY_INPUT_LIMIT = 64
+
+#: Assumed bytes shipped per size unit when translating a schema's
+#: communication cost into an estimated shuffle footprint.
+BYTES_PER_SIZE_UNIT = 256
+
+#: The planner lets the shuffle use at most this fraction of available
+#: memory before it imposes a spill budget.
+MEMORY_FRACTION = 0.25
+
+#: Smallest memory budget (in buffered pairs) the planner will impose.
+MIN_MEMORY_BUDGET = 1024
+
+
+def method_registry(kind: str) -> Mapping[str, Any]:
+    """The method registry for a problem kind."""
+    if kind == "a2a":
+        return A2A_METHODS
+    if kind == "x2y":
+        return X2Y_METHODS
+    if kind == "multiway":
+        return MULTIWAY_METHODS
+    raise InvalidInstanceError(f"unknown problem kind {kind!r}")
+
+
+def build_schema(spec: JobSpec, method: str):
+    """Build the schema *method* produces for *spec*'s instance.
+
+    The single rebuild point used by :meth:`Plan.schema`, so a plan
+    loaded from JSON reconstructs exactly the schema the planner chose.
+    """
+    registry = method_registry(spec.kind)
+    require_method(spec.kind.upper() if spec.kind != "multiway" else "multiway",
+                   method, registry)
+    return registry[method](spec.instance())
+
+
+def _skip_reason(
+    name: str, instance: A2AInstance | X2YInstance | MultiwayInstance
+) -> str | None:
+    """Why *name* should not be attempted on this instance, or ``None``.
+
+    Gates the methods whose construction cost explodes with instance
+    size: full planning builds every candidate schema, so an expensive
+    candidate taxes planning latency even when it loses the comparison.
+    """
+    if name == "exact":
+        if isinstance(instance, A2AInstance) and instance.m > EXACT_A2A_INPUT_LIMIT:
+            return (
+                f"m={instance.m} exceeds the exact-search limit "
+                f"{EXACT_A2A_INPUT_LIMIT} (branch-and-bound is exponential)"
+            )
+        if (
+            isinstance(instance, X2YInstance)
+            and instance.num_pairs > EXACT_X2Y_PAIR_LIMIT
+        ):
+            return (
+                f"m*n={instance.num_pairs} exceeds the exact-search limit "
+                f"{EXACT_X2Y_PAIR_LIMIT} cross pairs"
+            )
+        return None
+    if name == "greedy":
+        num_inputs = (
+            instance.m + instance.n
+            if isinstance(instance, X2YInstance)
+            else instance.m
+        )
+        if num_inputs > GREEDY_INPUT_LIMIT:
+            return (
+                f"{num_inputs} inputs exceed the greedy-cover limit "
+                f"{GREEDY_INPUT_LIMIT} (pair re-scans dominate planning time)"
+            )
+        return None
+    return None
+
+
+def score_schema(
+    method: str, schema: Any, env: Environment, objective: str
+) -> CandidateScore:
+    """Score one built schema under *objective* for *env*.
+
+    Works for all three schema kinds (only ``loads`` / ``num_reducers`` /
+    ``communication_cost`` / the instance totals are touched).  The
+    makespan is the LPT schedule of the reducer loads on the
+    environment's worker pool — the same model the cluster simulator
+    uses — so ``min-makespan`` plans reflect finite parallelism, not
+    just reducer counts.
+    """
+    loads = schema.loads
+    num_reducers = schema.num_reducers
+    comm = schema.communication_cost
+    total = schema.instance.total_size
+    makespan = float(
+        schedule_loads(loads, env.num_workers).makespan if loads else 0.0
+    )
+    if objective == "min-reducers":
+        objective_value = float(num_reducers)
+    elif objective == "min-communication":
+        objective_value = float(comm)
+    else:  # min-makespan
+        objective_value = makespan
+    return CandidateScore(
+        method=method,
+        status="scored",
+        num_reducers=num_reducers,
+        communication_cost=comm,
+        replication_rate=(comm / total) if total else 0.0,
+        max_load=max(loads, default=0),
+        makespan=makespan,
+        objective_value=objective_value,
+    )
+
+
+def _lower_bounds(
+    instance: A2AInstance | X2YInstance | MultiwayInstance,
+) -> dict[str, int]:
+    """Problem lower bounds the plan reports next to its choice."""
+    if isinstance(instance, A2AInstance):
+        return {
+            "num_reducers": a2a_reducer_lower_bound(instance),
+            "communication_cost": a2a_communication_lower_bound(instance),
+        }
+    if isinstance(instance, X2YInstance):
+        return {
+            "num_reducers": x2y_reducer_lower_bound(instance),
+            "communication_cost": x2y_communication_lower_bound(instance),
+        }
+    return {"num_reducers": multiway_reducer_lower_bound(instance)}
+
+
+def resolve_execution_config(
+    env: Environment,
+    *,
+    num_reducers: int,
+    communication_cost: int,
+) -> ExecutionConfig:
+    """Resolve engine knobs from the environment and the chosen schema.
+
+    The rules (also documented in the README's knob table):
+
+    * ``backend`` — ``serial`` on a single-worker machine or for a
+      single-reducer schema (nothing to parallelize); ``threads``
+      otherwise (shared memory, no pickling constraints on user code).
+    * ``num_workers`` — ``min(env workers, reducer count)``; ``None``
+      (machine default) when serial.
+    * ``map_chunk_size`` — always ``None``: the engine's adaptive
+      chunking (≈4 tasks per worker) is the right default everywhere.
+    * ``num_reduce_tasks`` — ``min(reducer count, 4 × workers)``;
+      ``None`` (adaptive) when serial.
+    * ``memory_budget`` — set only when the estimated shuffle footprint
+      (``communication_cost ×`` :data:`BYTES_PER_SIZE_UNIT`) exceeds
+      :data:`MEMORY_FRACTION` of available memory; the budget divides
+      that memory share among the workers, floored at
+      :data:`MIN_MEMORY_BUDGET` pairs.  Never set when the environment
+      could not measure memory.
+    * ``spill_dir`` — always ``None`` (system temporary directory).
+    """
+    if env.num_workers <= 1 or num_reducers <= 1:
+        backend = "serial"
+        workers: int | None = None
+        reduce_tasks: int | None = None
+    else:
+        backend = "threads"
+        workers = min(env.num_workers, num_reducers)
+        reduce_tasks = min(num_reducers, workers * 4)
+    memory_budget: int | None = None
+    if env.memory_bytes is not None:
+        estimated_bytes = communication_cost * BYTES_PER_SIZE_UNIT
+        shuffle_share = int(env.memory_bytes * MEMORY_FRACTION)
+        if estimated_bytes > shuffle_share:
+            per_worker = shuffle_share // BYTES_PER_SIZE_UNIT // (workers or 1)
+            memory_budget = max(MIN_MEMORY_BUDGET, per_worker)
+    return ExecutionConfig(
+        backend=backend,
+        num_workers=workers,
+        num_reduce_tasks=reduce_tasks,
+        memory_budget=memory_budget,
+    )
+
+
+def plan(spec: JobSpec, env: Environment | None = None) -> Plan:
+    """Turn a declarative spec into an inspectable, executable plan."""
+    if env is None:
+        env = Environment.detect()
+    instance = spec.instance()
+    instance.check_feasible()
+    registry = method_registry(spec.kind)
+    lower_bounds = _lower_bounds(instance)
+
+    schemas: dict[str, Any] = {}
+    candidates: list[CandidateScore] = []
+
+    if spec.method == "auto":
+        chosen, considered, rule = fast_path(instance)
+        for name, schema in considered.items():
+            schemas[name] = schema
+            candidates.append(score_schema(name, schema, env, spec.objective))
+        rationale = f"fast path: {rule}"
+        mode = "fast-path"
+    elif spec.method is not None:
+        kind_label = spec.kind.upper() if spec.kind != "multiway" else "multiway"
+        require_method(kind_label, spec.method, registry)
+        schema = registry[spec.method](instance)
+        schemas[spec.method] = schema
+        candidates.append(
+            score_schema(spec.method, schema, env, spec.objective)
+        )
+        chosen = spec.method
+        rationale = f"method pinned to {spec.method!r} by the spec"
+        mode = "pinned"
+    else:
+        for name in sorted(registry):
+            skip = _skip_reason(name, instance)
+            if skip is not None:
+                candidates.append(
+                    CandidateScore(method=name, status="skipped", reason=skip)
+                )
+                continue
+            try:
+                schema = registry[name](instance)
+            except ReproError as error:
+                candidates.append(
+                    CandidateScore(
+                        method=name, status="failed", reason=str(error)
+                    )
+                )
+                continue
+            schemas[name] = schema
+            candidates.append(score_schema(name, schema, env, spec.objective))
+        scored = [c for c in candidates if c.status == "scored"]
+        if not scored:
+            reasons = "; ".join(
+                f"{c.method}: {c.reason}" for c in candidates
+            )
+            raise InvalidInstanceError(
+                f"no candidate method produced a schema ({reasons})"
+            )
+        best = min(
+            scored,
+            key=lambda c: (
+                c.objective_value,
+                c.num_reducers,
+                c.communication_cost,
+                c.method,
+            ),
+        )
+        chosen = best.method
+        bound_name = {
+            "min-reducers": "num_reducers",
+            "min-communication": "communication_cost",
+        }.get(spec.objective)
+        bound_note = (
+            f", lower bound {lower_bounds[bound_name]}"
+            if bound_name and bound_name in lower_bounds
+            else ""
+        )
+        rationale = (
+            f"{spec.objective}: {chosen} scores "
+            f"{best.objective_value:g}{bound_note}; "
+            f"best of {len(scored)} scored candidates"
+        )
+        mode = "planned"
+
+    chosen_score = next(c for c in candidates if c.method == chosen)
+    execution = resolve_execution_config(
+        env,
+        num_reducers=chosen_score.num_reducers or 0,
+        communication_cost=chosen_score.communication_cost or 0,
+    )
+    result = Plan(
+        spec=spec,
+        chosen=chosen,
+        rationale=rationale,
+        execution=execution,
+        candidates=tuple(candidates),
+        environment=env,
+        lower_bounds=lower_bounds,
+        mode=mode,
+    )
+    if chosen in schemas:
+        object.__setattr__(result, "_schema_cache", schemas[chosen])
+    return result
+
+
+def plan_schema(spec: JobSpec, env: Environment | None = None):
+    """Convenience: plan a spec and return just the chosen schema."""
+    return plan(spec, env).schema()

@@ -1,0 +1,59 @@
+"""The pipeline's last stage: run a plan on the execution engine.
+
+:func:`run` funnels a :class:`~repro.planner.plan.Plan` into
+:func:`repro.engine.engine.execute_schema`: the plan's chosen schema
+routes the records, and the plan's resolved
+:class:`~repro.engine.config.ExecutionConfig` configures the engine
+unless the caller overrides it.  Applications therefore reduce to spec
+building plus result formatting — schema choice and execution tuning
+both live in the plan.
+
+Multiway plans describe schemas the engine's schema router does not
+execute (reducers are r-way input sets, not pairwise memberships);
+applications run those on the reference simulator and say so here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.dataset import Dataset
+from repro.engine.config import ExecutionConfig
+from repro.engine.engine import EngineResult, execute_schema
+from repro.exceptions import InvalidInstanceError
+from repro.mapreduce.types import ReduceFn
+from repro.planner.plan import Plan
+
+
+def run(
+    plan: Plan,
+    records: Sequence[Any] | Dataset | tuple[Sequence[Any], Sequence[Any]],
+    reduce_fn: ReduceFn,
+    *,
+    combiner_fn: ReduceFn | None = None,
+    strict_capacity: bool = True,
+    config: ExecutionConfig | None = None,
+) -> EngineResult:
+    """Execute a plan's chosen schema over *records* on the engine.
+
+    *records* follows :func:`~repro.engine.engine.execute_schema`'s
+    contract: a sequence or streaming dataset aligned with the instance's
+    inputs for A2A plans, an ``(x_records, y_records)`` pair for X2Y
+    plans.  *config* overrides the plan's resolved execution
+    configuration (e.g. to pin a backend in a benchmark sweep); by
+    default the plan runs exactly as planned.
+    """
+    if plan.spec.kind == "multiway":
+        raise InvalidInstanceError(
+            "multiway plans run on the reference simulator (the engine's "
+            "schema router executes pairwise A2A/X2Y schemas); build the "
+            "job from plan.schema() instead"
+        )
+    return execute_schema(
+        plan.schema(),
+        records,
+        reduce_fn,
+        combiner_fn=combiner_fn,
+        strict_capacity=strict_capacity,
+        config=config if config is not None else plan.execution,
+    )

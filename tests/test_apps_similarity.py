@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.apps.common import a2a_memberships, canonical_meeting
+from repro.engine.routing import a2a_memberships, canonical_meeting
 from repro.apps.similarity_join import run_broadcast_baseline, run_similarity_join
 from repro.core.instance import A2AInstance
 from repro.core.schema import A2ASchema

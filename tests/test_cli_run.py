@@ -178,3 +178,112 @@ class TestRunSubcommand:
         captured = capsys.readouterr()
         assert status == 1
         assert "unknown X2Y method" in captured.err
+
+
+class TestPlanSubcommand:
+    def test_plan_prints_candidates_and_choice(self, capsys):
+        status = main(["plan", "--sizes", "3,5,2,7,4", "--q", "12"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "chosen    :" in out
+        assert "candidates" in out
+        assert "rationale :" in out
+
+    def test_plan_explain_shows_cost_columns(self, capsys):
+        status = main(["plan", "--sizes", "3,5,2,7,4", "--q", "12", "--explain"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "communication_cost" in out
+        assert "makespan" in out
+
+    def test_plan_json_out_round_trips(self, tmp_path, capsys):
+        target = tmp_path / "plan.json"
+        status = main(
+            ["plan", "--sizes", "3,5,2,7,4", "--q", "12",
+             "--objective", "min-communication", "--json-out", str(target)]
+        )
+        assert status == 0
+        from repro.planner import Plan
+
+        loaded = Plan.from_json(target.read_text())
+        assert loaded.spec.objective == "min-communication"
+        assert loaded.schema().verify().valid
+        assert loaded.chosen in {c.method for c in loaded.candidates}
+
+    def test_plan_x2y_and_multiway(self, capsys):
+        assert main(["plan", "--x-sizes", "9,2,3", "--y-sizes", "5,3", "--q", "17"]) == 0
+        assert "x2y" in capsys.readouterr().out
+        assert main(["plan", "--sizes", "2,2,2,2", "--q", "9", "--r", "3"]) == 0
+        assert "multiway" in capsys.readouterr().out
+
+    def test_plan_pinned_method(self, capsys):
+        status = main(
+            ["plan", "--sizes", "3,5,2", "--q", "12", "--method", "greedy"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "pinned" in out
+
+    def test_plan_rejects_bad_combinations(self, capsys):
+        assert main(["plan", "--q", "12"]) == 1
+        assert "needs --sizes" in capsys.readouterr().err
+        assert main(
+            ["plan", "--sizes", "3,4", "--x-sizes", "3", "--y-sizes",
+             "4", "--q", "12"]
+        ) == 1
+        assert "cannot be combined" in capsys.readouterr().err
+        assert main(["plan", "--x-sizes", "3,4", "--q", "12"]) == 1
+        assert "both --x-sizes and --y-sizes" in capsys.readouterr().err
+
+    def test_plan_infeasible_is_reported(self, capsys):
+        assert main(["plan", "--sizes", "7,8", "--q", "10"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_plan_unknown_method_lists_choices(self, capsys):
+        assert main(
+            ["plan", "--sizes", "3,4", "--q", "12", "--method", "magic"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "unknown A2A method 'magic'" in err
+        assert "bin_pairing" in err
+
+
+class TestPlanAutoMode:
+    def test_run_plan_auto_similarity(self, capsys):
+        status = main(
+            ["run", "--app", "similarity", "--q", "50", "--m", "14",
+             "--seed", "5", "--plan", "auto"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "plan      :" in out
+        assert "planner-resolved backend=" in out
+        assert "engine metrics" in out
+
+    def test_run_plan_auto_skew_join(self, capsys):
+        status = main(
+            ["run", "--app", "skew-join", "--q", "60", "--tuples", "150",
+             "--keys", "6", "--seed", "2", "--plan", "auto",
+             "--objective", "min-communication"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "per-heavy-key methods" in out
+
+    def test_run_explicit_backend_still_wins_under_plan_auto(self, capsys):
+        status = main(
+            ["run", "--app", "similarity", "--q", "50", "--m", "12",
+             "--plan", "auto", "--backend", "serial"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "serial" in out
+
+    def test_bench_plan_auto_adds_planned_row(self, capsys):
+        status = main(
+            ["bench", "--scale", "0.05", "--tuples", "80",
+             "--backends", "serial", "--plan", "auto"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "planned[" in out

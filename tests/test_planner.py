@@ -1,0 +1,338 @@
+"""Planner pipeline tests: JobSpec -> Plan -> run.
+
+Covers spec validation, the three planning modes (fast path, pinned,
+full cost-based), objective-driven choice, the exact-solver size gate,
+execution-config resolution rules, Plan JSON round-tripping, and the
+run stage funneling into the engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance import A2AInstance, X2YInstance
+from repro.core.selector import A2A_METHODS, X2Y_METHODS
+from repro.engine.config import ExecutionConfig
+from repro.exceptions import (
+    InfeasibleInstanceError,
+    InvalidInstanceError,
+    UnknownMethodError,
+)
+from repro.planner import (
+    Environment,
+    JobSpec,
+    Plan,
+    plan,
+    plan_schema,
+    resolve_execution_config,
+    run,
+)
+from repro.planner.planner import (
+    EXACT_A2A_INPUT_LIMIT,
+    EXACT_X2Y_PAIR_LIMIT,
+    MULTIWAY_METHODS,
+)
+
+ENV = Environment(num_workers=2, memory_bytes=1 << 30)
+SERIAL_ENV = Environment(num_workers=1, memory_bytes=1 << 30)
+
+
+class TestJobSpec:
+    def test_a2a_constructor_coerces_sized_objects(self):
+        class Sized:
+            def __init__(self, size):
+                self.size = size
+
+        spec = JobSpec.a2a([Sized(3), 5, Sized(2)], q=10)
+        assert spec.sizes == (3, 5, 2)
+        assert spec.kind == "a2a"
+
+    def test_numpy_integer_sizes_keep_their_values(self):
+        # numpy scalars are not Python ints and their .size attribute is
+        # the element count (always 1); coercion must go through
+        # __index__ so the actual values survive.
+        numpy = pytest.importorskip("numpy")
+        spec = JobSpec.a2a(numpy.array([3, 5, 7]), q=12)
+        assert spec.sizes == (3, 5, 7)
+
+    def test_x2y_requires_both_sides(self):
+        with pytest.raises(InvalidInstanceError):
+            JobSpec(kind="x2y", q=10, x_sizes=(3,))
+
+    def test_a2a_rejects_side_sizes(self):
+        with pytest.raises(InvalidInstanceError):
+            JobSpec(kind="a2a", q=10, sizes=(3,), x_sizes=(1,))
+
+    def test_multiway_requires_arity(self):
+        with pytest.raises(InvalidInstanceError):
+            JobSpec(kind="multiway", q=10, sizes=(2, 2))
+        spec = JobSpec.multiway([2, 2, 2], q=9, r=3)
+        assert spec.r == 3
+
+    def test_unknown_kind_and_objective(self):
+        with pytest.raises(InvalidInstanceError):
+            JobSpec(kind="nope", q=10, sizes=(3,))
+        with pytest.raises(InvalidInstanceError):
+            JobSpec.a2a([3], q=10, objective="max-profit")
+
+    def test_spec_dict_round_trip(self):
+        for spec in [
+            JobSpec.a2a([3, 5], q=10, objective="min-communication", method=None),
+            JobSpec.x2y([4], [3], q=10, method="greedy"),
+            JobSpec.multiway([2, 2, 2], q=9, r=3),
+        ]:
+            assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_instance_kinds(self):
+        assert isinstance(JobSpec.a2a([3], q=5).instance(), A2AInstance)
+        assert isinstance(JobSpec.x2y([3], [2], q=6).instance(), X2YInstance)
+
+
+class TestPlanModes:
+    def test_full_planning_picks_objective_argmin(self):
+        spec = JobSpec.a2a([3, 5, 2, 7, 4], q=12, method=None)
+        planned = plan(spec, ENV)
+        scored = [c for c in planned.candidates if c.status == "scored"]
+        best = min(scored, key=lambda c: c.objective_value)
+        assert planned.chosen_score.objective_value == best.objective_value
+        assert planned.mode == "planned"
+        assert planned.schema().num_reducers == planned.chosen_score.num_reducers
+
+    @pytest.mark.parametrize(
+        "objective,metric",
+        [
+            ("min-reducers", "num_reducers"),
+            ("min-communication", "communication_cost"),
+            ("min-makespan", "makespan"),
+        ],
+    )
+    def test_objective_value_tracks_metric(self, objective, metric):
+        spec = JobSpec.x2y([9, 2, 3], [5, 3], q=17, method=None, objective=objective)
+        planned = plan(spec, ENV)
+        for candidate in planned.candidates:
+            if candidate.status == "scored":
+                assert candidate.objective_value == pytest.approx(
+                    float(getattr(candidate, metric))
+                )
+
+    def test_chosen_within_ten_percent_of_best_candidate(self):
+        # The acceptance bar: the planner's pick is within 10% of the best
+        # candidate it enumerated (it is the argmin, so the gap is zero).
+        for spec in [
+            JobSpec.a2a([3, 5, 2, 7, 4], q=12, method=None),
+            JobSpec.a2a([4] * 8, q=12, method=None, objective="min-communication"),
+            JobSpec.x2y([9, 2, 3], [5, 3], q=17, method=None, objective="min-makespan"),
+        ]:
+            planned = plan(spec, ENV)
+            best = min(
+                c.objective_value
+                for c in planned.candidates
+                if c.status == "scored"
+            )
+            assert planned.chosen_score.objective_value <= best * 1.10
+
+    def test_pinned_method(self):
+        spec = JobSpec.a2a([3, 5, 2], q=12, method="greedy")
+        planned = plan(spec, ENV)
+        assert planned.mode == "pinned"
+        assert planned.chosen == "greedy"
+        assert [c.method for c in planned.candidates] == ["greedy"]
+
+    def test_pinned_unknown_method_lists_choices(self):
+        with pytest.raises(UnknownMethodError) as error:
+            plan(JobSpec.a2a([3, 5], q=12, method="magic"), ENV)
+        message = str(error.value)
+        assert "unknown A2A method 'magic'" in message
+        assert "bin_pairing" in message and "exact" in message
+
+    def test_fast_path_mode_records_rule(self):
+        planned = plan(JobSpec.a2a([4] * 6, q=8), ENV)
+        assert planned.mode == "fast-path"
+        assert planned.rationale.startswith("fast path:")
+        assert {c.method for c in planned.candidates} == {
+            "equal_grouping",
+            "grouped_covering",
+        }
+
+    def test_infeasible_spec_raises(self):
+        with pytest.raises(InfeasibleInstanceError):
+            plan(JobSpec.a2a([7, 8], q=10, method=None), ENV)
+
+    def test_failed_candidates_are_recorded_not_fatal(self):
+        planned = plan(JobSpec.a2a([3, 5, 2, 7, 4], q=12, method=None), ENV)
+        failed = {c.method for c in planned.candidates if c.status == "failed"}
+        # equal-sized methods cannot run on mixed sizes but must not kill
+        # the plan.
+        assert "equal_grouping" in failed
+        for candidate in planned.candidates:
+            if candidate.status == "failed":
+                assert candidate.reason
+
+    def test_multiway_planning(self):
+        spec = JobSpec.multiway([2, 2, 2, 2, 2], q=9, r=3, method=None)
+        planned = plan(spec, ENV)
+        assert planned.chosen == "bin_combining"
+        assert planned.schema().verify() == (True, "valid")
+        assert "num_reducers" in planned.lower_bounds
+
+
+class TestExactGate:
+    def test_a2a_exact_skipped_above_limit(self):
+        sizes = [1] * (EXACT_A2A_INPUT_LIMIT + 1)
+        planned = plan(JobSpec.a2a(sizes, q=4, method=None), ENV)
+        exact = planned.candidate("exact")
+        assert exact.status == "skipped"
+        assert "exceeds the exact-search limit" in exact.reason
+
+    def test_a2a_exact_attempted_at_limit(self):
+        # At the limit the gate lets exact run; it may still blow its node
+        # budget, which must be recorded as a failure, never as fatal.
+        sizes = [1] * EXACT_A2A_INPUT_LIMIT
+        planned = plan(JobSpec.a2a(sizes, q=4, method=None), ENV)
+        assert planned.candidate("exact").status != "skipped"
+
+    def test_a2a_exact_scored_on_small_instance(self):
+        planned = plan(JobSpec.a2a([1] * 6, q=4, method=None), ENV)
+        assert planned.candidate("exact").status == "scored"
+
+    def test_x2y_exact_skipped_above_pair_limit(self):
+        x = [1] * 6
+        y = [1] * 6  # 36 cross pairs > 30
+        planned = plan(JobSpec.x2y(x, y, q=4, method=None), ENV)
+        assert planned.candidate("exact").status == "skipped"
+        assert EXACT_X2Y_PAIR_LIMIT > 0
+
+    def test_registries_cover_all_kinds(self):
+        from repro.planner import method_registry
+
+        assert method_registry("a2a") is A2A_METHODS
+        assert method_registry("x2y") is X2Y_METHODS
+        assert method_registry("multiway") is MULTIWAY_METHODS
+
+
+class TestExecutionResolution:
+    def test_serial_on_single_worker_machine(self):
+        config = resolve_execution_config(
+            SERIAL_ENV, num_reducers=50, communication_cost=100
+        )
+        assert config.backend == "serial"
+        assert config.num_workers is None
+        assert config.num_reduce_tasks is None
+
+    def test_serial_for_single_reducer_schema(self):
+        config = resolve_execution_config(
+            ENV, num_reducers=1, communication_cost=100
+        )
+        assert config.backend == "serial"
+
+    def test_threads_with_capped_workers_and_partitions(self):
+        config = resolve_execution_config(
+            ENV, num_reducers=3, communication_cost=100
+        )
+        assert config.backend == "threads"
+        assert config.num_workers == 2  # min(env workers, reducers)
+        assert config.num_reduce_tasks == 3  # min(reducers, 4 * workers)
+
+    def test_memory_budget_only_when_shuffle_exceeds_share(self):
+        small = resolve_execution_config(
+            ENV, num_reducers=4, communication_cost=10
+        )
+        assert small.memory_budget is None
+        tight_env = Environment(num_workers=2, memory_bytes=1 << 20)
+        big = resolve_execution_config(
+            tight_env, num_reducers=4, communication_cost=1 << 20
+        )
+        assert big.memory_budget is not None
+        assert big.memory_budget >= 1024
+
+    def test_no_budget_when_memory_unknown(self):
+        env = Environment(num_workers=2, memory_bytes=None)
+        config = resolve_execution_config(
+            env, num_reducers=4, communication_cost=1 << 40
+        )
+        assert config.memory_budget is None
+
+    def test_environment_detect_probes_sane_values(self):
+        env = Environment.detect()
+        assert env.num_workers >= 1
+        assert env.memory_bytes is None or env.memory_bytes > 0
+
+
+class TestPlanSerialization:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            JobSpec.a2a([3, 5, 2, 7, 4], q=12, method=None),
+            JobSpec.a2a([4] * 6, q=8),
+            JobSpec.x2y([4, 5], [3, 3], q=10, method=None, objective="min-makespan"),
+            JobSpec.x2y([4], [3], q=10, method="greedy"),
+            JobSpec.multiway([2, 2, 2, 2], q=9, r=3, method=None),
+        ],
+    )
+    def test_json_round_trip_is_lossless(self, spec):
+        planned = plan(spec, ENV)
+        loaded = Plan.from_json(planned.to_json())
+        assert loaded == planned
+        # And the rebuilt schema is the same schema.
+        assert loaded.schema().reducers == planned.schema().reducers
+
+    def test_bad_json_and_bad_payloads(self):
+        with pytest.raises(InvalidInstanceError):
+            Plan.from_json("{not json")
+        with pytest.raises(InvalidInstanceError):
+            Plan.from_json('{"version": 99}')
+        with pytest.raises(InvalidInstanceError):
+            Plan.from_json('{"version": 1, "spec": {"kind": "a2a", "q": 5}}')
+
+    def test_live_backend_does_not_serialize(self):
+        from repro.engine.backends import SerialBackend
+
+        planned = plan(JobSpec.a2a([3, 5], q=10), ENV)
+        hacked = Plan(
+            spec=planned.spec,
+            chosen=planned.chosen,
+            rationale=planned.rationale,
+            execution=ExecutionConfig(backend=SerialBackend()),
+            candidates=planned.candidates,
+            environment=planned.environment,
+            lower_bounds=planned.lower_bounds,
+            mode=planned.mode,
+        )
+        with pytest.raises(InvalidInstanceError):
+            hacked.to_dict()
+
+
+class TestRunStage:
+    def test_run_funnels_into_engine(self):
+        spec = JobSpec.a2a([3, 5, 2, 7, 4], q=12, method=None)
+        planned = plan(spec, SERIAL_ENV)
+
+        def reduce_fn(reducer, values):
+            yield reducer, sorted(i for i, _ in values)
+
+        result = run(planned, [f"r{i}" for i in range(5)], reduce_fn)
+        assert result.engine.backend == "serial"
+        assert result.metrics.num_reducers == planned.chosen_score.num_reducers
+
+    def test_run_respects_config_override(self):
+        planned = plan(JobSpec.a2a([2, 2, 2, 2], q=8), SERIAL_ENV)
+
+        def reduce_fn(reducer, values):
+            yield reducer, len(values)
+
+        result = run(
+            planned,
+            list("abcd"),
+            reduce_fn,
+            config=ExecutionConfig(backend="threads", num_workers=2),
+        )
+        assert result.engine.backend == "threads"
+
+    def test_multiway_plans_do_not_run_on_engine(self):
+        planned = plan(JobSpec.multiway([2, 2, 2], q=9, r=3), ENV)
+        with pytest.raises(InvalidInstanceError):
+            run(planned, list("abc"), lambda k, v: [])
+
+    def test_plan_schema_convenience(self):
+        schema = plan_schema(JobSpec.a2a([2] * 6, q=8), ENV)
+        assert schema.num_reducers == 3

@@ -17,6 +17,7 @@ PUBLIC_MODULES = [
     "repro.covering",
     "repro.mapreduce",
     "repro.engine",
+    "repro.planner",
     "repro.workloads",
     "repro.apps",
     "repro.analysis",
