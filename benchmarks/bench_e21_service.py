@@ -1,0 +1,60 @@
+"""E21 (new): job-service throughput vs sequential one-shot runs.
+
+The service layer exists to amortize what the one-shot pipeline pays per
+run — plan enumeration (amortized by the plan cache) and worker-pool
+startup (amortized by shared, long-lived backend pools) — while
+overlapping jobs on K scheduler slots.  This bench runs the same N-job
+workload both ways and reports throughput, p50/p95 submit-to-done
+latency, and the plan-cache hit rate.
+
+Correctness is asserted unconditionally (service outputs must equal the
+one-shot outputs job for job, every job must reach ``done``, and the
+expected plan-cache hits must happen — the same checks ``repro bench
+--service-jobs --check`` runs in CI).  Wall-clock comparisons are
+advisory on shared hardware, like every engine bench; the committed
+artifact records the worker count.
+"""
+
+from __future__ import annotations
+
+from benchmarks.harness import emit, run_once
+from repro.engine.backends import available_workers
+from repro.service.smoke import run_service_smoke
+from repro.utils.tables import format_table
+
+#: Concurrent jobs per scenario cell.
+JOB_COUNTS = (4, 8, 16)
+SLOTS = 2
+
+
+def service_rows() -> list[dict[str, object]]:
+    """sequential-vs-service rows for every job count."""
+    rows: list[dict[str, object]] = []
+    for jobs in JOB_COUNTS:
+        scenario_rows, failures = run_service_smoke(jobs, slots=SLOTS)
+        assert not failures, failures
+        for row in scenario_rows:
+            rows.append({"n": jobs, **row})
+    return rows
+
+
+def test_e21_service_throughput(benchmark):
+    rows = run_once(benchmark, service_rows)
+    emit(
+        "E21",
+        format_table(
+            rows,
+            title=(
+                f"E21: job service ({SLOTS} slots, shared pools + plan "
+                f"cache) vs sequential one-shot runs "
+                f"({available_workers()} workers)"
+            ),
+        ),
+        rows=rows,
+    )
+    assert len(rows) == 2 * len(JOB_COUNTS)
+    # Every service cell demonstrates plan-cache hits: the scenario cycles
+    # 3 distinct spec shapes, so N jobs yield N-3 hits.
+    for row in rows:
+        if row["mode"] == "service":
+            assert float(row["cache_hit_rate"]) > 0.0, row

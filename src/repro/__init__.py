@@ -41,16 +41,20 @@ from repro.engine import (
     execute_schema,
 )
 from repro.exceptions import (
+    AdmissionError,
     CapacityExceededError,
     InfeasibleInstanceError,
     InvalidInstanceError,
     InvalidSchemaError,
+    JobCancelledError,
     ReproError,
+    ResultEvictedError,
     SolverLimitError,
     SpillError,
 )
 from repro.mapreduce import MapReduceJob, SimulatedCluster, schedule_loads
 from repro.planner import Environment, JobSpec, Plan
+from repro.service import JobHandle, JobResult, JobService
 
 __version__ = "1.0.0"
 
@@ -82,11 +86,17 @@ __all__ = [
     "JobSpec",
     "Plan",
     "Environment",
+    "JobService",
+    "JobHandle",
+    "JobResult",
     "ReproError",
     "InvalidInstanceError",
     "InfeasibleInstanceError",
     "InvalidSchemaError",
     "CapacityExceededError",
+    "AdmissionError",
+    "JobCancelledError",
+    "ResultEvictedError",
     "SolverLimitError",
     "SpillError",
     "__version__",

@@ -25,11 +25,23 @@ Commands:
   E17/E18 engine benchmarks: the skew join plus the map/reduce/shuffle-heavy
   scenarios across all backends, printed as a speedup table.  ``--check``
   exits 1 when the threads backend is grossly slower than serial (the CI
-  perf smoke).
+  perf smoke).  ``--service-jobs N`` additionally runs the job-service
+  scenario (N concurrent jobs on a 2-slot service vs N sequential
+  one-shot runs; ``--check`` then also asserts output identity and the
+  expected plan-cache hits).
+* ``serve [--slots 2] [--input jobs.ndjson]`` — the job-service loop:
+  read newline-delimited JSON job requests (``{"id": ..., "spec":
+  {"kind": "a2a", "q": 12, "sizes": [...]}, "priority": 0, "execute":
+  true}``), stream NDJSON status events and result lines to stdout.
+* ``submit --sizes 3,5,2,7 --q 12 [--execute/--plan-only]`` — one-shot
+  convenience wrapper over the same service stack: build the spec from
+  flags, run it through an in-process service, print the result (NDJSON
+  with ``--json``).
 
 ``repro --version`` prints the package version.  Exit status is 0 on
 success, 1 on infeasible/invalid input, mirroring what a scheduler
-wrapping this tool would need.
+wrapping this tool would need.  Every ``--json-out`` write is atomic
+(temp file + rename), so interrupted runs never leave truncated JSON.
 """
 
 from __future__ import annotations
@@ -309,6 +321,83 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 if threads is >1.3x slower than serial, or (with "
         "--memory-budget) if the budgeted run failed to spill (perf smoke)",
     )
+    bench.add_argument(
+        "--service-jobs",
+        type=_positive_int,
+        default=None,
+        help="also run the job-service scenario: this many concurrent "
+        "jobs on a 2-slot service vs the same jobs sequentially "
+        "(--check asserts output identity and plan-cache hits)",
+    )
+    bench.add_argument(
+        "--service-slots",
+        type=_positive_int,
+        default=2,
+        help="concurrent slots for the --service-jobs scenario",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="job service: NDJSON job specs in, status/result lines out",
+    )
+    serve.add_argument(
+        "--input",
+        default="-",
+        help="NDJSON request file ('-' = stdin, the default)",
+    )
+    serve.add_argument(
+        "--slots", type=_positive_int, default=2, help="concurrent job slots"
+    )
+    serve.add_argument(
+        "--plan-cache-size", type=_positive_int, default=128,
+        help="retained plans (LRU)",
+    )
+    serve.add_argument(
+        "--result-capacity", type=_positive_int, default=256,
+        help="retained job results (LRU)",
+    )
+    serve.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress status event lines (result lines still stream)",
+    )
+
+    submit = commands.add_parser(
+        "submit",
+        help="one-shot convenience wrapper over the job service",
+    )
+    submit.add_argument(
+        "--sizes", type=_parse_sizes,
+        help="input sizes (A2A, or multiway with --r)",
+    )
+    submit.add_argument("--x-sizes", type=_parse_sizes, help="X-side sizes (X2Y)")
+    submit.add_argument("--y-sizes", type=_parse_sizes, help="Y-side sizes (X2Y)")
+    submit.add_argument("--q", type=int, required=True)
+    submit.add_argument(
+        "--r", type=_positive_int, default=None,
+        help="multiway meeting arity (with --sizes)",
+    )
+    submit.add_argument(
+        "--objective", default="min-reducers", choices=list(OBJECTIVES)
+    )
+    submit.add_argument(
+        "--method",
+        default=None,
+        help="pin a method, or 'auto' for the structural fast path "
+        "(default: full cost-based planning)",
+    )
+    submit.add_argument(
+        "--plan-only",
+        action="store_true",
+        help="plan without executing (multiway specs are always plan-only)",
+    )
+    submit.add_argument(
+        "--priority", type=int, default=0,
+        help="job priority (lower runs earlier)",
+    )
+    submit.add_argument(
+        "--json", action="store_true", help="print the NDJSON result line"
+    )
 
     return parser
 
@@ -324,10 +413,9 @@ def _print_schema(schema, as_json: bool) -> None:
         print(f"  reducer {index}: {reducer}")
 
 
-def _run_plan(args: argparse.Namespace) -> int:
-    """Handle ``repro plan``: plan a spec, print the table, serialize."""
-    from repro.planner import Environment, JobSpec
-    from repro.planner import plan as plan_spec
+def _spec_from_args(args: argparse.Namespace, command: str):
+    """Build a :class:`JobSpec` from ``plan``/``submit``-style size flags."""
+    from repro.planner import JobSpec
 
     if args.x_sizes is not None or args.y_sizes is not None:
         if args.sizes is not None or args.r is not None:
@@ -339,36 +427,40 @@ def _run_plan(args: argparse.Namespace) -> int:
             raise InvalidInstanceError(
                 "X2Y planning needs both --x-sizes and --y-sizes"
             )
-        spec = JobSpec.x2y(
+        return JobSpec.x2y(
             args.x_sizes,
             args.y_sizes,
             args.q,
             objective=args.objective,
             method=args.method,
         )
-    elif args.sizes is not None:
+    if args.sizes is not None:
         if args.r is not None:
-            spec = JobSpec.multiway(
+            return JobSpec.multiway(
                 args.sizes,
                 args.q,
                 args.r,
                 objective=args.objective,
                 method=args.method,
             )
-        else:
-            spec = JobSpec.a2a(
-                args.sizes, args.q, objective=args.objective, method=args.method
-            )
-    else:
-        raise InvalidInstanceError(
-            "plan needs --sizes (A2A/multiway) or --x-sizes/--y-sizes (X2Y)"
+        return JobSpec.a2a(
+            args.sizes, args.q, objective=args.objective, method=args.method
         )
+    raise InvalidInstanceError(
+        f"{command} needs --sizes (A2A/multiway) or --x-sizes/--y-sizes (X2Y)"
+    )
+
+
+def _run_plan(args: argparse.Namespace) -> int:
+    """Handle ``repro plan``: plan a spec, print the table, serialize."""
+    from repro.planner import Environment
+    from repro.planner import plan as plan_spec
+
+    spec = _spec_from_args(args, "plan")
     planned = plan_spec(spec, Environment.detect())
     print(planned.describe(explain=args.explain))
     if args.json_out:
-        with open(args.json_out, "w") as handle:
-            handle.write(planned.to_json())
-            handle.write("\n")
+        repro_io.atomic_write_text(args.json_out, planned.to_json() + "\n")
         print(f"plan written to {args.json_out}")
     return 0
 
@@ -465,6 +557,179 @@ def _run_app(args: argparse.Namespace) -> int:
     return 0
 
 
+def _result_line(service, job_id: str) -> dict:
+    """One NDJSON result line for a terminal job (status + result summary)."""
+    status = service.status(job_id)
+    line: dict = {"event": "result"}
+    line.update(status.to_dict())
+    result = service.results.get(job_id)
+    if result is not None:
+        summary = result.summary()
+        summary.pop("id", None)
+        line.update(summary)
+    return line
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """Handle ``repro serve``: the NDJSON job-service loop.
+
+    Requests are newline-delimited JSON objects::
+
+        {"id": "j1", "spec": {"kind": "a2a", "q": 12, "sizes": [3, 5, 2]},
+         "priority": 0, "execute": true}
+
+    ``spec`` follows the :meth:`JobSpec.from_dict` wire format.  For each
+    job the loop streams ``{"event": "status", ...}`` lines on every
+    lifecycle transition (suppressed by ``--quiet``) and exactly one
+    ``{"event": "result", ...}`` line when the job reaches a terminal
+    state.  Malformed requests produce ``{"event": "error", ...}`` lines
+    and do not abort the loop.
+    """
+    import json
+    import threading
+
+    from repro.planner import JobSpec
+    from repro.service import TERMINAL_STATES, JobService
+
+    print_lock = threading.Lock()
+
+    def emit_line(payload: dict) -> None:
+        with print_lock:
+            print(json.dumps(payload, default=str), flush=True)
+
+    service = JobService(
+        slots=args.slots,
+        plan_cache_size=args.plan_cache_size,
+        result_capacity=args.result_capacity,
+    )
+
+    def on_event(event) -> None:
+        if not args.quiet:
+            emit_line(event.to_dict())
+        if event.state in TERMINAL_STATES:
+            emit_line(_result_line(service, event.job_id))
+
+    service.events.subscribe(on_event)
+
+    def handle_line(number: int, line: str) -> None:
+        line = line.strip()
+        if not line:
+            return
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            emit_line({"event": "error", "line": number, "error": str(exc)})
+            return
+        if not isinstance(request, dict) or "spec" not in request:
+            emit_line(
+                {
+                    "event": "error",
+                    "line": number,
+                    "error": "request must be an object with a 'spec' field",
+                }
+            )
+            return
+        try:
+            spec = JobSpec.from_dict(request["spec"])
+            service.submit_spec(
+                spec,
+                execute=bool(request.get("execute", True)),
+                priority=int(request.get("priority", 0)),
+                job_id=request.get("id"),
+            )
+        # TypeError/ValueError cover mistyped request fields (a string
+        # priority, a scalar where the spec wants a list): one bad line
+        # must never abort the loop.
+        except (ReproError, TypeError, ValueError) as exc:
+            emit_line(
+                {
+                    "event": "error",
+                    "line": number,
+                    "id": request.get("id"),
+                    "error": str(exc),
+                }
+            )
+
+    try:
+        if args.input == "-":
+            for number, line in enumerate(sys.stdin, start=1):
+                handle_line(number, line)
+        else:
+            try:
+                stream = open(args.input)
+            except OSError as error:
+                print(
+                    f"error: cannot read {args.input!r}: {error}",
+                    file=sys.stderr,
+                )
+                return 1
+            with stream:
+                for number, line in enumerate(stream, start=1):
+                    handle_line(number, line)
+        service.drain()
+    finally:
+        service.close()
+    return 0
+
+
+def _run_submit(args: argparse.Namespace) -> int:
+    """Handle ``repro submit``: one job through an in-process service."""
+    import json
+
+    from repro.service import JobService
+
+    spec = _spec_from_args(args, "submit")
+    execute = not args.plan_only and spec.kind != "multiway"
+    service = JobService(slots=1)
+    closed = False
+    try:
+        handle = service.submit_spec(
+            spec, execute=execute, priority=args.priority
+        )
+        status = handle.wait(timeout=600.0)
+        if status.state not in ("done", "failed", "cancelled", "rejected"):
+            # Timed out mid-run: cancel cooperatively and close without
+            # draining so the process exits instead of blocking on the
+            # stuck job.
+            handle.cancel()
+            print(
+                f"error: job {handle.job_id} still {status.state!r} after "
+                "600s; cancelled",
+                file=sys.stderr,
+            )
+            service.close(drain=False, timeout=5.0)
+            closed = True
+            return 1
+        if status.state != "done":
+            line = _result_line(service, handle.job_id)
+            print(json.dumps(line, default=str), file=sys.stderr)
+            return 1
+        result = handle.result()
+        if args.json:
+            print(json.dumps(_result_line(service, handle.job_id), default=str))
+        else:
+            score = result.plan.chosen_score
+            print(f"job       : {handle.job_id} ({spec.kind}, q={spec.q})")
+            print(f"state     : {status.state}")
+            print(f"chosen    : {result.plan.chosen} ({result.plan.mode})")
+            print(f"rationale : {result.plan.rationale}")
+            print(
+                f"plan      : {score.num_reducers} reducers, "
+                f"communication {score.communication_cost}"
+            )
+            if result.executed:
+                print(
+                    f"outputs   : {len(result.outputs)} records on "
+                    f"backend={result.engine.backend}"
+                )
+            else:
+                print("outputs   : plan-only job (no execution)")
+    finally:
+        if not closed:
+            service.close()
+    return 0
+
+
 def _run_bench(args: argparse.Namespace) -> int:
     """Handle ``repro bench``: quick speedup table, optional smoke check."""
     from repro.engine.backends import available_workers
@@ -529,33 +794,55 @@ def _run_bench(args: argparse.Namespace) -> int:
                 ),
             )
         )
+    service_rows: list[dict[str, object]] = []
+    service_failures: list[str] = []
+    if args.service_jobs is not None:
+        from repro.service.smoke import run_service_smoke
+
+        service_rows, service_failures = run_service_smoke(
+            args.service_jobs, slots=args.service_slots
+        )
+        print(
+            format_table(
+                service_rows,
+                title=(
+                    f"job service: {args.service_jobs} jobs, "
+                    f"{args.service_slots} slots vs sequential one-shot "
+                    "(outputs asserted identical)"
+                ),
+            )
+        )
     if args.json_out:
         import json
 
-        with open(args.json_out, "w") as handle:
-            json.dump(
-                {"rows": rows, "out_of_core_rows": spill_rows},
-                handle,
+        repro_io.atomic_write_text(
+            args.json_out,
+            json.dumps(
+                {
+                    "rows": rows,
+                    "out_of_core_rows": spill_rows,
+                    "service_rows": service_rows,
+                },
                 indent=2,
                 default=str,
             )
-            handle.write("\n")
+            + "\n",
+        )
     if args.check:
         failures = check_regression(rows)
         if args.memory_budget is not None:
             failures += check_spill(spill_rows)
+        failures += service_failures
         for failure in failures:
             print(f"PERF REGRESSION: {failure}", file=sys.stderr)
         if failures:
             return 1
-        print(
-            "perf smoke: ok (threads within 1.3x of serial everywhere"
-            + (
-                "; budgeted runs spilled and matched in-memory outputs)"
-                if args.memory_budget is not None
-                else ")"
-            )
-        )
+        notes = ["threads within 1.3x of serial everywhere"]
+        if args.memory_budget is not None:
+            notes.append("budgeted runs spilled and matched in-memory outputs")
+        if args.service_jobs is not None:
+            notes.append("service outputs matched one-shot runs")
+        print(f"perf smoke: ok ({'; '.join(notes)})")
     return 0
 
 
@@ -584,6 +871,10 @@ def main(argv: list[str] | None = None) -> int:
             return _run_app(args)
         elif args.command == "bench":
             return _run_bench(args)
+        elif args.command == "serve":
+            return _run_serve(args)
+        elif args.command == "submit":
+            return _run_submit(args)
         elif args.command == "verify":
             try:
                 with open(args.file) as handle:

@@ -17,10 +17,18 @@ Three backends ship:
   task function and payloads to be picklable (module-level functions and
   :func:`functools.partial` over them qualify; closures do not).
 
-Backends are context managers: entering one opens a worker pool that every
-:meth:`Backend.run_tasks` call inside the context reuses, so a multi-phase
-job (map, then reduce) pays pool startup once instead of once per phase.
-Outside a context, pooled backends fall back to a throwaway pool per call.
+Backends have an explicit pool lifecycle.  Entering one as a context
+manager opens a worker pool that every :meth:`Backend.run_tasks` call
+inside the context reuses, so a multi-phase job (map, then reduce) pays
+pool startup once instead of once per phase.  :meth:`Backend.open` opens
+the pool *persistently*: it survives context exits (the engine wraps every
+run in one) until :meth:`Backend.close`, which is how long-lived services
+share one pool across many runs.  A pre-built backend handed to the engine
+is treated as caller-owned — the engine opens its pool persistently and
+never tears it down, so repeated runs on the same instance reuse one pool
+(:attr:`Backend.pools_created` counts actual pool constructions, which is
+what the regression tests pin).  Outside any of that, pooled backends fall
+back to a throwaway pool per call.
 The process backend additionally ships the task function *pickled once per
 ``run_tasks`` call* (workers cache the unpickled callable), rather than once
 per task — with schema routing tables bound into the map function, per-task
@@ -31,6 +39,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 from abc import ABC, abstractmethod
 from collections import deque
 from functools import partial
@@ -86,6 +95,12 @@ class Backend(ABC):
         self.max_workers = max_workers or available_workers()
         self._pool: Any = None
         self._depth = 0
+        self._persistent = False
+        self._lifecycle_lock = threading.Lock()
+        #: Worker pools constructed over this backend's lifetime.  A
+        #: long-lived backend that is reused correctly creates exactly one;
+        #: the pool-reuse regression tests pin this counter.
+        self.pools_created = 0
 
     @abstractmethod
     def run_tasks(
@@ -103,23 +118,76 @@ class Backend(ABC):
         """Build the reusable worker pool; ``None`` for poolless backends."""
         return None
 
+    def _ensure_pool(self) -> None:
+        """Construct the reusable pool if it is not already open."""
+        if self._pool is None:
+            pool = self._make_pool()
+            if pool is not None:
+                self._pool = pool
+                self.pools_created += 1
+
+    def open(self) -> "Backend":
+        """Open the worker pool persistently (idempotent).
+
+        A persistently opened pool survives context-manager exits — the
+        engine wraps every run in ``with backend:`` — and is only shut
+        down by an explicit :meth:`close`.  This is the lifecycle for
+        sharing one pool across many runs (services, benchmarks, repeated
+        ``execute_schema`` calls on one instance).
+        """
+        with self._lifecycle_lock:
+            self._persistent = True
+            self._ensure_pool()
+        return self
+
+    @property
+    def is_open(self) -> bool:
+        """Whether a reusable pool is currently open (always False when
+        the backend is poolless, e.g. serial)."""
+        return self._pool is not None
+
     def __enter__(self) -> "Backend":
-        self._depth += 1
-        if self._pool is None and self._depth == 1:
-            self._pool = self._make_pool()
+        with self._lifecycle_lock:
+            self._depth += 1
+            if self._depth == 1:
+                self._ensure_pool()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        self._depth -= 1
-        if self._depth <= 0:
+        with self._lifecycle_lock:
+            self._depth -= 1
+            if self._depth > 0 or self._persistent:
+                self._depth = max(self._depth, 0)
+                return
             self._depth = 0
-            self.close()
+        self.close()
 
     def close(self) -> None:
-        """Shut down the reusable pool (no-op when none is open)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        """Shut down the reusable pool (no-op when none is open).
+
+        Also clears the persistent flag, so a backend opened with
+        :meth:`open` returns to scoped (context-manager) lifecycle.
+        """
+        with self._lifecycle_lock:
+            pool, self._pool = self._pool, None
+            self._persistent = False
+        if pool is not None:
+            pool.shutdown()
+
+    def __del__(self) -> None:
+        """GC backstop for persistently opened pools nobody closed.
+
+        A caller that hands a fresh backend instance to the engine and
+        drops it without :meth:`close` would otherwise keep its warmed
+        pool (processes, pipes) alive until interpreter exit; shut it
+        down non-blockingly when the backend is collected.
+        """
+        pool = getattr(self, "_pool", None)
+        if pool is not None:  # pragma: no cover - GC timing dependent
+            try:
+                pool.shutdown(wait=False)
+            except Exception:
+                pass
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(max_workers={self.max_workers})"
@@ -168,10 +236,17 @@ class ThreadBackend(Backend):
             return list(pool.map(fn, tasks))
 
 
-#: Per-worker cache of the last unpickled task function, keyed by its pickle
-#: bytes.  One entry is enough: the engine runs one phase at a time, so a
-#: worker sees one distinct function per phase.
+#: Per-worker cache of recently unpickled task functions, keyed by their
+#: pickle bytes.  A single engine run sees one distinct function per phase,
+#: but a *shared* pool (the job service runs concurrent jobs on one
+#: process pool) interleaves tasks from several phases at once — the cache
+#: holds a few entries so interleaving doesn't thrash it back to
+#: per-task unpickling.
 _FN_CACHE: dict[bytes, Callable[[Any], Any]] = {}
+
+#: Entries kept in :data:`_FN_CACHE`; comfortably above the number of
+#: distinct phases plausibly in flight on one shared pool.
+_FN_CACHE_LIMIT = 8
 
 
 def _noop() -> None:
@@ -188,7 +263,8 @@ def _call_pickled(blob: bytes, task: Any) -> Any:
     fn = _FN_CACHE.get(blob)
     if fn is None:
         fn = pickle.loads(blob)
-        _FN_CACHE.clear()
+        while len(_FN_CACHE) >= _FN_CACHE_LIMIT:
+            _FN_CACHE.pop(next(iter(_FN_CACHE)))
         _FN_CACHE[blob] = fn
     return fn(task)
 

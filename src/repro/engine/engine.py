@@ -248,7 +248,11 @@ class ExecutionEngine:
             the simulator.
         strict_capacity: raise on overflow (True) or record violations.
         backend: backend name from :data:`repro.engine.backends.BACKENDS`
-            or a pre-built :class:`Backend` instance.
+            or a pre-built :class:`Backend` instance.  A named backend's
+            pool lives for exactly one run; a pre-built instance is
+            caller-owned — its pool is opened persistently on first use,
+            reused by every subsequent run, and released only by
+            :meth:`Backend.close` (or the instance's context manager).
         num_workers: worker-pool size (defaults to the machine's cores).
         map_chunk_size: records per map task (default: adaptive — about
             four tasks per worker, but never chunks smaller than 16
@@ -309,6 +313,14 @@ class ExecutionEngine:
                 f"memory_budget must be positive, got {self.memory_budget}"
             )
         backend = get_backend(self.backend, max_workers=self.num_workers)
+        if isinstance(self.backend, Backend) and not backend.is_open:
+            # A pre-built backend is caller-owned: open its pool
+            # persistently so consecutive runs on the same instance reuse
+            # one pool instead of spawning (and tearing down) a pool per
+            # run.  The caller releases it with Backend.close().  A pool
+            # the caller already opened (open() or an enclosing context)
+            # keeps the caller's lifecycle untouched.
+            backend.open()
         dataset = as_dataset(records)
         num_partitions = self.num_reduce_tasks or self._default_partitions(
             backend

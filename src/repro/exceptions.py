@@ -79,6 +79,35 @@ class SpillError(ReproError):
     """
 
 
+class AdmissionError(ReproError):
+    """The job service refused to admit a job.
+
+    Raised (or recorded on the rejected job) when a submission's resolved
+    execution requirements oversubscribe the environment the service was
+    admitted against — more workers than the machine's schedulable cores,
+    or an estimated memory footprint beyond the available memory.  The
+    human-readable reason is the exception message.
+    """
+
+
+class JobCancelledError(ReproError):
+    """A job's result was requested but the job was cancelled.
+
+    Raised by :meth:`repro.service.JobHandle.result` (and the service's
+    ``result()``) when the job reached the ``cancelled`` terminal state,
+    so callers waiting on a result see a typed error instead of a hang.
+    """
+
+
+class ResultEvictedError(ReproError, KeyError):
+    """A finished job's result was evicted from the bounded result store.
+
+    The job's status (state, timings, metrics summary) remains queryable;
+    only the stored outputs are gone.  Subclasses ``KeyError`` because the
+    lookup is by job id and callers may treat eviction as a missing key.
+    """
+
+
 class UnknownMethodError(ReproError, ValueError):
     """A method name does not exist in the algorithm registry.
 

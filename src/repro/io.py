@@ -15,6 +15,8 @@ named, never a raw ``KeyError``/``TypeError``.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from typing import Any
 
 from repro.core.instance import A2AInstance, X2YInstance
@@ -22,6 +24,42 @@ from repro.core.schema import A2ASchema, X2YSchema
 from repro.exceptions import InvalidInstanceError
 
 _FORMAT_VERSION = 1
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write *text* to *path* atomically (full content or nothing).
+
+    Writes to a temporary file in the target's directory, fsyncs, then
+    :func:`os.replace`\\ s it over the destination — same-filesystem
+    rename is atomic, so a crash mid-dump can never leave a truncated
+    file for :meth:`Plan.load`/bench tooling to choke on.  The temporary
+    file is removed on any failure.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    handle = tempfile.NamedTemporaryFile(
+        "w",
+        dir=directory,
+        prefix=os.path.basename(path) + ".",
+        suffix=".tmp",
+        delete=False,
+    )
+    try:
+        with handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        # NamedTemporaryFile creates 0600 files; give the final artifact
+        # the ordinary umask-derived permissions a plain open() would.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(handle.name, 0o666 & ~umask)
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
 
 
 def _check_version(payload: dict[str, Any], what: str) -> None:

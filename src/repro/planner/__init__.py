@@ -44,6 +44,8 @@ from repro.planner.planner import (
     build_schema,
     method_registry,
     plan,
+    plan_cached,
+    plan_fingerprint,
     plan_schema,
     resolve_execution_config,
     score_schema,
@@ -57,6 +59,8 @@ __all__ = [
     "CandidateScore",
     "Environment",
     "plan",
+    "plan_cached",
+    "plan_fingerprint",
     "plan_schema",
     "run",
     "build_schema",

@@ -30,7 +30,9 @@ table), so a plan is reproducible given the same spec and environment.
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+import hashlib
+import json
+from typing import Any, Mapping, Protocol
 
 from repro.core.bounds import (
     a2a_communication_lower_bound,
@@ -51,7 +53,7 @@ from repro.mapreduce.cluster import schedule_loads
 from repro.planner.environment import Environment
 from repro.planner.fastpath import fast_path
 from repro.planner.plan import CandidateScore, Plan
-from repro.planner.spec import JobSpec
+from repro.planner.spec import SPEC_FORMAT_VERSION, JobSpec
 
 #: Multiway methods (the pairwise kinds use the selector registries).
 MULTIWAY_METHODS = {"bin_combining": multiway_bin_combining}
@@ -249,10 +251,85 @@ def resolve_execution_config(
     )
 
 
-def plan(spec: JobSpec, env: Environment | None = None) -> Plan:
-    """Turn a declarative spec into an inspectable, executable plan."""
+class PlanCacheProtocol(Protocol):
+    """What :func:`plan` needs from a plan cache.
+
+    Deliberately minimal (``get``/``put`` keyed by fingerprint string) so
+    the planner stays independent of any particular cache implementation;
+    :class:`repro.service.plan_cache.PlanCache` is the bounded LRU the job
+    service plugs in here.
+    """
+
+    def get(self, key: str) -> Plan | None:
+        ...  # pragma: no cover - protocol
+
+    def put(self, key: str, plan: Plan) -> None:
+        ...  # pragma: no cover - protocol
+
+
+def plan_fingerprint(spec: JobSpec, env: Environment) -> str:
+    """Content fingerprint of a planning request (hex SHA-256).
+
+    Planning is deterministic given the spec and the environment snapshot
+    (method enumeration order is sorted, scoring is pure arithmetic, and
+    the resolved execution config depends only on ``env``), so this
+    fingerprint is a sound cache key: equal fingerprints imply
+    byte-identical :meth:`Plan.to_json` output.
+    """
+    payload = {
+        "version": SPEC_FORMAT_VERSION,
+        "spec": spec.to_dict(),
+        "environment": env.to_dict(),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def plan_cached(
+    spec: JobSpec,
+    env: Environment | None = None,
+    *,
+    cache: PlanCacheProtocol,
+) -> tuple[Plan, str, bool]:
+    """Plan through *cache*; returns ``(plan, fingerprint, cache_hit)``.
+
+    The single get-or-plan-and-put implementation: :func:`plan` and the
+    job service both funnel through here, so cache keying can never
+    diverge between them.  A hit skips enumeration and scoring entirely
+    and returns the cached plan (plans are immutable, so sharing one
+    object across callers is safe).
+    """
     if env is None:
         env = Environment.detect()
+    key = plan_fingerprint(spec, env)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached, key, True
+    result = _plan_uncached(spec, env)
+    cache.put(key, result)
+    return result, key, False
+
+
+def plan(
+    spec: JobSpec,
+    env: Environment | None = None,
+    *,
+    cache: PlanCacheProtocol | None = None,
+) -> Plan:
+    """Turn a declarative spec into an inspectable, executable plan.
+
+    With a *cache*, planning goes through :func:`plan_cached` (misses
+    are planned normally and stored back).
+    """
+    if cache is not None:
+        return plan_cached(spec, env, cache=cache)[0]
+    if env is None:
+        env = Environment.detect()
+    return _plan_uncached(spec, env)
+
+
+def _plan_uncached(spec: JobSpec, env: Environment) -> Plan:
+    """The actual planning pipeline (enumerate, score, choose, resolve)."""
     instance = spec.instance()
     instance.check_feasible()
     registry = method_registry(spec.kind)

@@ -17,6 +17,8 @@ records straight to the spec constructor.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import operator
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
@@ -232,6 +234,20 @@ class JobSpec:
         if self.r is not None:
             payload["r"] = self.r
         return payload
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of this spec (hex SHA-256).
+
+        Computed over the canonical (sorted-key, whitespace-free) JSON of
+        :meth:`to_dict` plus the wire-format version, so two specs
+        fingerprint equal exactly when they describe the same problem,
+        objective, and method request — the key ingredient of plan-cache
+        keys (see :func:`repro.planner.planner.plan_fingerprint`, which
+        additionally mixes in the environment).
+        """
+        payload = {"version": SPEC_FORMAT_VERSION, "spec": self.to_dict()}
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "JobSpec":

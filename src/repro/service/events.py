@@ -1,0 +1,120 @@
+"""Job lifecycle states, events, and the service's event log.
+
+A job moves through a small, strictly observable state machine::
+
+    submit ──> queued ──> running ──> done
+                  │           │  └──> failed
+                  │           └─(cancel)─> cancelling ──> cancelled
+                  └─(cancel)─> cancelled
+    submit ─(admission refused)─> rejected
+
+Every transition is recorded as a :class:`JobEvent` — in the job's own
+history and in the service-wide :class:`EventLog` — and optionally pushed
+to a subscriber callback, which is how ``repro serve`` streams NDJSON
+status lines while jobs run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: Lifecycle states, in rough forward order.
+QUEUED = "queued"
+RUNNING = "running"
+CANCELLING = "cancelling"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+REJECTED = "rejected"
+
+#: Every state a job can be observed in.
+JOB_STATES = (QUEUED, RUNNING, CANCELLING, DONE, FAILED, CANCELLED, REJECTED)
+
+#: States a job never leaves; the handle's ``wait()`` unblocks on these.
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED, REJECTED})
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One lifecycle transition of one job.
+
+    Attributes:
+        job_id: the job the event belongs to.
+        state: the state entered (one of :data:`JOB_STATES`).
+        at: wall-clock timestamp (``time.time()``).
+        detail: optional human-readable context — the rejection reason,
+            the failure message, the plan-cache outcome, and so on.
+    """
+
+    job_id: str
+    state: str
+    at: float = field(default_factory=time.time)
+    detail: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (one NDJSON status line in the serve protocol)."""
+        payload: dict[str, Any] = {
+            "event": "status",
+            "id": self.job_id,
+            "state": self.state,
+            "at": self.at,
+        }
+        if self.detail:
+            payload["detail"] = self.detail
+        return payload
+
+
+class EventLog:
+    """Thread-safe, bounded, append-only log of job events.
+
+    The service appends every transition here; subscribers (the serve
+    loop's line printer, tests) receive each event synchronously on the
+    emitting thread.  The log keeps the most recent *capacity* events —
+    enough for observability without growing forever under sustained
+    traffic; per-job histories live on the job records themselves.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._events: list[JobEvent] = []
+        self._lock = threading.Lock()
+        self._subscribers: list[Callable[[JobEvent], None]] = []
+
+    def subscribe(self, callback: Callable[[JobEvent], None]) -> None:
+        """Register *callback* to receive every future event."""
+        with self._lock:
+            self._subscribers.append(callback)
+
+    def emit(self, event: JobEvent) -> None:
+        """Record *event* and deliver it to every subscriber.
+
+        Subscriber exceptions are swallowed: an observer must never be
+        able to wedge the scheduler's worker threads.
+        """
+        with self._lock:
+            self._events.append(event)
+            if len(self._events) > self._capacity:
+                del self._events[: len(self._events) - self._capacity]
+            subscribers = list(self._subscribers)
+        for callback in subscribers:
+            try:
+                callback(event)
+            except Exception:  # noqa: BLE001 - observer isolation
+                pass
+
+    def snapshot(self, job_id: str | None = None) -> list[JobEvent]:
+        """The retained events, oldest first (optionally one job's)."""
+        with self._lock:
+            events = list(self._events)
+        if job_id is None:
+            return events
+        return [event for event in events if event.job_id == job_id]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)

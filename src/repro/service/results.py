@@ -1,0 +1,148 @@
+"""Per-job results and the bounded LRU result store.
+
+A finished job leaves two artifacts: its *status* (state, timings, error
+— kept on the service's job records, cheap and unbounded for a session)
+and its *result* (outputs plus the full :class:`JobMetrics` /
+:class:`EngineMetrics`), which can be arbitrarily large and therefore
+lives in this bounded store.  When the store evicts a result, the job's
+status stays queryable; the *service* distinguishes "evicted" (the job
+record says ``done`` but the store misses) from "never existed" and
+raises :class:`~repro.exceptions.ResultEvictedError` for the former —
+the store itself keeps no per-job tombstones, so its memory stays
+bounded by *capacity* no matter how many jobs pass through.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engine.metrics import EngineMetrics
+from repro.mapreduce.metrics import JobMetrics
+from repro.planner.plan import Plan
+
+#: Default number of retained job results.
+DEFAULT_CAPACITY = 256
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Everything a completed job produced.
+
+    Attributes:
+        job_id: the job this result belongs to.
+        plan: the (possibly cache-shared) plan the job ran under.
+        fingerprint: the plan-cache key of the planning request.
+        cache_hit: whether the plan came from the plan cache.
+        outputs: the engine outputs, or ``None`` for plan-only jobs.
+        metrics: the run's :class:`JobMetrics` (``None`` for plan-only).
+        engine: the run's :class:`EngineMetrics` (``None`` for plan-only).
+        wall_seconds: running-state wall time (excludes queueing).
+    """
+
+    job_id: str
+    plan: Plan
+    fingerprint: str
+    cache_hit: bool
+    outputs: list[Any] | None = None
+    metrics: JobMetrics | None = None
+    engine: EngineMetrics | None = None
+    wall_seconds: float = 0.0
+
+    @property
+    def executed(self) -> bool:
+        """Whether the job ran records through the engine (vs plan-only)."""
+        return self.outputs is not None
+
+    def summary(self) -> dict[str, Any]:
+        """Flat dict for NDJSON result lines and table rendering."""
+        row: dict[str, Any] = {
+            "id": self.job_id,
+            "chosen": self.plan.chosen,
+            "mode": self.plan.mode,
+            "cache_hit": self.cache_hit,
+            "wall_seconds": self.wall_seconds,
+        }
+        score = self.plan.chosen_score
+        row["num_reducers"] = score.num_reducers
+        row["communication_cost"] = score.communication_cost
+        if self.executed:
+            row["outputs"] = len(self.outputs)
+            if self.metrics is not None:
+                row["reducers_used"] = self.metrics.num_reducers
+                row["max_load"] = self.metrics.max_reducer_load
+            if self.engine is not None:
+                row["backend"] = self.engine.backend
+                row["workers"] = self.engine.num_workers
+        return row
+
+
+class ResultStore:
+    """Thread-safe LRU store from job id to :class:`JobResult`.
+
+    ``get`` refreshes recency; ``put`` evicts the least recently used
+    result beyond *capacity* and counts the eviction.  Missing ids raise
+    ``KeyError`` from :meth:`fetch` (the service layers the
+    evicted-vs-unknown distinction on top); :meth:`get` returns ``None``
+    instead for probing.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, JobResult] = OrderedDict()
+        self._lock = threading.Lock()
+        self.evictions = 0
+
+    def put(self, result: JobResult) -> None:
+        """Store *result*, evicting the LRU entry beyond capacity."""
+        with self._lock:
+            if result.job_id in self._entries:
+                self._entries.move_to_end(result.job_id)
+            self._entries[result.job_id] = result
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def get(self, job_id: str) -> JobResult | None:
+        """The stored result, refreshing recency; ``None`` when absent."""
+        with self._lock:
+            result = self._entries.get(job_id)
+            if result is not None:
+                self._entries.move_to_end(job_id)
+            return result
+
+    def fetch(self, job_id: str) -> JobResult:
+        """The stored result; ``KeyError`` when absent (evicted or unknown)."""
+        with self._lock:
+            result = self._entries.get(job_id)
+            if result is None:
+                raise KeyError(job_id)
+            self._entries.move_to_end(job_id)
+            return result
+
+    def discard(self, job_id: str) -> None:
+        """Forget *job_id* entirely (no eviction accounting)."""
+        with self._lock:
+            self._entries.pop(job_id, None)
+
+    def stats(self) -> dict[str, Any]:
+        """Size/capacity/evictions, for service stats and bench rows."""
+        with self._lock:
+            size = len(self._entries)
+        return {
+            "size": size,
+            "capacity": self.capacity,
+            "evictions": self.evictions,
+        }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, job_id: str) -> bool:
+        with self._lock:
+            return job_id in self._entries

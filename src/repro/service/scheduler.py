@@ -1,0 +1,176 @@
+"""Fair FIFO-with-priorities scheduler with K concurrent slots.
+
+The scheduler owns a fixed pool of worker threads (the service's
+*slots*).  Submitted jobs wait in a priority queue ordered by
+``(priority, submission sequence)`` — lower priority numbers run first,
+and jobs of equal priority run in strict submission order, so the queue
+is fair: no job can be starved by later submissions at its own priority.
+Each worker pops one job at a time under the queue lock, records it in
+:attr:`JobScheduler.dispatch_order` (the deterministic dispatch sequence
+the fairness tests pin), and runs the job's thunk to completion.
+
+Cancellation of a *queued* job is exact: the entry is marked dead and
+dropped when popped, and the job never runs.  Cancellation of a
+*running* job is the service's concern (cooperative checkpoints in the
+job thunk) — the scheduler only reports whether the job was still
+queued.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Callable
+
+#: Default concurrent job slots.
+DEFAULT_SLOTS = 2
+
+#: Most recent dispatches retained in :attr:`JobScheduler.dispatch_order`
+#: (bounded like the service's event log so a long-lived service does not
+#: grow a list forever; the fairness tests look at far fewer).
+DISPATCH_ORDER_LIMIT = 4096
+
+
+class JobScheduler:
+    """Runs submitted thunks on *slots* worker threads in priority-FIFO order."""
+
+    def __init__(self, slots: int = DEFAULT_SLOTS, *, name: str = "repro-job"):
+        if slots <= 0:
+            raise ValueError(f"slots must be positive, got {slots}")
+        self.slots = slots
+        self._heap: list[tuple[int, int, str, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._cancelled: set[str] = set()
+        self._running: set[str] = set()
+        self._queued = 0
+        self._shutdown = False
+        #: Job ids in the order workers picked them up (queued-cancelled
+        #: jobs never appear), capped at the most recent
+        #: :data:`DISPATCH_ORDER_LIMIT`.  Appended under the queue lock,
+        #: so the sequence is exact even with concurrent workers.
+        self.dispatch_order: list[str] = []
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"{name}-{index}", daemon=True
+            )
+            for index in range(slots)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- submission and cancellation ------------------------------------
+
+    def submit(
+        self, job_id: str, thunk: Callable[[], None], *, priority: int = 0
+    ) -> None:
+        """Queue *thunk* under *job_id*; lower *priority* runs earlier."""
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("scheduler is shut down")
+            heapq.heappush(
+                self._heap, (priority, next(self._seq), job_id, thunk)
+            )
+            self._queued += 1
+            self._wake.notify()
+
+    def cancel_queued(self, job_id: str) -> bool:
+        """Prevent a still-queued job from ever running.
+
+        Returns ``True`` when the job was waiting in the queue (it will
+        be silently dropped), ``False`` when it was already dispatched
+        (running or finished) — the caller then handles cooperative
+        cancellation itself.
+        """
+        with self._lock:
+            queued = any(entry[2] == job_id for entry in self._heap)
+            if queued and job_id not in self._cancelled:
+                self._cancelled.add(job_id)
+                self._queued -= 1
+                self._idle.notify_all()
+            return queued
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def queued_count(self) -> int:
+        """Jobs waiting to be dispatched (cancelled entries excluded)."""
+        with self._lock:
+            return self._queued
+
+    @property
+    def running_count(self) -> int:
+        """Jobs currently executing on a worker slot."""
+        with self._lock:
+            return len(self._running)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until the queue is empty and no job is running.
+
+        Returns ``False`` when *timeout* (seconds) elapsed first.
+        """
+        with self._lock:
+            return self._idle.wait_for(
+                lambda: self._queued == 0 and not self._running, timeout
+            )
+
+    def close(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop accepting work and shut the worker threads down.
+
+        With ``drain=True`` (default), queued and running jobs finish
+        first (bounded by *timeout*); otherwise still-queued jobs are
+        abandoned where they sit.
+        """
+        if drain:
+            self.drain(timeout)
+        with self._lock:
+            self._shutdown = True
+            self._wake.notify_all()
+        for worker in self._workers:
+            worker.join(timeout)
+
+    def __enter__(self) -> "JobScheduler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- worker loop -----------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._heap and not self._shutdown:
+                    self._wake.wait()
+                if self._shutdown:
+                    # A drained close reaches here with an empty heap; a
+                    # drain=False close abandons whatever is still queued.
+                    return
+                _, _, job_id, thunk = heapq.heappop(self._heap)
+                if job_id in self._cancelled:
+                    # Queued-cancelled: drop without dispatching (the
+                    # queued counter was already decremented by cancel).
+                    self._cancelled.discard(job_id)
+                    continue
+                self._queued -= 1
+                self.dispatch_order.append(job_id)
+                if len(self.dispatch_order) > DISPATCH_ORDER_LIMIT:
+                    del self.dispatch_order[
+                        : len(self.dispatch_order) - DISPATCH_ORDER_LIMIT
+                    ]
+                self._running.add(job_id)
+            try:
+                thunk()
+            except Exception:  # noqa: BLE001 - thunks report their own errors
+                # Job thunks (the service's _execute_job) record failures
+                # on the job record; a raise here would kill the slot.
+                pass
+            finally:
+                with self._lock:
+                    self._running.discard(job_id)
+                    self._idle.notify_all()

@@ -1,0 +1,670 @@
+"""The job service: many concurrent jobs over one shared planner/engine stack.
+
+:class:`JobService` is the multiplexing layer the one-shot pipeline was
+missing: callers *submit* declarative :class:`~repro.planner.spec.JobSpec`
+jobs and get back a :class:`JobHandle`; a fair priority-FIFO scheduler
+(:class:`~repro.service.scheduler.JobScheduler`) runs up to K jobs
+concurrently; planning goes through a shared
+:class:`~repro.service.plan_cache.PlanCache` (a hit skips method
+enumeration entirely); execution runs on **shared, long-lived backend
+pools** owned by the service — one pool per ``(backend, workers)`` shape,
+opened persistently and reused by every job instead of being built and
+torn down per run; finished outputs land in a bounded LRU
+:class:`~repro.service.results.ResultStore`.
+
+Admission control happens at submit time against the service's
+:class:`~repro.planner.environment.Environment` snapshot: a job whose
+requested execution config oversubscribes the schedulable cores, or whose
+estimated memory footprint cannot fit the machine, is *rejected* (state
+``rejected``, reason recorded) rather than queued to fail later.
+
+Lifecycle is fully observable: ``status``/``list`` work in every state,
+``cancel`` removes queued jobs exactly and cancels running jobs
+cooperatively (their results are discarded), and every transition is an
+event on the service's :class:`~repro.service.events.EventLog`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Sequence
+
+from repro import planner as planner_pkg
+from repro.dataset import Dataset
+from repro.engine.backends import BACKENDS, Backend
+from repro.engine.config import ExecutionConfig
+from repro.exceptions import (
+    AdmissionError,
+    InvalidInstanceError,
+    JobCancelledError,
+    ReproError,
+    ResultEvictedError,
+)
+from repro.mapreduce.types import ReduceFn
+from repro.planner.environment import Environment
+from repro.planner.planner import BYTES_PER_SIZE_UNIT, plan_cached
+from repro.planner.spec import JobSpec
+from repro.service.events import (
+    CANCELLED,
+    CANCELLING,
+    DONE,
+    FAILED,
+    QUEUED,
+    REJECTED,
+    RUNNING,
+    TERMINAL_STATES,
+    EventLog,
+    JobEvent,
+)
+from repro.service.plan_cache import PlanCache
+from repro.service.results import JobResult, ResultStore
+from repro.service.scheduler import JobScheduler
+
+
+def spec_records(
+    spec: JobSpec,
+) -> list[str] | tuple[list[str], list[str]]:
+    """Synthetic per-input records for executing a bare spec.
+
+    The engine routes records by *position* (record ``i`` carries size
+    ``sizes[i]`` from the spec), so any placeholder payload exercises the
+    full shuffle; these tokens are what ``repro serve``/``repro submit``
+    run when a request asks for execution without shipping data.
+    """
+    if spec.kind == "a2a":
+        return [f"input-{i}" for i in range(len(spec.sizes))]
+    if spec.kind == "x2y":
+        return (
+            [f"x-{i}" for i in range(len(spec.x_sizes))],
+            [f"y-{j}" for j in range(len(spec.y_sizes))],
+        )
+    raise InvalidInstanceError(
+        "multiway specs run on the reference simulator, not the engine; "
+        "submit them as plan-only jobs"
+    )
+
+
+def collect_reduce(key, values):
+    """Reducer for spec-driven jobs: emit each reducer's sorted input ids.
+
+    Values arrive as ``(input_index, record)`` (A2A) or ``(side,
+    input_index, record)`` (X2Y); the payload is stripped so outputs are
+    small, deterministic, and comparable across backends.  Module-level,
+    hence picklable for the ``processes`` backend.
+    """
+    yield key, tuple(
+        sorted(value[0] if len(value) == 2 else value[:-1] for value in values)
+    )
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """An immutable snapshot of one job's lifecycle state.
+
+    ``wall_seconds`` covers the running phase only; ``queue_seconds`` is
+    the time between submission and dispatch.  ``cache_hit`` is ``None``
+    until the job has planned.
+    """
+
+    job_id: str
+    state: str
+    priority: int
+    submitted_at: float
+    started_at: float | None = None
+    finished_at: float | None = None
+    cache_hit: bool | None = None
+    executed: bool | None = None
+    error: str = ""
+    detail: str = ""
+
+    @property
+    def queue_seconds(self) -> float | None:
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    @property
+    def wall_seconds(self) -> float | None:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (used by ``repro serve`` result lines)."""
+        return {
+            "id": self.job_id,
+            "state": self.state,
+            "priority": self.priority,
+            "cache_hit": self.cache_hit,
+            "queue_seconds": self.queue_seconds,
+            "wall_seconds": self.wall_seconds,
+            "error": self.error or None,
+            "detail": self.detail or None,
+        }
+
+
+@dataclass
+class _JobRecord:
+    """Internal mutable job state (service-lock protected)."""
+
+    job_id: str
+    spec: JobSpec
+    priority: int
+    records: Any
+    reduce_fn: ReduceFn | None
+    combiner_fn: ReduceFn | None
+    config: ExecutionConfig | None
+    strict_capacity: bool
+    state: str = QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    cache_hit: bool | None = None
+    error: str = ""
+    detail: str = ""
+    exception: BaseException | None = None
+    cancel_requested: bool = False
+    done: threading.Event = field(default_factory=threading.Event)
+
+    def snapshot(self) -> JobStatus:
+        return JobStatus(
+            job_id=self.job_id,
+            state=self.state,
+            priority=self.priority,
+            submitted_at=self.submitted_at,
+            started_at=self.started_at,
+            finished_at=self.finished_at,
+            cache_hit=self.cache_hit,
+            executed=(self.records is not None) if self.state == DONE else None,
+            error=self.error,
+            detail=self.detail,
+        )
+
+
+@dataclass(frozen=True)
+class JobHandle:
+    """The caller's view of one submitted job."""
+
+    job_id: str
+    service: "JobService"
+
+    def status(self) -> JobStatus:
+        return self.service.status(self.job_id)
+
+    def wait(self, timeout: float | None = None) -> JobStatus:
+        return self.service.wait(self.job_id, timeout)
+
+    def result(self, timeout: float | None = None) -> JobResult:
+        return self.service.result(self.job_id, timeout)
+
+    def cancel(self) -> bool:
+        return self.service.cancel(self.job_id)
+
+
+class JobService:
+    """Submit/status/result/cancel/list over shared planner+engine resources.
+
+    Args:
+        slots: concurrent job slots (scheduler worker threads).
+        env: environment snapshot used for admission control and
+            cache-keyed planning; probed once at construction by default
+            so every job in a service session plans against the same
+            snapshot (a requirement for plan-cache hits).
+        plan_cache_size: retained plans (LRU).
+        result_capacity: retained job results (LRU).
+        default_priority: priority for submissions that do not set one.
+    """
+
+    def __init__(
+        self,
+        slots: int = 2,
+        *,
+        env: Environment | None = None,
+        plan_cache_size: int = 128,
+        result_capacity: int = 256,
+        default_priority: int = 0,
+    ):
+        self.env = env if env is not None else Environment.detect()
+        self.plan_cache = PlanCache(plan_cache_size)
+        self.results = ResultStore(result_capacity)
+        self.events = EventLog()
+        self.default_priority = default_priority
+        self._records: dict[str, _JobRecord] = {}
+        self._order: list[str] = []
+        # Reentrant: events are emitted while holding the lock (so the
+        # event stream can never reorder against state commits), and
+        # subscribers may call back into status()/list() on that thread.
+        self._lock = threading.RLock()
+        self._counter = 0
+        self._closed = False
+        self._backends: dict[tuple[str, int | None], Backend] = {}
+        self._backend_lock = threading.Lock()
+        self.scheduler = JobScheduler(slots)
+
+    # -- submission ------------------------------------------------------
+
+    def submit(
+        self,
+        spec: JobSpec,
+        *,
+        records: Sequence[Any] | Dataset | tuple | None = None,
+        reduce_fn: ReduceFn | None = None,
+        combiner_fn: ReduceFn | None = None,
+        config: ExecutionConfig | None = None,
+        priority: int | None = None,
+        job_id: str | None = None,
+        strict_capacity: bool = True,
+    ) -> JobHandle:
+        """Submit one job; returns immediately with a :class:`JobHandle`.
+
+        Without *records* the job is *plan-only*: it produces a plan (via
+        the shared plan cache) and no engine run.  With *records* (and a
+        *reduce_fn*) the job executes the planned schema on the service's
+        shared backend pools; *config* overrides the plan's resolved
+        execution configuration.  Jobs that fail admission control are
+        returned in the ``rejected`` state rather than raised, so batch
+        submitters observe rejections uniformly via status/result.
+        """
+        if records is not None and reduce_fn is None:
+            raise InvalidInstanceError(
+                "submitting records requires a reduce_fn"
+            )
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            if job_id is None:
+                self._counter += 1
+                job_id = f"job-{self._counter:04d}"
+            elif job_id in self._records:
+                raise InvalidInstanceError(
+                    f"duplicate job id {job_id!r}"
+                )
+            record = _JobRecord(
+                job_id=job_id,
+                spec=spec,
+                priority=(
+                    priority if priority is not None else self.default_priority
+                ),
+                records=records,
+                reduce_fn=reduce_fn,
+                combiner_fn=combiner_fn,
+                config=config,
+                strict_capacity=strict_capacity,
+            )
+            self._records[job_id] = record
+            self._order.append(job_id)
+        rejection = self._admission_reason(spec, config)
+        if rejection is not None:
+            self._transition(record, REJECTED, detail=rejection)
+            return JobHandle(job_id, self)
+        self._emit(record, QUEUED)
+        self.scheduler.submit(
+            job_id,
+            lambda: self._execute_job(record),
+            priority=record.priority,
+        )
+        return JobHandle(job_id, self)
+
+    def submit_spec(
+        self,
+        spec: JobSpec,
+        *,
+        execute: bool = True,
+        priority: int | None = None,
+        job_id: str | None = None,
+        config: ExecutionConfig | None = None,
+    ) -> JobHandle:
+        """Submit a bare spec, synthesizing records for pairwise kinds.
+
+        This is the submission path of the NDJSON protocol (``repro
+        serve`` / ``repro submit``): *execute* runs the planned schema
+        over :func:`spec_records` placeholders with the
+        :func:`collect_reduce` reducer; multiway specs are always
+        plan-only (the engine's schema router is pairwise).
+        """
+        if not execute or spec.kind == "multiway":
+            return self.submit(
+                spec, priority=priority, job_id=job_id, config=config
+            )
+        return self.submit(
+            spec,
+            records=spec_records(spec),
+            reduce_fn=collect_reduce,
+            priority=priority,
+            job_id=job_id,
+            config=config,
+        )
+
+    # -- lifecycle queries ----------------------------------------------
+
+    def _record(self, job_id: str) -> _JobRecord:
+        with self._lock:
+            try:
+                return self._records[job_id]
+            except KeyError:
+                raise KeyError(f"unknown job id {job_id!r}") from None
+
+    def status(self, job_id: str) -> JobStatus:
+        """The job's current lifecycle snapshot (works in every state)."""
+        record = self._record(job_id)
+        with self._lock:
+            return record.snapshot()
+
+    def list(self) -> list[JobStatus]:
+        """Every known job's status, in submission order."""
+        with self._lock:
+            return [self._records[job_id].snapshot() for job_id in self._order]
+
+    def wait(self, job_id: str, timeout: float | None = None) -> JobStatus:
+        """Block until the job reaches a terminal state (or *timeout*)."""
+        record = self._record(job_id)
+        record.done.wait(timeout)
+        return self.status(job_id)
+
+    def result(self, job_id: str, timeout: float | None = None) -> JobResult:
+        """The job's stored result, blocking until it finishes.
+
+        Raises the job's own exception for failed jobs,
+        :class:`JobCancelledError` for cancelled ones,
+        :class:`AdmissionError` for rejected ones, and
+        :class:`~repro.exceptions.ResultEvictedError` when the result was
+        evicted from the bounded store.
+        """
+        record = self._record(job_id)
+        if not record.done.wait(timeout):
+            raise TimeoutError(
+                f"job {job_id!r} still {record.state!r} after {timeout}s"
+            )
+        if record.state == FAILED:
+            if record.exception is not None:
+                raise record.exception
+            raise ReproError(record.error)
+        if record.state == CANCELLED:
+            raise JobCancelledError(f"job {job_id!r} was cancelled")
+        if record.state == REJECTED:
+            raise AdmissionError(
+                f"job {job_id!r} was rejected: {record.detail}"
+            )
+        try:
+            return self.results.fetch(job_id)
+        except KeyError:
+            # The record says done, so the result existed: it was evicted
+            # by the bounded store (the state that distinguishes eviction
+            # from an unknown id lives here, not in the store).
+            raise ResultEvictedError(
+                f"result of job {job_id!r} was evicted from the result "
+                f"store (capacity {self.results.capacity}); the job's "
+                "status remains queryable"
+            ) from None
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job; exact for queued jobs, cooperative for running.
+
+        Returns ``True`` when the job will not deliver a result: a queued
+        job is removed from the scheduler and terminally ``cancelled``
+        immediately; a running job enters ``cancelling`` — the worker
+        discards its output and marks it ``cancelled`` at the next
+        checkpoint.  Returns ``False`` for jobs already terminal.
+        """
+        record = self._record(job_id)
+        with self._lock:
+            if record.state in TERMINAL_STATES:
+                return False
+        if self.scheduler.cancel_queued(job_id):
+            self._transition(record, CANCELLED, detail="cancelled while queued")
+            return True
+        with self._lock:
+            if record.state in TERMINAL_STATES:
+                return False
+            record.cancel_requested = True
+            already_running = record.state in (RUNNING, CANCELLING)
+        if already_running:
+            self._transition(record, CANCELLING, detail="cancel requested")
+        return True
+
+    # -- service-wide introspection and lifecycle ------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Aggregate service counters (plan cache, results, pools, jobs)."""
+        with self._lock:
+            states: dict[str, int] = {}
+            for record in self._records.values():
+                states[record.state] = states.get(record.state, 0) + 1
+        with self._backend_lock:
+            pools = {
+                f"{name}@{workers or 'auto'}": backend.pools_created
+                for (name, workers), backend in self._backends.items()
+            }
+        return {
+            "jobs": states,
+            "queued": self.scheduler.queued_count,
+            "running": self.scheduler.running_count,
+            "plan_cache": self.plan_cache.stats(),
+            "results": self.results.stats(),
+            "backend_pools": pools,
+        }
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait for every queued/running job to finish."""
+        return self.scheduler.drain(timeout)
+
+    def close(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        """Finish (or abandon) outstanding work and release shared pools.
+
+        Jobs that never ran (``drain=False``, an expired drain timeout,
+        or a submit racing the close) are moved to ``cancelled`` so
+        ``wait()``/``result()`` callers unblock instead of hanging on a
+        job no worker will ever pick up.
+        """
+        with self._lock:
+            self._closed = True
+        self.scheduler.close(drain=drain, timeout=timeout)
+        with self._lock:
+            abandoned = [
+                record
+                for record in self._records.values()
+                if record.state not in TERMINAL_STATES
+            ]
+            for record in abandoned:
+                record.cancel_requested = True
+        for record in abandoned:
+            self._transition(
+                record, CANCELLED, detail="service closed before completion"
+            )
+        with self._backend_lock:
+            backends = list(self._backends.values())
+            self._backends.clear()
+        for backend in backends:
+            backend.close()
+
+    def __enter__(self) -> "JobService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- internals -------------------------------------------------------
+
+    def _admission_reason(
+        self, spec: JobSpec, config: ExecutionConfig | None
+    ) -> str | None:
+        """Why this submission oversubscribes the environment, or ``None``.
+
+        Two rules, both judged against the service's environment probe:
+        requesting more workers than the machine's schedulable cores, and
+        an estimated resident footprint (input bytes, or the requested
+        per-worker memory budget times the worker count) beyond the
+        measured available memory.
+        """
+        if config is not None and config.num_workers is not None:
+            if config.num_workers > self.env.num_workers:
+                return (
+                    f"requested num_workers={config.num_workers} exceeds "
+                    f"the {self.env.num_workers} schedulable core(s)"
+                )
+        if self.env.memory_bytes is not None:
+            input_bytes = spec.total_size * BYTES_PER_SIZE_UNIT
+            if input_bytes > self.env.memory_bytes:
+                return (
+                    f"estimated input footprint {input_bytes} bytes exceeds "
+                    f"available memory {self.env.memory_bytes} bytes"
+                )
+            if config is not None and config.memory_budget is not None:
+                workers = config.num_workers or self.env.num_workers
+                budget_bytes = (
+                    config.memory_budget * BYTES_PER_SIZE_UNIT * workers
+                )
+                if budget_bytes > self.env.memory_bytes:
+                    return (
+                        f"memory_budget={config.memory_budget} pairs x "
+                        f"{workers} worker(s) (~{budget_bytes} bytes) "
+                        f"exceeds available memory "
+                        f"{self.env.memory_bytes} bytes"
+                    )
+        return None
+
+    def _transition(
+        self, record: _JobRecord, state: str, *, detail: str = ""
+    ) -> None:
+        """Move *record* to *state* (never out of a terminal state).
+
+        The cancel contract is enforced here, under the lock: a ``done``
+        commit for a job whose cancellation was requested becomes
+        ``cancelled`` and its stored result is discarded, so ``cancel()
+        -> True`` can never be followed by a delivered result — even
+        when the cancel lands between the worker's last checkpoint and
+        its completion.  A worker finishing a job some other path
+        already terminalized (cancel, close) likewise has its stored
+        result dropped.
+        """
+        with self._lock:
+            if record.state in TERMINAL_STATES:
+                if state == DONE:
+                    # Late completion after cancel/close: drop the result
+                    # the worker stored just before this transition.
+                    self.results.discard(record.job_id)
+                return
+            if state == DONE and record.cancel_requested:
+                state = CANCELLED
+                detail = detail or "cancelled while running"
+                self.results.discard(record.job_id)
+            record.state = state
+            if detail:
+                record.detail = detail
+            if state == RUNNING and record.started_at is None:
+                record.started_at = time.time()
+            if state in TERMINAL_STATES:
+                record.finished_at = time.time()
+            # Emit inside the lock: the commit and its event are atomic,
+            # so observers can never see e.g. a 'cancelling' event arrive
+            # after the job's terminal event (the lock is reentrant, so
+            # subscribers may query the service from the callback).
+            self._emit(record, state, detail=detail)
+            if state in TERMINAL_STATES:
+                record.done.set()
+
+    def _emit(self, record: _JobRecord, state: str, *, detail: str = "") -> None:
+        self.events.emit(
+            JobEvent(job_id=record.job_id, state=state, detail=detail)
+        )
+
+    def _shared_config(self, config: ExecutionConfig) -> ExecutionConfig:
+        """Swap a named backend for the service's shared, long-lived pool.
+
+        Pools are keyed by ``(backend name, worker count)`` and opened
+        persistently on first use; every job with the same shape reuses
+        the same pool, which is the whole point of the service layer —
+        the engine no longer pays pool startup per run.  Caller-provided
+        live :class:`Backend` instances pass through untouched (the
+        caller owns those).
+        """
+        if isinstance(config.backend, Backend):
+            return config
+        if config.backend not in BACKENDS:
+            raise InvalidInstanceError(
+                f"unknown backend {config.backend!r}; "
+                f"choose from {sorted(BACKENDS)}"
+            )
+        key = (config.backend, config.num_workers)
+        with self._backend_lock:
+            backend = self._backends.get(key)
+            if backend is None:
+                backend = BACKENDS[config.backend](
+                    max_workers=config.num_workers
+                )
+                backend.open()
+                self._backends[key] = backend
+        return replace(config, backend=backend)
+
+    def _plan(self, spec: JobSpec) -> tuple[Any, str, bool]:
+        """Plan via the shared cache; returns ``(plan, fingerprint, hit)``."""
+        return plan_cached(spec, self.env, cache=self.plan_cache)
+
+    def _execute_job(self, record: _JobRecord) -> None:
+        """One job's worker-side pipeline: plan, execute, store, account."""
+        if record.cancel_requested:
+            self._transition(
+                record, CANCELLED, detail="cancelled before dispatch"
+            )
+            return
+        self._transition(record, RUNNING)
+        started = time.perf_counter()
+        try:
+            planned, fingerprint, cache_hit = self._plan(record.spec)
+            with self._lock:
+                record.cache_hit = cache_hit
+            if record.cancel_requested:
+                self._transition(
+                    record, CANCELLED, detail="cancelled during planning"
+                )
+                return
+            if record.records is None:
+                result = JobResult(
+                    job_id=record.job_id,
+                    plan=planned,
+                    fingerprint=fingerprint,
+                    cache_hit=cache_hit,
+                    wall_seconds=time.perf_counter() - started,
+                )
+            else:
+                config = self._shared_config(
+                    record.config
+                    if record.config is not None
+                    else planned.execution
+                )
+                engine_result = planner_pkg.run(
+                    planned,
+                    record.records,
+                    record.reduce_fn,
+                    combiner_fn=record.combiner_fn,
+                    strict_capacity=record.strict_capacity,
+                    config=config,
+                )
+                result = JobResult(
+                    job_id=record.job_id,
+                    plan=planned,
+                    fingerprint=fingerprint,
+                    cache_hit=cache_hit,
+                    outputs=engine_result.outputs,
+                    metrics=engine_result.metrics,
+                    engine=engine_result.engine,
+                    wall_seconds=time.perf_counter() - started,
+                )
+            if record.cancel_requested:
+                self._transition(
+                    record, CANCELLED, detail="cancelled while running"
+                )
+                return
+            self.results.put(result)
+            self._transition(
+                record,
+                DONE,
+                detail="plan cache hit" if cache_hit else "",
+            )
+        except Exception as error:  # noqa: BLE001 - recorded, not raised
+            with self._lock:
+                record.exception = error
+                record.error = f"{type(error).__name__}: {error}"
+            self._transition(record, FAILED, detail=record.error)

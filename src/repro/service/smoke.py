@@ -1,0 +1,146 @@
+"""Service smoke scenario: N concurrent jobs vs N one-shot runs.
+
+Shared by ``repro bench --service-jobs`` (the CI perf-smoke hook) and the
+E21 benchmark.  The scenario cycles a fixed set of spec shapes so the
+same planning request recurs — in service mode those recurrences are
+plan-cache hits — and runs every job twice: once through a K-slot
+:class:`~repro.service.JobService` (shared pools, shared plan cache) and
+once through the direct one-shot pipeline (fresh plan, per-run pool).
+Output identity between the two paths is always asserted; wall-clock
+rows (throughput, p50/p95 latency) are advisory on shared hardware, like
+every engine bench.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro import planner as planner_pkg
+from repro.planner.spec import JobSpec
+from repro.service.service import JobService, collect_reduce, spec_records
+
+#: Spec shapes the scenario cycles through.  All use full planning
+#: (``method=None``) so a cache miss pays real enumeration work; sizes
+#: stay small enough that the exact solvers participate.
+def scenario_specs(jobs: int, *, objective: str = "min-reducers") -> list[JobSpec]:
+    """*jobs* specs cycling over the scenario's shapes (duplicates on
+    purpose: the repeats are the plan-cache hits)."""
+    shapes = [
+        JobSpec.a2a([3, 5, 2, 7, 4, 6], q=13, method=None, objective=objective),
+        JobSpec.x2y([4, 2, 3], [5, 3], q=9, method=None, objective=objective),
+        JobSpec.a2a([4] * 8, q=12, method=None, objective=objective),
+    ]
+    return [shapes[index % len(shapes)] for index in range(jobs)]
+
+
+def _percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of *values* (0.0 for an empty list)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def run_sequential(specs: list[JobSpec]) -> tuple[list[Any], float, list[float]]:
+    """The one-shot baseline: fresh plan and per-run pool for every job.
+
+    Returns ``(per-job sorted outputs, total wall seconds, per-job
+    latencies)``.
+    """
+    outputs: list[Any] = []
+    latencies: list[float] = []
+    started = time.perf_counter()
+    for spec in specs:
+        job_started = time.perf_counter()
+        planned = planner_pkg.plan(spec)
+        result = planner_pkg.run(
+            planned, spec_records(spec), collect_reduce,
+            config=planned.execution,
+        )
+        latencies.append(time.perf_counter() - job_started)
+        outputs.append(sorted(result.outputs))
+    return outputs, time.perf_counter() - started, latencies
+
+
+def run_service(
+    specs: list[JobSpec], *, slots: int = 2
+) -> tuple[list[Any], float, list[float], dict[str, Any]]:
+    """The service path: all jobs submitted up front, K slots, shared pools.
+
+    Returns ``(per-job sorted outputs, total wall seconds, per-job
+    submit-to-done latencies, service stats)``.
+    """
+    outputs: list[Any] = []
+    latencies: list[float] = []
+    started = time.perf_counter()
+    with JobService(slots=slots) as service:
+        handles = [service.submit_spec(spec) for spec in specs]
+        for handle in handles:
+            result = handle.result(timeout=120.0)
+            outputs.append(sorted(result.outputs))
+        wall = time.perf_counter() - started
+        for handle in handles:
+            status = handle.status()
+            latencies.append(status.finished_at - status.submitted_at)
+        stats = service.stats()
+    return outputs, wall, latencies, stats
+
+
+def run_service_smoke(
+    jobs: int = 8, *, slots: int = 2
+) -> tuple[list[dict[str, Any]], list[str]]:
+    """Run the scenario both ways; returns ``(table rows, check failures)``.
+
+    Failures cover correctness only (every job done, service outputs
+    identical to the one-shot path, the expected plan-cache hits
+    happened) — never wall clock, which is hardware-dependent.
+    """
+    specs = scenario_specs(jobs)
+    distinct = len({spec.fingerprint() for spec in specs})
+    seq_outputs, seq_wall, seq_latencies = run_sequential(specs)
+    svc_outputs, svc_wall, svc_latencies, stats = run_service(
+        specs, slots=slots
+    )
+
+    failures: list[str] = []
+    for index, (seq, svc) in enumerate(zip(seq_outputs, svc_outputs)):
+        if seq != svc:
+            failures.append(
+                f"service job {index} outputs diverge from the one-shot "
+                f"path ({len(svc)} vs {len(seq)} records)"
+            )
+    expected_hits = jobs - distinct
+    cache = stats["plan_cache"]
+    if cache["hits"] < expected_hits:
+        failures.append(
+            f"plan cache hit {cache['hits']} time(s), expected at least "
+            f"{expected_hits} (jobs={jobs}, distinct specs={distinct})"
+        )
+    done = stats["jobs"].get("done", 0)
+    if done != jobs:
+        failures.append(
+            f"only {done}/{jobs} service jobs reached the done state: "
+            f"{stats['jobs']}"
+        )
+
+    def row(mode: str, wall: float, latencies: list[float], hit_rate: float | None):
+        return {
+            "mode": mode,
+            "jobs": jobs,
+            "slots": slots if mode == "service" else 1,
+            "wall_s": round(wall, 4),
+            "jobs_per_s": round(jobs / wall, 2) if wall else 0.0,
+            "p50_s": round(_percentile(latencies, 0.50), 4),
+            "p95_s": round(_percentile(latencies, 0.95), 4),
+            "cache_hit_rate": (
+                round(hit_rate, 3) if hit_rate is not None else ""
+            ),
+        }
+
+    rows = [
+        row("sequential", seq_wall, seq_latencies, None),
+        row("service", svc_wall, svc_latencies, cache["hit_rate"]),
+    ]
+    return rows, failures

@@ -1,0 +1,109 @@
+"""Backend pool lifecycle: explicit open/close, reuse across engine runs.
+
+The satellite regression this file pins: two consecutive
+``execute_schema`` runs on one ``processes`` backend instance must NOT
+spawn a second worker pool.  Pool constructions are observable through
+``Backend.pools_created``.
+"""
+
+from __future__ import annotations
+
+from repro.core.instance import A2AInstance
+from repro.core.selector import solve_a2a
+from repro.engine.backends import ProcessBackend, SerialBackend, ThreadBackend
+from repro.engine.engine import execute_schema
+
+INSTANCE = A2AInstance([3, 5, 2, 7, 4], q=12)
+SCHEMA = solve_a2a(INSTANCE)
+RECORDS = [f"rec-{i}" for i in range(INSTANCE.m)]
+
+
+def tally_reduce(key, values):
+    """Module-level so the processes backend can pickle it."""
+    yield key, sorted(i for i, _ in values)
+
+
+class TestExplicitLifecycle:
+    def test_open_is_idempotent_and_close_releases(self):
+        backend = ThreadBackend(max_workers=2)
+        assert not backend.is_open
+        backend.open()
+        backend.open()
+        assert backend.is_open
+        assert backend.pools_created == 1
+        assert backend.run_tasks(str, [1, 2]) == ["1", "2"]
+        backend.close()
+        assert not backend.is_open
+
+    def test_persistent_pool_survives_context_exits(self):
+        backend = ThreadBackend(max_workers=2)
+        backend.open()
+        with backend:
+            backend.run_tasks(str, [1])
+        # The engine wraps runs in a context; a persistently opened pool
+        # must survive that.
+        assert backend.is_open
+        backend.close()
+        assert not backend.is_open
+
+    def test_scoped_context_still_closes(self):
+        backend = ThreadBackend(max_workers=2)
+        with backend:
+            assert backend.is_open
+        assert not backend.is_open
+        assert backend.pools_created == 1
+
+    def test_close_then_reopen_counts_pools(self):
+        backend = ThreadBackend(max_workers=2)
+        backend.open()
+        backend.close()
+        backend.open()
+        assert backend.pools_created == 2
+        backend.close()
+
+    def test_serial_backend_is_poolless(self):
+        backend = SerialBackend()
+        backend.open()
+        assert not backend.is_open
+        assert backend.pools_created == 0
+        backend.close()
+
+
+class TestEngineReusesCallerPool:
+    def test_two_process_runs_share_one_pool(self):
+        """The satellite regression: no second pool on the second run."""
+        backend = ProcessBackend(max_workers=1)
+        try:
+            first = execute_schema(SCHEMA, RECORDS, tally_reduce, backend=backend)
+            assert backend.pools_created == 1
+            assert backend.is_open  # engine left the caller's pool open
+            second = execute_schema(SCHEMA, RECORDS, tally_reduce, backend=backend)
+            assert backend.pools_created == 1
+            assert first.outputs == second.outputs
+        finally:
+            backend.close()
+        assert not backend.is_open
+
+    def test_two_thread_runs_share_one_pool(self):
+        backend = ThreadBackend(max_workers=2)
+        try:
+            for _ in range(3):
+                execute_schema(SCHEMA, RECORDS, tally_reduce, backend=backend)
+            assert backend.pools_created == 1
+        finally:
+            backend.close()
+
+    def test_caller_context_lifecycle_is_respected(self):
+        """A pool opened by the caller's own context closes at their exit."""
+        backend = ThreadBackend(max_workers=2)
+        with backend:
+            execute_schema(SCHEMA, RECORDS, tally_reduce, backend=backend)
+            execute_schema(SCHEMA, RECORDS, tally_reduce, backend=backend)
+            assert backend.pools_created == 1
+        assert not backend.is_open
+
+    def test_named_backend_still_scoped_per_run(self):
+        """Passing a backend *name* keeps the historical one-pool-per-run
+        lifecycle (nothing outlives the run)."""
+        result = execute_schema(SCHEMA, RECORDS, tally_reduce, backend="threads")
+        assert result.outputs

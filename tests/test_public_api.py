@@ -18,6 +18,7 @@ PUBLIC_MODULES = [
     "repro.mapreduce",
     "repro.engine",
     "repro.planner",
+    "repro.service",
     "repro.workloads",
     "repro.apps",
     "repro.analysis",
