@@ -1,0 +1,73 @@
+"""E22 (new): tracing overhead — observability must be close to free.
+
+The tracing layer's contract is *zero-cost when disabled, cheap when
+enabled*: the engine's hot per-record loops contain no tracing calls, the
+null tracer hands out shared no-op objects, and an enabled tracer only
+pays one span per phase and per task.  This bench measures the E18
+map-heavy scenario (the one whose wall clock is dominated by real user
+work, so the ratio is meaningful) three ways per backend: untraced,
+:data:`~repro.obs.trace.NULL_TRACER` passed explicitly, and a live
+:class:`~repro.obs.trace.Tracer`.
+
+The committed artifact records the overhead ratios (the acceptance
+numbers: null within a few percent of untraced, enabled within ~10%);
+the in-test assertions are looser — shared CI runners add scheduler
+noise that the artifact's best-of-N walls largely avoid, and hard ratio
+gates on millisecond walls would flake.
+"""
+
+from __future__ import annotations
+
+from benchmarks.harness import emit, run_once
+from repro.engine.backends import available_workers
+from repro.engine.quickbench import run_trace_overhead
+from repro.utils.tables import format_table
+
+SCALE = 0.5
+REPEAT = 3
+BACKENDS = ("serial", "threads")
+
+
+def overhead_rows() -> list[dict[str, object]]:
+    rows: list[dict[str, object]] = []
+    for backend in BACKENDS:
+        rows += run_trace_overhead(
+            scenario="map_heavy", backend=backend, scale=SCALE, repeat=REPEAT
+        )
+    return rows
+
+
+def test_e22_trace_overhead(benchmark):
+    rows = run_once(benchmark, overhead_rows)
+    emit(
+        "E22",
+        format_table(
+            rows,
+            title=(
+                "E22: tracing overhead on map_heavy "
+                f"(scale={SCALE}, best of {REPEAT}, "
+                f"{available_workers()} workers)"
+            ),
+        ),
+        rows=rows,
+    )
+    by_mode = {(r["backend"], r["tracing"]): r for r in rows}
+    for backend in BACKENDS:
+        off = by_mode[(backend, "off")]
+        null = by_mode[(backend, "null")]
+        on = by_mode[(backend, "on")]
+        # The untraced and null-traced runs record nothing; the enabled
+        # run must actually have collected phase + task spans.
+        assert off["spans"] == 0 and null["spans"] == 0
+        assert on["spans"] > 0, backend
+        # Generous sanity bounds (the artifact carries the real ratios):
+        # a disabled tracer must not double the wall clock, and an
+        # enabled one must stay within 1.5x on a CPU-bound scenario.
+        assert float(null["wall_s"]) <= float(off["wall_s"]) * 1.25 + 0.05, (
+            backend,
+            null,
+        )
+        assert float(on["wall_s"]) <= float(off["wall_s"]) * 1.5 + 0.05, (
+            backend,
+            on,
+        )

@@ -31,6 +31,7 @@ from repro.engine.metrics import EngineMetrics
 from repro.engine.routing import a2a_meeting_table, a2a_memberships
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.metrics import JobMetrics
+from repro.obs.trace import Tracer
 from repro.planner import JobSpec, Plan
 from repro.workloads.documents import Document, jaccard
 
@@ -116,6 +117,7 @@ def run_similarity_join(
     backend: str | None = None,
     num_workers: int | None = None,
     config: ExecutionConfig | None = None,
+    tracer: Tracer | None = None,
 ) -> SimilarityJoinRun:
     """Run the schema-driven similarity join end to end.
 
@@ -136,12 +138,13 @@ def run_similarity_join(
     plan's resolved :class:`~repro.engine.config.ExecutionConfig`.
     *documents* may be a :class:`~repro.dataset.Dataset` (materialized
     once for schema planning — the sizes must be known before any record
-    is routed).
+    is routed).  A *tracer* records ``plan``/``score:*`` spans and, on
+    the engine path, the ``map``/``shuffle``/``reduce`` phase spans.
     """
     if isinstance(documents, Dataset):
         documents = documents.materialize()
     spec = similarity_spec(documents, q, method=method, objective=objective)
-    planned = planner.plan(spec)
+    planned = planner.plan(spec, tracer=tracer)
     schema = planned.schema()
     owners = a2a_meeting_table(schema)
 
@@ -159,6 +162,7 @@ def run_similarity_join(
             documents,
             reduce_fn,
             config=execution,
+            tracer=tracer,
         )
         return SimilarityJoinRun(
             pairs=tuple(result.outputs),

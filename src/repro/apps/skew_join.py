@@ -22,6 +22,7 @@ from repro.engine.metrics import EngineMetrics
 from repro.engine.routing import x2y_memberships, x2y_meeting_table
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.metrics import JobMetrics
+from repro.obs.trace import Tracer
 from repro.planner import Environment, JobSpec, Plan
 from repro.workloads.relations import Relation, Tuple2, heavy_hitters
 
@@ -197,6 +198,7 @@ def schema_skew_join(
     backend: str | None = None,
     num_workers: int | None = None,
     config: ExecutionConfig | None = None,
+    tracer: Tracer | None = None,
 ) -> SkewJoinRun:
     """Skew-aware join: X2Y mapping schemas for heavy keys, hashing for light.
 
@@ -216,7 +218,8 @@ def schema_skew_join(
     triples plus phase timings in ``run.engine``.  ``method="planned"``
     plans every heavy key's schema cost-based under *objective* and —
     when no execution knobs are given — resolves the engine configuration
-    from the environment probe.
+    from the environment probe.  A *tracer* records one ``plan`` span per
+    heavy key plus the engine phase spans on engine-backed runs.
     """
     heavy = heavy_hitters(x, y, q)
     heavy_set = frozenset(heavy)
@@ -242,7 +245,7 @@ def schema_skew_join(
         spec = heavy_key_spec(
             x_tuples, y_tuples, q, method=method, objective=objective
         )
-        planned = planner.plan(spec, env)
+        planned = planner.plan(spec, env, tracer=tracer)
         schema = planned.schema()
         plans[key] = planned
         schemas[key] = schema
@@ -293,6 +296,7 @@ def schema_skew_join(
             size_of=_skew_record_size,
             reducer_capacity=q,
             strict_capacity=True,
+            tracer=tracer,
         )
         result = engine.run(records)
         return SkewJoinRun(

@@ -37,6 +37,15 @@ Commands:
   convenience wrapper over the same service stack: build the spec from
   flags, run it through an in-process service, print the result (NDJSON
   with ``--json``).
+* ``metrics --log obs.ndjson`` — summarize a service observation log
+  (written by ``serve --obs-log``) as a per-backend table: job counts,
+  cache hit rate, wall-clock percentiles, phase means.
+
+``run``, ``bench``, and ``submit`` accept ``--trace out.json`` to export
+the run's spans as Chrome trace-event JSON (openable in Perfetto or
+``chrome://tracing``); ``serve --trace`` additionally streams every
+finished span as an NDJSON ``{"event": "span", ...}`` line, and a
+``{"metrics": true}`` request line answers with a metrics snapshot.
 
 ``repro --version`` prints the package version.  Exit status is 0 on
 success, 1 on infeasible/invalid input, mirroring what a scheduler
@@ -260,6 +269,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--skew", type=float, default=1.2, help="skew-join: Zipf exponent"
     )
+    run.add_argument(
+        "--trace",
+        default=None,
+        help="write the run's spans to this file as Chrome trace-event JSON",
+    )
 
     bench = commands.add_parser(
         "bench", help="quick engine benchmark: backends x scenarios"
@@ -335,6 +349,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="concurrent slots for the --service-jobs scenario",
     )
+    bench.add_argument(
+        "--baseline",
+        default=None,
+        help="committed bench --json-out file to gate against: with "
+        "--check, exit 1 when a scenario runs >1.3x slower than the "
+        "baseline (same worker count and bench params only)",
+    )
+    bench.add_argument(
+        "--trace",
+        default=None,
+        help="write the scenario runs' spans to this file as Chrome "
+        "trace-event JSON",
+    )
 
     serve = commands.add_parser(
         "serve",
@@ -359,7 +386,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--quiet",
         action="store_true",
-        help="suppress status event lines (result lines still stream)",
+        help="suppress status and span event lines (result lines still "
+        "stream)",
+    )
+    serve.add_argument(
+        "--trace",
+        default=None,
+        help="collect job spans: stream them as NDJSON span lines and "
+        "write the full Chrome trace-event JSON here on exit",
+    )
+    serve.add_argument(
+        "--obs-log",
+        default=None,
+        help="append one observation record (plan fingerprint + phase "
+        "timings) per completed job to this NDJSON file",
     )
 
     submit = commands.add_parser(
@@ -397,6 +437,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument(
         "--json", action="store_true", help="print the NDJSON result line"
+    )
+    submit.add_argument(
+        "--trace",
+        default=None,
+        help="write the job's spans to this file as Chrome trace-event JSON",
+    )
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="summarize a service observation log (serve --obs-log)",
+    )
+    metrics.add_argument(
+        "--log", required=True, help="observation NDJSON file to summarize"
+    )
+    metrics.add_argument(
+        "--json", action="store_true", help="print the summary as JSON"
     )
 
     return parser
@@ -465,12 +521,33 @@ def _run_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _tracer_for(path: str | None):
+    """A live tracer when a ``--trace`` path was given, else ``None``."""
+    if not path:
+        return None
+    from repro.obs.trace import Tracer
+
+    return Tracer()
+
+
+def _write_trace(tracer, path: str | None) -> None:
+    """Export a tracer's spans to *path*; summary goes to stderr so the
+    trace line never corrupts ``--json`` stdout output."""
+    if tracer is None or not path:
+        return
+    from repro.obs.trace import write_chrome_trace
+
+    count = write_chrome_trace(path, tracer.spans())
+    print(f"trace: {count} events written to {path}", file=sys.stderr)
+
+
 def _run_app(args: argparse.Namespace) -> int:
     """Handle ``repro run``: generate a workload, execute it, print metrics."""
     from repro.engine.config import ExecutionConfig
 
     plan_mode = args.plan == "auto"
     method = "planned" if plan_mode else args.method
+    tracer = _tracer_for(args.trace)
     engine_knobs_given = any(
         value is not None
         for value in (
@@ -505,6 +582,7 @@ def _run_app(args: argparse.Namespace) -> int:
             method=method,
             objective=args.objective,
             config=config,
+            tracer=tracer,
         )
         print(f"app       : similarity join ({args.m} documents, q={args.q})")
         print(f"schema    : {run.schema.algorithm}, {run.schema.num_reducers} reducers")
@@ -525,6 +603,7 @@ def _run_app(args: argparse.Namespace) -> int:
             method=method,
             objective=args.objective,
             config=config,
+            tracer=tracer,
         )
         print(
             f"app       : skew join ({args.tuples}x{args.tuples} tuples, "
@@ -554,6 +633,7 @@ def _run_app(args: argparse.Namespace) -> int:
             f"{metrics.spill_runs} runs (budget {args.memory_budget} pairs, "
             f"peak buffered {metrics.peak_buffered_pairs})"
         )
+    _write_trace(tracer, args.trace)
     return 0
 
 
@@ -584,6 +664,13 @@ def _run_serve(args: argparse.Namespace) -> int:
     ``{"event": "result", ...}`` line when the job reaches a terminal
     state.  Malformed requests produce ``{"event": "error", ...}`` lines
     and do not abort the loop.
+
+    With ``--trace`` every finished span additionally streams as a
+    ``{"event": "span", ...}`` line (suppressed by ``--quiet``) and the
+    collected trace is written as Chrome trace-event JSON on exit; a
+    ``{"metrics": true}`` request line answers with one
+    ``{"event": "metrics", ...}`` snapshot of the service's counters,
+    gauges, histograms, and plan-cache stats.
     """
     import json
     import threading
@@ -597,10 +684,22 @@ def _run_serve(args: argparse.Namespace) -> int:
         with print_lock:
             print(json.dumps(payload, default=str), flush=True)
 
+    tracer = None
+    if args.trace:
+        from repro.obs.trace import Tracer
+
+        def on_span(span) -> None:
+            if not args.quiet:
+                emit_line({"event": "span", **span.to_dict()})
+
+        tracer = Tracer(on_finish=on_span)
+
     service = JobService(
         slots=args.slots,
         plan_cache_size=args.plan_cache_size,
         result_capacity=args.result_capacity,
+        tracer=tracer,
+        obs_log=args.obs_log,
     )
 
     def on_event(event) -> None:
@@ -619,6 +718,9 @@ def _run_serve(args: argparse.Namespace) -> int:
             request = json.loads(line)
         except json.JSONDecodeError as exc:
             emit_line({"event": "error", "line": number, "error": str(exc)})
+            return
+        if isinstance(request, dict) and request.get("metrics"):
+            emit_line({"event": "metrics", **service.metrics_snapshot()})
             return
         if not isinstance(request, dict) or "spec" not in request:
             emit_line(
@@ -669,6 +771,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         service.drain()
     finally:
         service.close()
+        _write_trace(tracer, args.trace)
     return 0
 
 
@@ -680,7 +783,8 @@ def _run_submit(args: argparse.Namespace) -> int:
 
     spec = _spec_from_args(args, "submit")
     execute = not args.plan_only and spec.kind != "multiway"
-    service = JobService(slots=1)
+    tracer = _tracer_for(args.trace)
+    service = JobService(slots=1, tracer=tracer)
     closed = False
     try:
         handle = service.submit_spec(
@@ -727,6 +831,40 @@ def _run_submit(args: argparse.Namespace) -> int:
     finally:
         if not closed:
             service.close()
+        _write_trace(tracer, args.trace)
+    return 0
+
+
+def _run_metrics(args: argparse.Namespace) -> int:
+    """Handle ``repro metrics``: summarize an observation log as a table."""
+    import json
+
+    from repro.obs.store import load_observations, summarize_observations
+
+    try:
+        records = load_observations(args.log)
+    except OSError as error:
+        print(f"error: cannot read {args.log!r}: {error}", file=sys.stderr)
+        return 1
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    rows = summarize_observations(records)
+    if args.json:
+        print(
+            json.dumps(
+                {"observations": len(records), "rows": rows}, default=str
+            )
+        )
+        return 0
+    if not rows:
+        print(f"no observations in {args.log}")
+        return 0
+    print(
+        format_table(
+            rows, title=f"job observations ({len(records)} records)"
+        )
+    )
     return 0
 
 
@@ -734,6 +872,7 @@ def _run_bench(args: argparse.Namespace) -> int:
     """Handle ``repro bench``: quick speedup table, optional smoke check."""
     from repro.engine.backends import available_workers
     from repro.engine.quickbench import (
+        check_baseline,
         check_regression,
         check_spill,
         run_join_bench,
@@ -761,11 +900,13 @@ def _run_bench(args: argparse.Namespace) -> int:
             repeat=args.repeat,
             objective=args.objective,
         )
+    tracer = _tracer_for(args.trace)
     rows += run_scenarios(
         backends=backends,
         scale=args.scale,
         repeat=args.repeat,
         num_workers=args.num_workers,
+        tracer=tracer,
     )
     print(
         format_table(
@@ -812,6 +953,12 @@ def _run_bench(args: argparse.Namespace) -> int:
                 ),
             )
         )
+    _write_trace(tracer, args.trace)
+    params = {
+        "tuples": args.tuples,
+        "scale": args.scale,
+        "repeat": args.repeat,
+    }
     if args.json_out:
         import json
 
@@ -819,6 +966,8 @@ def _run_bench(args: argparse.Namespace) -> int:
             args.json_out,
             json.dumps(
                 {
+                    "workers": available_workers(),
+                    "params": params,
                     "rows": rows,
                     "out_of_core_rows": spill_rows,
                     "service_rows": service_rows,
@@ -828,11 +977,31 @@ def _run_bench(args: argparse.Namespace) -> int:
             )
             + "\n",
         )
+    baseline_notes: list[str] = []
+    baseline_failures: list[str] = []
+    if args.baseline:
+        import json
+
+        try:
+            with open(args.baseline) as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(
+                f"error: cannot load baseline {args.baseline!r}: {error}",
+                file=sys.stderr,
+            )
+            return 1
+        baseline_failures, baseline_notes = check_baseline(
+            rows, baseline, params=params
+        )
+        for note in baseline_notes:
+            print(f"baseline: {note}", file=sys.stderr)
     if args.check:
         failures = check_regression(rows)
         if args.memory_budget is not None:
             failures += check_spill(spill_rows)
         failures += service_failures
+        failures += baseline_failures
         for failure in failures:
             print(f"PERF REGRESSION: {failure}", file=sys.stderr)
         if failures:
@@ -842,6 +1011,8 @@ def _run_bench(args: argparse.Namespace) -> int:
             notes.append("budgeted runs spilled and matched in-memory outputs")
         if args.service_jobs is not None:
             notes.append("service outputs matched one-shot runs")
+        if args.baseline and not baseline_notes:
+            notes.append("within 1.3x of the committed baseline")
         print(f"perf smoke: ok ({'; '.join(notes)})")
     return 0
 
@@ -875,6 +1046,8 @@ def main(argv: list[str] | None = None) -> int:
             return _run_serve(args)
         elif args.command == "submit":
             return _run_submit(args)
+        elif args.command == "metrics":
+            return _run_metrics(args)
         elif args.command == "verify":
             try:
                 with open(args.file) as handle:

@@ -101,6 +101,9 @@ class Backend(ABC):
         #: long-lived backend that is reused correctly creates exactly one;
         #: the pool-reuse regression tests pin this counter.
         self.pools_created = 0
+        #: Tasks run over this backend's lifetime; the service exports it
+        #: as a pool-utilization metric for shared backends.
+        self.tasks_dispatched = 0
 
     @abstractmethod
     def run_tasks(
@@ -113,6 +116,13 @@ class Backend(ABC):
         backend pulls one task at a time, pooled backends keep a bounded
         window of submissions in flight.
         """
+
+    def _count_tasks(self, results: list[Any]) -> list[Any]:
+        """Add a completed batch to the dispatch counter (thread-safe —
+        shared pools run batches from several jobs concurrently)."""
+        with self._lifecycle_lock:
+            self.tasks_dispatched += len(results)
+        return results
 
     def _make_pool(self) -> Any:
         """Build the reusable worker pool; ``None`` for poolless backends."""
@@ -205,7 +215,7 @@ class SerialBackend(Backend):
         self, fn: Callable[[Any], Any], tasks: Iterable[Any]
     ) -> list[Any]:
         """Run tasks in a plain loop (lazily for streaming iterables)."""
-        return [fn(task) for task in tasks]
+        return self._count_tasks([fn(task) for task in tasks])
 
 
 class ThreadBackend(Backend):
@@ -225,15 +235,19 @@ class ThreadBackend(Backend):
         if not isinstance(tasks, Sequence):
             window = self.max_workers * _WINDOW_PER_WORKER
             if self._pool is not None:
-                return _windowed_submit(self._pool, fn, tasks, window)
+                return self._count_tasks(
+                    _windowed_submit(self._pool, fn, tasks, window)
+                )
             with self._make_pool() as pool:
-                return _windowed_submit(pool, fn, tasks, window)
+                return self._count_tasks(
+                    _windowed_submit(pool, fn, tasks, window)
+                )
         if not tasks:
             return []
         if self._pool is not None:
-            return list(self._pool.map(fn, tasks))
+            return self._count_tasks(list(self._pool.map(fn, tasks)))
         with self._make_pool() as pool:
-            return list(pool.map(fn, tasks))
+            return self._count_tasks(list(pool.map(fn, tasks)))
 
 
 #: Per-worker cache of recently unpickled task functions, keyed by their
@@ -311,9 +325,13 @@ class ProcessBackend(Backend):
             call = partial(_call_pickled, pickle.dumps(fn))
             window = self.max_workers * _WINDOW_PER_WORKER
             if self._pool is not None:
-                return _windowed_submit(self._pool, call, tasks, window)
+                return self._count_tasks(
+                    _windowed_submit(self._pool, call, tasks, window)
+                )
             with self._make_pool() as pool:
-                return _windowed_submit(pool, call, tasks, window)
+                return self._count_tasks(
+                    _windowed_submit(pool, call, tasks, window)
+                )
         if not tasks:
             return []
         call = partial(_call_pickled, pickle.dumps(fn))
@@ -321,9 +339,13 @@ class ProcessBackend(Backend):
             1, -(-len(tasks) // (self.max_workers * 4))
         )
         if self._pool is not None:
-            return list(self._pool.map(call, tasks, chunksize=chunksize))
+            return self._count_tasks(
+                list(self._pool.map(call, tasks, chunksize=chunksize))
+            )
         with self._make_pool() as pool:
-            return list(pool.map(call, tasks, chunksize=chunksize))
+            return self._count_tasks(
+                list(pool.map(call, tasks, chunksize=chunksize))
+            )
 
 
 #: Name -> backend class; the CLI and benches iterate this.

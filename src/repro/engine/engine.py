@@ -59,6 +59,7 @@ from repro.engine.spill import (
 )
 from repro.exceptions import CapacityExceededError, InvalidInstanceError
 from repro.mapreduce.metrics import JobMetrics
+from repro.obs.trace import Tracer, as_tracer, worker_span
 from repro.mapreduce.shuffle import (
     map_record,
     ordered_keys,
@@ -223,6 +224,29 @@ def _run_reduce_task(
     return results, loads
 
 
+def _traced_task(
+    payload: Any,
+    *,
+    inner: Any,
+    ctx: tuple[str, str | None],
+    name: str,
+) -> tuple[Any, dict[str, Any]]:
+    """Run one task under a worker-side span; returns ``(result, span)``.
+
+    Installed around the map/reduce task partials *only when tracing is
+    enabled*, so the task functions keep their exact signatures and
+    return shapes for the disabled path (and for the tests that unpack
+    them directly).  ``ctx`` is the pickled ``(trace id, parent span id)``
+    from :meth:`Tracer.worker_context`; the span travels home as a plain
+    dict next to the task result and the parent merges it into the trace.
+    """
+    started = time.perf_counter()
+    result = inner(payload)
+    return result, worker_span(
+        ctx, name, started, time.perf_counter() - started
+    )
+
+
 def _chunk(records: list[Any], chunk_size: int) -> list[list[Any]]:
     """Split records into consecutive chunks of at most *chunk_size*."""
     return [
@@ -271,6 +295,11 @@ class ExecutionEngine:
         spill_dir: base directory for spill files (``None``: the system
             temporary directory).  Each run spills into its own
             subdirectory, which is removed when the run finishes.
+        tracer: optional :class:`~repro.obs.trace.Tracer`; when given,
+            the run emits ``map``/``shuffle``/``reduce``/``post`` phase
+            spans plus per-task worker spans (propagated through the
+            pickling path on pooled backends) and per-flush ``spill``
+            spans.  ``None`` (the default) disables tracing at zero cost.
     """
 
     map_fn: MapFn
@@ -285,6 +314,7 @@ class ExecutionEngine:
     num_reduce_tasks: int | None = None
     memory_budget: int | None = None
     spill_dir: str | None = None
+    tracer: Tracer | None = None
 
     @classmethod
     def from_config(
@@ -346,113 +376,159 @@ class ExecutionEngine:
         run_spill_dir: str | None,
     ) -> EngineResult:
         """The three phases plus the post-pass (spill dir managed by run)."""
+        tracer = as_tracer(self.tracer)
         with backend:
             # --- map phase: chunk records into tasks; each task returns its
             # pairs pre-grouped by key and bucketed by reduce partition
             # (overflow beyond the memory budget goes to sorted spill runs).
-            map_started = time.perf_counter()
-            chunk_size = self.map_chunk_size or self._default_chunk(
-                dataset.length, backend, self.memory_budget
-            )
-            chunks: Iterable[list[Any]]
-            if dataset.is_materialized:
-                materialized = dataset.materialize()
-                chunks = (
-                    _chunk(materialized, chunk_size) if materialized else []
+            with tracer.span(
+                "map", category="engine", backend=backend.name
+            ) as map_span:
+                map_started = time.perf_counter()
+                chunk_size = self.map_chunk_size or self._default_chunk(
+                    dataset.length, backend, self.memory_budget
                 )
-            else:
-                chunks = iter_chunks(dataset, chunk_size)
-            map_task = partial(
-                _run_map_task,
-                map_fn=self.map_fn,
-                combiner_fn=self.combiner_fn,
-                size_of=self.size_of,
-                num_partitions=num_partitions,
-                memory_budget=self.memory_budget,
-                spill_dir=run_spill_dir,
-                check_keys=(
-                    self.strict_capacity or self.memory_budget is not None
-                ),
-            )
-            map_results = backend.run_tasks(map_task, chunks)
-            map_seconds = time.perf_counter() - map_started
+                chunks: Iterable[list[Any]]
+                if dataset.is_materialized:
+                    materialized = dataset.materialize()
+                    chunks = (
+                        _chunk(materialized, chunk_size)
+                        if materialized
+                        else []
+                    )
+                else:
+                    chunks = iter_chunks(dataset, chunk_size)
+                map_task = partial(
+                    _run_map_task,
+                    map_fn=self.map_fn,
+                    combiner_fn=self.combiner_fn,
+                    size_of=self.size_of,
+                    num_partitions=num_partitions,
+                    memory_budget=self.memory_budget,
+                    spill_dir=run_spill_dir,
+                    check_keys=(
+                        self.strict_capacity or self.memory_budget is not None
+                    ),
+                )
+                ctx = tracer.worker_context()
+                if ctx is not None:
+                    map_results = self._merge_map_spans(
+                        tracer,
+                        backend.run_tasks(
+                            partial(
+                                _traced_task,
+                                inner=map_task,
+                                ctx=ctx,
+                                name="map_task",
+                            ),
+                            chunks,
+                        ),
+                    )
+                else:
+                    map_results = backend.run_tasks(map_task, chunks)
+                map_span.set("tasks", len(map_results))
+                map_seconds = time.perf_counter() - map_started
 
             # --- shuffle: a transpose.  Collect each partition's sources
             # across map tasks — spilled runs in flush order, then the
             # task's in-memory leftover — and drop empty partitions; no
             # per-pair or per-key work happens here.
-            shuffle_started = time.perf_counter()
-            map_inputs = sum(result[3] for result in map_results)
-            map_pairs = sum(result[1] for result in map_results)
-            comm = sum(result[2] for result in map_results)
-            peak_buffered = max(
-                (result[4] for result in map_results), default=0
-            )
-            spilled_bytes = sum(
-                result[5].spilled_bytes
-                for result in map_results
-                if result[5] is not None
-            )
-            spill_runs = sum(
-                result[5].spill_runs
-                for result in map_results
-                if result[5] is not None
-            )
-            partitions: list[list[Any]] = []
-            for p in range(num_partitions):
-                sources: list[Any] = []
-                for result in map_results:
-                    spill = result[5]
-                    if spill is not None:
-                        sources.extend(spill.partition_runs(p))
-                    if result[0][p]:
-                        sources.append(result[0][p])
-                if sources:
-                    partitions.append(sources)
-            shuffle_seconds = time.perf_counter() - shuffle_started
+            with tracer.span("shuffle", category="engine") as shuffle_span:
+                shuffle_started = time.perf_counter()
+                map_inputs = sum(result[3] for result in map_results)
+                map_pairs = sum(result[1] for result in map_results)
+                comm = sum(result[2] for result in map_results)
+                peak_buffered = max(
+                    (result[4] for result in map_results), default=0
+                )
+                spilled_bytes = sum(
+                    result[5].spilled_bytes
+                    for result in map_results
+                    if result[5] is not None
+                )
+                spill_runs = sum(
+                    result[5].spill_runs
+                    for result in map_results
+                    if result[5] is not None
+                )
+                partitions: list[list[Any]] = []
+                for p in range(num_partitions):
+                    sources: list[Any] = []
+                    for result in map_results:
+                        spill = result[5]
+                        if spill is not None:
+                            sources.extend(spill.partition_runs(p))
+                        if result[0][p]:
+                            sources.append(result[0][p])
+                    if sources:
+                        partitions.append(sources)
+                shuffle_span.set("pairs", map_pairs)
+                shuffle_span.set("partitions", len(partitions))
+                shuffle_span.set("spilled_bytes", spilled_bytes)
+                shuffle_seconds = time.perf_counter() - shuffle_started
 
             # --- reduce phase: each task merges its partition's sources,
             # accounts per-key loads, and reduces.
-            reduce_started = time.perf_counter()
-            reduce_task = partial(
-                _run_reduce_task,
-                reduce_fn=self.reduce_fn,
-                size_of=self.size_of,
-                capacity=self.reducer_capacity,
-                strict=self.strict_capacity,
-            )
-            task_results = backend.run_tasks(reduce_task, partitions)
-            reduce_run_seconds = time.perf_counter() - reduce_started
+            with tracer.span("reduce", category="engine") as reduce_span:
+                reduce_started = time.perf_counter()
+                reduce_task = partial(
+                    _run_reduce_task,
+                    reduce_fn=self.reduce_fn,
+                    size_of=self.size_of,
+                    capacity=self.reducer_capacity,
+                    strict=self.strict_capacity,
+                )
+                ctx = tracer.worker_context()
+                if ctx is not None:
+                    task_results = self._merge_reduce_spans(
+                        tracer,
+                        backend.run_tasks(
+                            partial(
+                                _traced_task,
+                                inner=reduce_task,
+                                ctx=ctx,
+                                name="reduce_task",
+                            ),
+                            partitions,
+                        ),
+                    )
+                else:
+                    task_results = backend.run_tasks(reduce_task, partitions)
+                reduce_span.set("tasks", len(partitions))
+                reduce_run_seconds = time.perf_counter() - reduce_started
 
         # --- post-pass (pool already released; its shutdown is not timed):
         # merge per-task loads, enforce capacity in global sorted-key order
         # (identical to the simulator), and reassemble outputs in that same
         # order.
         post_started = time.perf_counter()
-        loads: dict[Hashable, int] = {}
-        outputs_by_key: dict[Hashable, list[Any]] = {}
-        task_loads: list[int] = []
-        for results, partition_loads in task_results:
-            task_loads.append(sum(load for _, load in partition_loads))
-            loads.update(partition_loads)
-            if results is not None:
-                for key, outs in results:
-                    outputs_by_key[key] = outs
-        keys = ordered_keys(loads)
-        violations: list[Hashable] = []
-        if self.reducer_capacity is not None:
-            for key in keys:
-                if loads[key] > self.reducer_capacity:
-                    if self.strict_capacity:
-                        raise CapacityExceededError(
-                            f"reducer for key {key!r} received load "
-                            f"{loads[key]} > capacity {self.reducer_capacity}",
-                            key=key,
-                            load=loads[key],
-                            capacity=self.reducer_capacity,
-                        )
-                    violations.append(key)
-        outputs = [out for key in keys for out in outputs_by_key[key]]
+        with tracer.span("post", category="engine") as post_span:
+            loads: dict[Hashable, int] = {}
+            outputs_by_key: dict[Hashable, list[Any]] = {}
+            task_loads: list[int] = []
+            for results, partition_loads in task_results:
+                task_loads.append(sum(load for _, load in partition_loads))
+                loads.update(partition_loads)
+                if results is not None:
+                    for key, outs in results:
+                        outputs_by_key[key] = outs
+            keys = ordered_keys(loads)
+            violations: list[Hashable] = []
+            if self.reducer_capacity is not None:
+                for key in keys:
+                    if loads[key] > self.reducer_capacity:
+                        if self.strict_capacity:
+                            raise CapacityExceededError(
+                                f"reducer for key {key!r} received load "
+                                f"{loads[key]} > capacity "
+                                f"{self.reducer_capacity}",
+                                key=key,
+                                load=loads[key],
+                                capacity=self.reducer_capacity,
+                            )
+                        violations.append(key)
+            outputs = [out for key in keys for out in outputs_by_key[key]]
+            post_span.set("outputs", len(outputs))
         reduce_seconds = reduce_run_seconds + (
             time.perf_counter() - post_started
         )
@@ -488,6 +564,55 @@ class ExecutionEngine:
         return EngineResult(
             outputs=outputs, metrics=metrics, engine=engine_metrics
         )
+
+    @staticmethod
+    def _merge_map_spans(
+        tracer: Tracer, raw: list[tuple[Any, dict[str, Any]]]
+    ) -> list[Any]:
+        """Unwrap traced map-task results and fold their spans into the trace.
+
+        Each worker span is enriched with the task's measured counters
+        before merging; a map task that spilled additionally contributes
+        one ``spill`` child span per flush window, so disk pressure shows
+        up on the timeline exactly where it occurred.
+        """
+        results: list[Any] = []
+        worker_spans: list[dict[str, Any]] = []
+        for result, span_dict in raw:
+            args = span_dict["args"]
+            args["records"] = result[3]
+            args["pairs"] = result[1]
+            spill = result[5]
+            if spill is not None and spill.flush_windows:
+                args["spilled_bytes"] = spill.spilled_bytes
+                for start, duration, nbytes in spill.flush_windows:
+                    tracer.record(
+                        "spill",
+                        start=start,
+                        duration=duration,
+                        category="engine",
+                        parent=span_dict["id"],
+                        trace_id=span_dict["trace"],
+                        bytes=nbytes,
+                    )
+            results.append(result)
+            worker_spans.append(span_dict)
+        tracer.add_worker_spans(worker_spans)
+        return results
+
+    @staticmethod
+    def _merge_reduce_spans(
+        tracer: Tracer, raw: list[tuple[Any, dict[str, Any]]]
+    ) -> list[Any]:
+        """Unwrap traced reduce-task results and fold spans into the trace."""
+        results: list[Any] = []
+        worker_spans: list[dict[str, Any]] = []
+        for result, span_dict in raw:
+            span_dict["args"]["keys"] = len(result[1])
+            results.append(result)
+            worker_spans.append(span_dict)
+        tracer.add_worker_spans(worker_spans)
+        return results
 
     @staticmethod
     def _default_chunk(
@@ -540,6 +665,7 @@ def execute_schema(
     memory_budget: int | None = None,
     spill_dir: str | None = None,
     config: ExecutionConfig | None = None,
+    tracer: Tracer | None = None,
 ) -> EngineResult:
     """Execute a solved mapping schema over per-input records.
 
@@ -556,6 +682,8 @@ def execute_schema(
     Execution knobs can be given individually or bundled in *config* (an
     :class:`~repro.engine.config.ExecutionConfig`), which takes precedence
     over the individual keyword arguments when both are supplied.
+    *tracer* rides alongside either form: it is a live object, never part
+    of the serializable config, and ``None`` keeps tracing disabled.
     """
     map_fn, size_of, wrapped = build_schema_plan(schema, records)
     if config is None:
@@ -575,5 +703,6 @@ def execute_schema(
         size_of=size_of,
         reducer_capacity=schema.instance.q,
         strict_capacity=strict_capacity,
+        tracer=tracer,
     )
     return engine.run(wrapped)

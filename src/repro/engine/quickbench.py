@@ -32,6 +32,7 @@ from typing import Any, Iterable, Iterator
 from repro.dataset import Dataset
 from repro.engine.backends import BACKENDS
 from repro.engine.engine import EngineResult, ExecutionEngine
+from repro.obs.trace import Tracer
 
 #: 64 KiB of incompressible-ish payload the GIL-releasing scenarios chew on.
 _BLOB = bytes(range(256)) * 256
@@ -111,13 +112,14 @@ def run_scenario(
     scale: float = 1.0,
     num_workers: int | None = None,
     memory_budget: int | None = None,
+    tracer: Tracer | None = None,
 ) -> tuple[EngineResult, float]:
     """Run one scenario on one backend; returns the result and wall seconds.
 
     Records are fed as a streaming :class:`~repro.dataset.Dataset` (a
     range factory), so the engine's out-of-core data path — lazy chunking
     plus, with a *memory_budget*, the spill-to-disk shuffle — is what gets
-    measured.
+    measured.  A *tracer* records the run's phase and task spans.
     """
     map_fn, reduce_fn = SCENARIOS[name]
     count = max(1, int(_SCENARIO_RECORDS[name] * scale))
@@ -128,6 +130,7 @@ def run_scenario(
         backend=backend,
         num_workers=num_workers,
         memory_budget=memory_budget,
+        tracer=tracer,
     )
     started = time.perf_counter()
     result = engine.run(records)
@@ -142,6 +145,7 @@ def run_scenarios(
     repeat: int = 1,
     num_workers: int | None = None,
     memory_budget: int | None = None,
+    tracer: Tracer | None = None,
 ) -> list[dict[str, object]]:
     """Benchmark scenarios × backends; best-of-*repeat* wall per cell.
 
@@ -164,6 +168,7 @@ def run_scenarios(
                     scale=scale,
                     num_workers=num_workers,
                     memory_budget=memory_budget,
+                    tracer=tracer,
                 )
                 if best is None or wall < best[1]:
                     best = (result, wall)
@@ -360,6 +365,146 @@ def run_out_of_core(
                 }
             )
     return rows
+
+
+def run_trace_overhead(
+    *,
+    scenario: str = "map_heavy",
+    backend: str = "serial",
+    scale: float = 1.0,
+    repeat: int = 3,
+    num_workers: int | None = None,
+) -> list[dict[str, object]]:
+    """E22: tracing overhead on one scenario — off, null tracer, enabled.
+
+    Runs the scenario three ways, best-of-*repeat* each: with no tracer at
+    all (the default code path), with :data:`~repro.obs.trace.NULL_TRACER`
+    passed explicitly (proves the disabled object costs nothing beyond the
+    ``None`` default), and with a live :class:`~repro.obs.trace.Tracer`
+    (every phase and task span recorded).  Rows carry the wall clock, the
+    span count, and the overhead ratio against the untraced run — the
+    numbers E22 commits and the observability docs quote.
+    """
+    from repro.obs.trace import NULL_TRACER
+
+    rows: list[dict[str, object]] = []
+    base_wall: float | None = None
+    for mode in ("off", "null", "on"):
+        best_wall: float | None = None
+        best_spans = 0
+        for _ in range(max(1, repeat)):
+            tracer = {"off": None, "null": NULL_TRACER, "on": Tracer()}[mode]
+            _, wall = run_scenario(
+                scenario,
+                backend,
+                scale=scale,
+                num_workers=num_workers,
+                tracer=tracer,
+            )
+            spans = len(tracer) if tracer is not None and tracer.enabled else 0
+            if best_wall is None or wall < best_wall:
+                best_wall, best_spans = wall, spans
+        if mode == "off":
+            base_wall = best_wall
+        rows.append(
+            {
+                "scenario": scenario,
+                "backend": backend,
+                "tracing": mode,
+                "wall_s": round(best_wall, 3),
+                "overhead_vs_off": (
+                    round(best_wall / base_wall, 3) if base_wall else ""
+                ),
+                "spans": best_spans,
+            }
+        )
+    return rows
+
+
+def check_baseline(
+    rows: Iterable[dict[str, object]],
+    baseline: dict[str, object],
+    *,
+    workers: int | None = None,
+    params: dict[str, object] | None = None,
+    max_slowdown: float = 1.3,
+    min_wall: float = 0.02,
+) -> tuple[list[str], list[str]]:
+    """Regression gate: current bench rows against a committed baseline.
+
+    *baseline* is a previously committed ``bench --json-out`` payload
+    (``{"workers": ..., "params": ..., "rows": [...]}``).  Rows are
+    matched by ``(scenario, backend, mode)`` and a match fails when its
+    wall clock exceeds *max_slowdown* × the baseline's.  The gate only
+    bites for same-hardware-class runs: when the baseline was recorded
+    with a different worker count or different bench parameters, every
+    comparison is skipped with an explanatory note instead of a flaky
+    failure.  Baseline cells under *min_wall* seconds are skipped too
+    (millisecond ratios are noise), but a same-class run in which
+    *nothing* could be compared fails rather than passing vacuously.
+
+    Returns ``(failures, notes)`` — both human-readable; empty failures
+    means pass.
+    """
+    failures: list[str] = []
+    notes: list[str] = []
+    if workers is None:
+        from repro.engine.backends import available_workers
+
+        workers = available_workers()
+    base_workers = baseline.get("workers")
+    if base_workers != workers:
+        notes.append(
+            f"baseline check skipped: baseline recorded with "
+            f"{base_workers} workers, this machine has {workers}"
+        )
+        return failures, notes
+    base_params = baseline.get("params")
+    if params is not None and base_params is not None and params != base_params:
+        notes.append(
+            f"baseline check skipped: bench params differ "
+            f"(baseline {base_params}, run {params})"
+        )
+        return failures, notes
+
+    def _key(row: dict[str, object]) -> tuple[str, str, str]:
+        return (
+            str(row.get("scenario", "")),
+            str(row.get("backend", "")),
+            str(row.get("mode", "")),
+        )
+
+    base_walls = {
+        _key(row): float(row["wall_s"])
+        for row in baseline.get("rows", [])
+        if "wall_s" in row
+    }
+    compared = 0
+    for row in rows:
+        base = base_walls.get(_key(row))
+        if base is None:
+            continue
+        label = "/".join(part for part in _key(row) if part)
+        if base < min_wall:
+            notes.append(
+                f"{label}: baseline wall {base:.3f}s under the "
+                f"{min_wall}s floor, skipped"
+            )
+            continue
+        compared += 1
+        wall = float(row["wall_s"])
+        if wall > base * max_slowdown:
+            failures.append(
+                f"{label}: wall {wall:.3f}s > {max_slowdown}x "
+                f"baseline {base:.3f}s"
+            )
+    if not compared:
+        failures.append(
+            "baseline check compared nothing: no overlapping rows at or "
+            "above the wall floor (same hardware class, "
+            f"{len(base_walls)} baseline rows)"
+        )
+    return failures, notes
 
 
 def check_spill(rows: Iterable[dict[str, object]]) -> list[str]:

@@ -36,6 +36,7 @@ import heapq
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterator
 
@@ -54,11 +55,18 @@ class MapSpill:
     ``flushes[f][p]`` is the run-file path partition ``p`` received in
     flush ``f`` (``None`` when the partition had no keys in that flush).
     Flush order is record order, which the reduce-side merge preserves.
+    ``flush_windows[f]`` records when flush ``f`` happened —
+    ``(monotonic start, duration seconds, bytes written)`` — so the
+    tracing layer can render each disk flush as its own span under the
+    map task that performed it.
     """
 
     flushes: list[tuple[str | None, ...]] = field(default_factory=list)
     spilled_bytes: int = 0
     spill_runs: int = 0
+    flush_windows: list[tuple[float, float, int]] = field(
+        default_factory=list
+    )
 
     def partition_runs(self, partition: int) -> list[str]:
         """This task's run files for one partition, in flush order."""
@@ -112,9 +120,12 @@ def spill_groups(
     """Flush a map task's buffered groups to per-partition sorted runs.
 
     Appends one flush entry to *spill* (a path per partition, ``None`` for
-    partitions with no keys this flush) and updates its byte/run counters.
-    The caller clears the in-memory groups afterwards.
+    partitions with no keys this flush) and updates its byte/run counters
+    plus the flush's timing window.  The caller clears the in-memory
+    groups afterwards.
     """
+    started = time.perf_counter()
+    flushed_bytes = 0
     flush: list[str | None] = []
     for bucket in partition_groups(groups, num_partitions):
         if not bucket:
@@ -122,9 +133,13 @@ def spill_groups(
             continue
         path, nbytes = write_run(bucket, spill_dir)
         flush.append(path)
+        flushed_bytes += nbytes
         spill.spilled_bytes += nbytes
         spill.spill_runs += 1
     spill.flushes.append(tuple(flush))
+    spill.flush_windows.append(
+        (started, time.perf_counter() - started, flushed_bytes)
+    )
 
 
 def iter_run(path: str) -> Iterator[tuple[Hashable, list[Any]]]:

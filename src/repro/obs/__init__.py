@@ -1,0 +1,71 @@
+"""Observability: trace spans, process metrics, and durable observations.
+
+Three complementary views of the same running system, each a sibling
+module here:
+
+* :mod:`repro.obs.trace` — *where did this run's time go*: nested
+  :class:`Span` records produced by a :class:`Tracer`, propagated into
+  thread/process workers, exported as Chrome trace-event JSON
+  (Perfetto-openable) or streamed as NDJSON over ``repro serve``.
+  Disabled tracing (:data:`NULL_TRACER`) is zero-cost.
+* :mod:`repro.obs.metrics` — *how is the system behaving over many
+  runs*: a :class:`MetricsRegistry` of counters, gauges, and histograms
+  (job latency p50/p95, queue depth, plan-cache hit rate, spill bytes)
+  with JSON-ready snapshots.
+* :mod:`repro.obs.store` — *what actually happened, durably*: one
+  :class:`ObservationRecord` per executed job (plan fingerprint plus
+  measured phase timings and job metrics), appended to an NDJSON log —
+  the input the self-calibrating-planner roadmap item consumes next.
+
+The engine, planner, and service accept an optional ``tracer``; the CLI
+surfaces all three layers (``--trace``, ``repro metrics``, ``repro
+serve --obs-log``).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+from repro.obs.store import (
+    ObservationRecord,
+    ObservationStore,
+    load_observations,
+    summarize_observations,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    as_tracer,
+    next_span_id,
+    to_chrome_trace,
+    validate_chrome_trace,
+    worker_span,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "ObservationRecord",
+    "ObservationStore",
+    "Span",
+    "Tracer",
+    "as_tracer",
+    "load_observations",
+    "next_span_id",
+    "percentile",
+    "summarize_observations",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "worker_span",
+    "write_chrome_trace",
+]

@@ -1,0 +1,186 @@
+"""Metrics registry: counters, gauges, and histograms with snapshots.
+
+The tracing layer answers *where did this run's time go*; the metrics
+registry answers *how is the system behaving over many runs* — job
+latency percentiles, queue depth, plan-cache hit rate, spill bytes —
+without retaining per-job artifacts.  The design follows the usual
+process-metrics shape (Prometheus-style naming, point-in-time
+snapshots) scaled down to one process:
+
+* :class:`Counter` — monotonic total (``jobs.submitted``,
+  ``engine.spilled_bytes``).
+* :class:`Gauge` — last-set value (``scheduler.queue_depth``,
+  ``scheduler.slot_utilization``).
+* :class:`Histogram` — count/sum/min/max plus a bounded reservoir of the
+  most recent observations, from which ``p50``/``p95`` are computed at
+  snapshot time (``job.latency_seconds``).
+
+All metrics are thread-safe (the job service updates them from scheduler
+worker threads); :meth:`MetricsRegistry.snapshot` is the JSON-ready form
+served by the ``metrics`` request on ``repro serve`` and rendered by the
+``repro metrics`` summary table.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+#: Most recent observations a histogram retains for percentile estimates.
+#: Count/sum/min/max remain exact over the full lifetime either way.
+RESERVOIR_SIZE = 1024
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of *values* (0.0 for an empty list)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class Counter:
+    """Monotonic counter; ``inc`` only ever adds a non-negative amount."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Point-in-time value; ``set`` replaces, ``add`` adjusts."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Streaming distribution: exact count/sum/min/max, recent percentiles."""
+
+    __slots__ = ("_count", "_sum", "_min", "_max", "_recent", "_lock")
+
+    def __init__(self, reservoir: int = RESERVOIR_SIZE) -> None:
+        self._count = 0
+        self._sum = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+        self._recent: deque[float] = deque(maxlen=reservoir)
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            self._recent.append(value)
+
+    def snapshot(self) -> dict[str, float | int]:
+        """count/sum/mean/min/max/p50/p95 at this instant."""
+        with self._lock:
+            count = self._count
+            total = self._sum
+            low = self._min
+            high = self._max
+            recent = list(self._recent)
+        return {
+            "count": count,
+            "sum": total,
+            "mean": (total / count) if count else 0.0,
+            "min": low if low is not None else 0.0,
+            "max": high if high is not None else 0.0,
+            "p50": percentile(recent, 0.50),
+            "p95": percentile(recent, 0.95),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named counters, gauges, and histograms.
+
+    Names are dotted-lowercase (``jobs.submitted``); asking for an
+    existing name returns the same metric object, and asking for a name
+    registered as a different kind raises, so typos cannot silently fork
+    a metric.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, kind: type) -> Any:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = kind()
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise TypeError(
+                    f"metric {name!r} is a {type(metric).__name__}, "
+                    f"not a {kind.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready state: ``{"counters": ..., "gauges": ...,
+        "histograms": ...}``, each keyed by metric name."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict[str, float | int]] = {}
+        for name in sorted(metrics):
+            metric = metrics[name]
+            if isinstance(metric, Counter):
+                counters[name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[name] = metric.value
+            else:
+                histograms[name] = metric.snapshot()
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }

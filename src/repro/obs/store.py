@@ -1,0 +1,233 @@
+"""Observation store: durable ``(plan fingerprint, observed timings)`` log.
+
+The planner's scores are analytical; the roadmap's self-calibrating
+planner needs the *measured* counterpart — for each executed job, which
+plan ran (by fingerprint) and what actually happened (phase timings,
+queue wait, the :class:`~repro.mapreduce.metrics.JobMetrics` totals).
+:class:`ObservationStore` appends exactly that record per finished job:
+a bounded in-memory window for live queries plus, optionally, an
+append-only NDJSON log on disk so observations survive the process —
+perun-style profiles keyed by plan fingerprint rather than commit.
+
+``repro serve --obs-log obs.ndjson`` writes the log;
+``repro metrics --log obs.ndjson`` summarizes it
+(:func:`summarize_observations`); the calibration work reads it back
+with :func:`load_observations`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterable
+
+from repro.obs.metrics import percentile
+
+#: Default number of observations retained in memory.
+DEFAULT_CAPACITY = 4096
+
+
+@dataclass(frozen=True)
+class ObservationRecord:
+    """One executed job's measured outcome, keyed by plan fingerprint.
+
+    ``fingerprint`` is the plan-cache key
+    (:func:`repro.planner.planner.plan_fingerprint`), so records group
+    naturally by planning request; the remaining fields are the measured
+    quantities a calibration fit needs (phase wall times, the shuffle's
+    pair/byte totals, spill traffic) plus enough context to filter by
+    backend and worker count.  ``at`` is wall-clock (for humans reading
+    the log); every duration is monotonic-clock derived.
+    """
+
+    job_id: str
+    fingerprint: str
+    cache_hit: bool
+    backend: str = ""
+    workers: int = 0
+    wall_seconds: float = 0.0
+    queue_seconds: float = 0.0
+    map_seconds: float = 0.0
+    shuffle_seconds: float = 0.0
+    reduce_seconds: float = 0.0
+    map_output_pairs: int = 0
+    communication_cost: int = 0
+    num_reducers: int = 0
+    max_reducer_load: int = 0
+    spilled_bytes: int = 0
+    spill_runs: int = 0
+    output_records: int = 0
+    at: float = field(default_factory=time.time)
+
+    @classmethod
+    def from_result(
+        cls, result: Any, *, queue_seconds: float = 0.0
+    ) -> "ObservationRecord":
+        """Build a record from a service :class:`JobResult`-shaped object.
+
+        Duck-typed (``job_id``/``fingerprint``/``cache_hit``/``metrics``/
+        ``engine``/``wall_seconds`` attributes) so this module never
+        imports the service layer.  Plan-only results produce a record
+        with zeroed execution fields — still useful for cache-hit-rate
+        accounting over time.
+        """
+        metrics = getattr(result, "metrics", None)
+        engine = getattr(result, "engine", None)
+        kwargs: dict[str, Any] = {
+            "job_id": result.job_id,
+            "fingerprint": result.fingerprint,
+            "cache_hit": result.cache_hit,
+            "wall_seconds": result.wall_seconds,
+            "queue_seconds": queue_seconds,
+        }
+        if engine is not None:
+            kwargs.update(
+                backend=engine.backend,
+                workers=engine.num_workers,
+                map_seconds=engine.timings.map_seconds,
+                shuffle_seconds=engine.timings.shuffle_seconds,
+                reduce_seconds=engine.timings.reduce_seconds,
+            )
+        if metrics is not None:
+            kwargs.update(
+                map_output_pairs=metrics.map_output_pairs,
+                communication_cost=metrics.communication_cost,
+                num_reducers=metrics.num_reducers,
+                max_reducer_load=metrics.max_reducer_load,
+                spilled_bytes=metrics.spilled_bytes,
+                spill_runs=metrics.spill_runs,
+                output_records=metrics.output_records,
+            )
+        return cls(**kwargs)
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ObservationRecord":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+class ObservationStore:
+    """Bounded in-memory observation window plus optional NDJSON log.
+
+    Args:
+        path: append every record as one JSON line to this file (parent
+            directory must exist); ``None`` keeps observations in memory
+            only.
+        capacity: in-memory records retained (oldest dropped first); the
+            on-disk log is never truncated by this bound.
+
+    Appends are thread-safe; disk-write failures raise (a service asked
+    to persist observations must not drop them silently).
+    """
+
+    def __init__(
+        self, path: str | None = None, capacity: int = DEFAULT_CAPACITY
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.path = path
+        self._records: deque[ObservationRecord] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.appended = 0
+
+    def record(self, observation: ObservationRecord) -> None:
+        """Append one observation (memory, then the log when configured)."""
+        line = (
+            json.dumps(observation.to_dict(), sort_keys=True, default=str)
+            if self.path is not None
+            else None
+        )
+        with self._lock:
+            self._records.append(observation)
+            self.appended += 1
+            if line is not None:
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(line + "\n")
+
+    def snapshot(self) -> list[ObservationRecord]:
+        """The retained in-memory records, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def for_fingerprint(self, fingerprint: str) -> list[ObservationRecord]:
+        """Retained observations of one planning request (calibration input)."""
+        with self._lock:
+            return [r for r in self._records if r.fingerprint == fingerprint]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+def load_observations(path: str) -> list[ObservationRecord]:
+    """Read an NDJSON observation log back into records.
+
+    Blank lines are skipped; a malformed line raises ``ValueError`` with
+    its line number — a corrupt log should fail loudly, not feed half a
+    dataset into a calibration fit.
+    """
+    records: list[ObservationRecord] = []
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(ObservationRecord.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, TypeError) as exc:
+                raise ValueError(
+                    f"{path}:{number}: malformed observation line: {exc}"
+                ) from exc
+    return records
+
+
+def summarize_observations(
+    records: Iterable[ObservationRecord],
+) -> list[dict[str, Any]]:
+    """Aggregate observations into per-backend summary rows.
+
+    One row per backend (plan-only records group under ``plan-only``):
+    job count, cache-hit rate, latency p50/p95, mean phase seconds, and
+    spill totals — the table ``repro metrics`` prints.
+    """
+    groups: dict[str, list[ObservationRecord]] = {}
+    for record in records:
+        groups.setdefault(record.backend or "plan-only", []).append(record)
+    rows: list[dict[str, Any]] = []
+    for backend in sorted(groups):
+        group = groups[backend]
+        walls = [r.wall_seconds for r in group]
+        count = len(group)
+        rows.append(
+            {
+                "backend": backend,
+                "jobs": count,
+                "cache_hit_rate": round(
+                    sum(1 for r in group if r.cache_hit) / count, 3
+                ),
+                "wall_p50_s": round(percentile(walls, 0.50), 4),
+                "wall_p95_s": round(percentile(walls, 0.95), 4),
+                "queue_mean_s": round(
+                    sum(r.queue_seconds for r in group) / count, 4
+                ),
+                "map_mean_s": round(
+                    sum(r.map_seconds for r in group) / count, 4
+                ),
+                "shuffle_mean_s": round(
+                    sum(r.shuffle_seconds for r in group) / count, 4
+                ),
+                "reduce_mean_s": round(
+                    sum(r.reduce_seconds for r in group) / count, 4
+                ),
+                "shuffle_pairs": sum(r.map_output_pairs for r in group),
+                "spilled_bytes": sum(r.spilled_bytes for r in group),
+                "outputs": sum(r.output_records for r in group),
+            }
+        )
+    return rows

@@ -50,6 +50,7 @@ from repro.core.selector import A2A_METHODS, X2Y_METHODS, require_method
 from repro.engine.config import ExecutionConfig
 from repro.exceptions import InvalidInstanceError, ReproError
 from repro.mapreduce.cluster import schedule_loads
+from repro.obs.trace import NULL_TRACER, Tracer, as_tracer
 from repro.planner.environment import Environment
 from repro.planner.fastpath import fast_path
 from repro.planner.plan import CandidateScore, Plan
@@ -290,6 +291,7 @@ def plan_cached(
     env: Environment | None = None,
     *,
     cache: PlanCacheProtocol,
+    tracer: Tracer | None = None,
 ) -> tuple[Plan, str, bool]:
     """Plan through *cache*; returns ``(plan, fingerprint, cache_hit)``.
 
@@ -297,17 +299,23 @@ def plan_cached(
     job service both funnel through here, so cache keying can never
     diverge between them.  A hit skips enumeration and scoring entirely
     and returns the cached plan (plans are immutable, so sharing one
-    object across callers is safe).
+    object across callers is safe).  With a *tracer*, the whole lookup
+    (or lookup-plus-planning) is one ``plan`` span carrying the
+    ``cache_hit`` outcome.
     """
+    tracer = as_tracer(tracer)
     if env is None:
         env = Environment.detect()
-    key = plan_fingerprint(spec, env)
-    cached = cache.get(key)
-    if cached is not None:
-        return cached, key, True
-    result = _plan_uncached(spec, env)
-    cache.put(key, result)
-    return result, key, False
+    with tracer.span("plan", category="planner", kind=spec.kind) as span:
+        key = plan_fingerprint(spec, env)
+        cached = cache.get(key)
+        if cached is not None:
+            span.set("cache_hit", True)
+            return cached, key, True
+        span.set("cache_hit", False)
+        result = _plan_uncached(spec, env, tracer)
+        cache.put(key, result)
+        return result, key, False
 
 
 def plan(
@@ -315,20 +323,27 @@ def plan(
     env: Environment | None = None,
     *,
     cache: PlanCacheProtocol | None = None,
+    tracer: Tracer | None = None,
 ) -> Plan:
     """Turn a declarative spec into an inspectable, executable plan.
 
     With a *cache*, planning goes through :func:`plan_cached` (misses
-    are planned normally and stored back).
+    are planned normally and stored back).  A *tracer* records the
+    planning work as a ``plan`` span with per-candidate child spans.
     """
     if cache is not None:
-        return plan_cached(spec, env, cache=cache)[0]
+        return plan_cached(spec, env, cache=cache, tracer=tracer)[0]
     if env is None:
         env = Environment.detect()
-    return _plan_uncached(spec, env)
+    tracer = as_tracer(tracer)
+    with tracer.span("plan", category="planner", kind=spec.kind) as span:
+        span.set("cache_hit", False)
+        return _plan_uncached(spec, env, tracer)
 
 
-def _plan_uncached(spec: JobSpec, env: Environment) -> Plan:
+def _plan_uncached(
+    spec: JobSpec, env: Environment, tracer: Tracer = NULL_TRACER
+) -> Plan:
     """The actual planning pipeline (enumerate, score, choose, resolve)."""
     instance = spec.instance()
     instance.check_feasible()
@@ -341,8 +356,11 @@ def _plan_uncached(spec: JobSpec, env: Environment) -> Plan:
     if spec.method == "auto":
         chosen, considered, rule = fast_path(instance)
         for name, schema in considered.items():
-            schemas[name] = schema
-            candidates.append(score_schema(name, schema, env, spec.objective))
+            with tracer.span(f"score:{name}", category="planner"):
+                schemas[name] = schema
+                candidates.append(
+                    score_schema(name, schema, env, spec.objective)
+                )
         rationale = f"fast path: {rule}"
         mode = "fast-path"
     elif spec.method is not None:
@@ -364,17 +382,21 @@ def _plan_uncached(spec: JobSpec, env: Environment) -> Plan:
                     CandidateScore(method=name, status="skipped", reason=skip)
                 )
                 continue
-            try:
-                schema = registry[name](instance)
-            except ReproError as error:
-                candidates.append(
-                    CandidateScore(
-                        method=name, status="failed", reason=str(error)
+            with tracer.span(f"score:{name}", category="planner") as cspan:
+                try:
+                    schema = registry[name](instance)
+                except ReproError as error:
+                    cspan.set("status", "failed")
+                    candidates.append(
+                        CandidateScore(
+                            method=name, status="failed", reason=str(error)
+                        )
                     )
+                    continue
+                schemas[name] = schema
+                candidates.append(
+                    score_schema(name, schema, env, spec.objective)
                 )
-                continue
-            schemas[name] = schema
-            candidates.append(score_schema(name, schema, env, spec.objective))
         scored = [c for c in candidates if c.status == "scored"]
         if not scored:
             reasons = "; ".join(

@@ -22,6 +22,7 @@ from repro.engine.config import ExecutionConfig
 from repro.engine.engine import EngineResult, execute_schema
 from repro.exceptions import InvalidInstanceError
 from repro.mapreduce.types import ReduceFn
+from repro.obs.trace import Tracer
 from repro.planner.plan import Plan
 
 
@@ -33,6 +34,7 @@ def run(
     combiner_fn: ReduceFn | None = None,
     strict_capacity: bool = True,
     config: ExecutionConfig | None = None,
+    tracer: Tracer | None = None,
 ) -> EngineResult:
     """Execute a plan's chosen schema over *records* on the engine.
 
@@ -41,7 +43,8 @@ def run(
     inputs for A2A plans, an ``(x_records, y_records)`` pair for X2Y
     plans.  *config* overrides the plan's resolved execution
     configuration (e.g. to pin a backend in a benchmark sweep); by
-    default the plan runs exactly as planned.
+    default the plan runs exactly as planned.  *tracer* (optional)
+    collects the engine's phase and task spans for this run.
     """
     if plan.spec.kind == "multiway":
         raise InvalidInstanceError(
@@ -56,4 +59,5 @@ def run(
         combiner_fn=combiner_fn,
         strict_capacity=strict_capacity,
         config=config if config is not None else plan.execution,
+        tracer=tracer,
     )

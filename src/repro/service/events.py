@@ -18,8 +18,10 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable
+
+from repro.obs.trace import Tracer, as_tracer
 
 #: Lifecycle states, in rough forward order.
 QUEUED = "queued"
@@ -44,15 +46,24 @@ class JobEvent:
     Attributes:
         job_id: the job the event belongs to.
         state: the state entered (one of :data:`JOB_STATES`).
-        at: wall-clock timestamp (``time.time()``).
+        at: wall-clock timestamp (``time.time()``) — human-readable, but
+            not safe for ordering or durations (the wall clock can step
+            backwards under NTP adjustment).
         detail: optional human-readable context — the rejection reason,
             the failure message, the plan-cache outcome, and so on.
+        monotonic: :func:`time.perf_counter` timestamp; durations between
+            events are computed on this clock, never on ``at``.
+        seq: the emitting log's per-log sequence number (1-based, set by
+            :meth:`EventLog.emit`); the authoritative total order of
+            events — two events with equal timestamps still compare.
     """
 
     job_id: str
     state: str
     at: float = field(default_factory=time.time)
     detail: str = ""
+    monotonic: float = field(default_factory=time.perf_counter)
+    seq: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready form (one NDJSON status line in the serve protocol)."""
@@ -61,6 +72,8 @@ class JobEvent:
             "id": self.job_id,
             "state": self.state,
             "at": self.at,
+            "monotonic": self.monotonic,
+            "seq": self.seq,
         }
         if self.detail:
             payload["detail"] = self.detail
@@ -75,37 +88,58 @@ class EventLog:
     emitting thread.  The log keeps the most recent *capacity* events —
     enough for observability without growing forever under sustained
     traffic; per-job histories live on the job records themselves.
+
+    Every emitted event is stamped with this log's next sequence number
+    (under the log lock, so the numbering is gapless and strictly
+    increasing even with concurrent emitters) — consumers order by
+    ``seq``, not by the wall-clock ``at``.  With a *tracer*, each event
+    additionally becomes a ``job:<state>`` instant span on the event's
+    own job trace, so lifecycle transitions appear on the job timeline
+    next to the phase spans.
     """
 
-    def __init__(self, capacity: int = 4096):
+    def __init__(self, capacity: int = 4096, *, tracer: Tracer | None = None):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self._capacity = capacity
         self._events: list[JobEvent] = []
         self._lock = threading.Lock()
         self._subscribers: list[Callable[[JobEvent], None]] = []
+        self._tracer = as_tracer(tracer)
+        self._seq = 0
 
     def subscribe(self, callback: Callable[[JobEvent], None]) -> None:
         """Register *callback* to receive every future event."""
         with self._lock:
             self._subscribers.append(callback)
 
-    def emit(self, event: JobEvent) -> None:
-        """Record *event* and deliver it to every subscriber.
+    def emit(self, event: JobEvent) -> JobEvent:
+        """Stamp, record, and deliver *event*; returns the stamped event.
 
-        Subscriber exceptions are swallowed: an observer must never be
-        able to wedge the scheduler's worker threads.
+        The sequence number is assigned under the log lock, so the
+        ``seq`` order is exactly the append order.  Subscriber exceptions
+        are swallowed: an observer must never be able to wedge the
+        scheduler's worker threads.
         """
         with self._lock:
+            self._seq += 1
+            event = replace(event, seq=self._seq)
             self._events.append(event)
             if len(self._events) > self._capacity:
                 del self._events[: len(self._events) - self._capacity]
             subscribers = list(self._subscribers)
+        self._tracer.instant(
+            f"job:{event.state}",
+            category="event",
+            trace_id=event.job_id,
+            seq=event.seq,
+        )
         for callback in subscribers:
             try:
                 callback(event)
             except Exception:  # noqa: BLE001 - observer isolation
                 pass
+        return event
 
     def snapshot(self, job_id: str | None = None) -> list[JobEvent]:
         """The retained events, oldest first (optionally one job's)."""

@@ -48,6 +48,10 @@ class JobScheduler:
         self._running: set[str] = set()
         self._queued = 0
         self._shutdown = False
+        #: Total jobs handed to a worker slot over the scheduler's lifetime.
+        self.dispatched = 0
+        #: High-water mark of the queue depth (both under the queue lock).
+        self.peak_queued = 0
         #: Job ids in the order workers picked them up (queued-cancelled
         #: jobs never appear), capped at the most recent
         #: :data:`DISPATCH_ORDER_LIMIT`.  Appended under the queue lock,
@@ -75,6 +79,8 @@ class JobScheduler:
                 self._heap, (priority, next(self._seq), job_id, thunk)
             )
             self._queued += 1
+            if self._queued > self.peak_queued:
+                self.peak_queued = self._queued
             self._wake.notify()
 
     def cancel_queued(self, job_id: str) -> bool:
@@ -158,6 +164,7 @@ class JobScheduler:
                     self._cancelled.discard(job_id)
                     continue
                 self._queued -= 1
+                self.dispatched += 1
                 self.dispatch_order.append(job_id)
                 if len(self.dispatch_order) > DISPATCH_ORDER_LIMIT:
                     del self.dispatch_order[

@@ -43,6 +43,9 @@ from repro.exceptions import (
     ResultEvictedError,
 )
 from repro.mapreduce.types import ReduceFn
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.store import ObservationRecord, ObservationStore
+from repro.obs.trace import Span, Tracer, as_tracer
 from repro.planner.environment import Environment
 from repro.planner.planner import BYTES_PER_SIZE_UNIT, plan_cached
 from repro.planner.spec import JobSpec
@@ -167,6 +170,12 @@ class _JobRecord:
     exception: BaseException | None = None
     cancel_requested: bool = False
     done: threading.Event = field(default_factory=threading.Event)
+    # Observability: the job's own tracer (same sink as the service's,
+    # trace id = job id), its root span (open from submit to terminal),
+    # and the monotonic submit instant queue wait is measured from.
+    tracer: Tracer | None = None
+    root_span: Span | Any = None
+    submitted_mono: float = field(default_factory=time.perf_counter)
 
     def snapshot(self) -> JobStatus:
         return JobStatus(
@@ -215,6 +224,18 @@ class JobService:
         plan_cache_size: retained plans (LRU).
         result_capacity: retained job results (LRU).
         default_priority: priority for submissions that do not set one.
+        tracer: optional :class:`~repro.obs.trace.Tracer`.  When given,
+            every job runs under its own trace id (the job id, a
+            :meth:`~repro.obs.trace.Tracer.child` over the service
+            tracer's shared sink) with submit/queue/plan/store spans from
+            the service, planner spans from planning, and phase/task
+            spans from the engine; lifecycle events become instant spans
+            via the :class:`EventLog`.  ``None`` disables tracing at
+            zero cost.
+        obs_log: optional NDJSON path; every finished job appends one
+            :class:`~repro.obs.store.ObservationRecord` (plan
+            fingerprint + measured timings) there via the service's
+            :class:`~repro.obs.store.ObservationStore`.
     """
 
     def __init__(
@@ -225,11 +246,16 @@ class JobService:
         plan_cache_size: int = 128,
         result_capacity: int = 256,
         default_priority: int = 0,
+        tracer: Tracer | None = None,
+        obs_log: str | None = None,
     ):
         self.env = env if env is not None else Environment.detect()
         self.plan_cache = PlanCache(plan_cache_size)
         self.results = ResultStore(result_capacity)
-        self.events = EventLog()
+        self.tracer = as_tracer(tracer)
+        self.metrics = MetricsRegistry()
+        self.observations = ObservationStore(path=obs_log)
+        self.events = EventLog(tracer=self.tracer)
         self.default_priority = default_priority
         self._records: dict[str, _JobRecord] = {}
         self._order: list[str] = []
@@ -293,8 +319,16 @@ class JobService:
                 config=config,
                 strict_capacity=strict_capacity,
             )
+            # The job's whole lifetime is one trace (trace id = job id)
+            # sharing the service tracer's sink; the root span stays open
+            # until the terminal transition closes it.
+            record.tracer = self.tracer.child(job_id)
+            record.root_span = record.tracer.begin(
+                "job", category="service", kind=spec.kind
+            )
             self._records[job_id] = record
             self._order.append(job_id)
+        self.metrics.counter("jobs.submitted").inc()
         rejection = self._admission_reason(spec, config)
         if rejection is not None:
             self._transition(record, REJECTED, detail=rejection)
@@ -305,6 +339,14 @@ class JobService:
             lambda: self._execute_job(record),
             priority=record.priority,
         )
+        record.tracer.record(
+            "submit",
+            start=record.submitted_mono,
+            duration=time.perf_counter() - record.submitted_mono,
+            category="service",
+            parent=record.root_span.span_id,
+        )
+        self._update_scheduler_gauges()
         return JobHandle(job_id, self)
 
     def submit_spec(
@@ -557,12 +599,21 @@ class JobService:
                 record.started_at = time.time()
             if state in TERMINAL_STATES:
                 record.finished_at = time.time()
+                self.metrics.counter(f"jobs.{state}").inc()
+                self.metrics.histogram("job.latency_seconds").observe(
+                    time.perf_counter() - record.submitted_mono
+                )
             # Emit inside the lock: the commit and its event are atomic,
             # so observers can never see e.g. a 'cancelling' event arrive
             # after the job's terminal event (the lock is reentrant, so
             # subscribers may query the service from the callback).
             self._emit(record, state, detail=detail)
             if state in TERMINAL_STATES:
+                # Close the job's root span with its final state; the
+                # trace is complete once the lifecycle is.
+                if record.tracer is not None and record.root_span is not None:
+                    record.root_span.set("state", state)
+                    record.tracer.finish(record.root_span)
                 record.done.set()
 
     def _emit(self, record: _JobRecord, state: str, *, detail: str = "") -> None:
@@ -598,9 +649,44 @@ class JobService:
                 self._backends[key] = backend
         return replace(config, backend=backend)
 
-    def _plan(self, spec: JobSpec) -> tuple[Any, str, bool]:
+    def _plan(
+        self, spec: JobSpec, *, tracer: Tracer | None = None
+    ) -> tuple[Any, str, bool]:
         """Plan via the shared cache; returns ``(plan, fingerprint, hit)``."""
-        return plan_cached(spec, self.env, cache=self.plan_cache)
+        return plan_cached(
+            spec, self.env, cache=self.plan_cache, tracer=tracer
+        )
+
+    def _update_scheduler_gauges(self) -> None:
+        """Refresh the queue/slot gauges from the scheduler's counters."""
+        queued = self.scheduler.queued_count
+        running = self.scheduler.running_count
+        gauge = self.metrics.gauge
+        gauge("scheduler.queue_depth").set(queued)
+        gauge("scheduler.running").set(running)
+        gauge("scheduler.slot_utilization").set(running / self.scheduler.slots)
+        gauge("scheduler.peak_queued").set(self.scheduler.peak_queued)
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Point-in-time metrics registry snapshot, gauges refreshed.
+
+        Scheduler gauges and per-pool dispatch counters are re-read at
+        snapshot time (they live on the scheduler/backends, not in the
+        registry), then the registry's full
+        :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` is returned
+        with the plan cache's counter block attached.  This is the
+        payload of the ``metrics`` request on ``repro serve``.
+        """
+        self._update_scheduler_gauges()
+        with self._backend_lock:
+            for (name, workers), backend in self._backends.items():
+                label = f"{name}@{workers or 'auto'}"
+                self.metrics.gauge(f"pool.{label}.tasks_dispatched").set(
+                    backend.tasks_dispatched
+                )
+        snapshot = self.metrics.snapshot()
+        snapshot["plan_cache"] = self.plan_cache.stats()
+        return snapshot
 
     def _execute_job(self, record: _JobRecord) -> None:
         """One job's worker-side pipeline: plan, execute, store, account."""
@@ -609,62 +695,115 @@ class JobService:
                 record, CANCELLED, detail="cancelled before dispatch"
             )
             return
+        tracer = as_tracer(record.tracer)
+        # Queue wait is measured on the monotonic clock from the submit
+        # instant and recorded from this (dispatching) thread — the span
+        # could not exist while the job sat in the queue.
+        queue_seconds = time.perf_counter() - record.submitted_mono
+        tracer.record(
+            "queue",
+            start=record.submitted_mono,
+            duration=queue_seconds,
+            category="service",
+            parent=record.root_span.span_id,
+        )
+        self.metrics.histogram("job.queue_seconds").observe(queue_seconds)
+        self._update_scheduler_gauges()
         self._transition(record, RUNNING)
         started = time.perf_counter()
         try:
-            planned, fingerprint, cache_hit = self._plan(record.spec)
-            with self._lock:
-                record.cache_hit = cache_hit
-            if record.cancel_requested:
-                self._transition(
-                    record, CANCELLED, detail="cancelled during planning"
+            # Everything below nests under the job's root span: the
+            # planner's "plan" span, the engine's phase/task spans, and
+            # the final "store" span all parent through this activation.
+            with tracer.activate(record.root_span):
+                planned, fingerprint, cache_hit = self._plan(
+                    record.spec, tracer=tracer
                 )
-                return
-            if record.records is None:
-                result = JobResult(
-                    job_id=record.job_id,
-                    plan=planned,
-                    fingerprint=fingerprint,
-                    cache_hit=cache_hit,
-                    wall_seconds=time.perf_counter() - started,
-                )
-            else:
-                config = self._shared_config(
-                    record.config
-                    if record.config is not None
-                    else planned.execution
-                )
-                engine_result = planner_pkg.run(
-                    planned,
-                    record.records,
-                    record.reduce_fn,
-                    combiner_fn=record.combiner_fn,
-                    strict_capacity=record.strict_capacity,
-                    config=config,
-                )
-                result = JobResult(
-                    job_id=record.job_id,
-                    plan=planned,
-                    fingerprint=fingerprint,
-                    cache_hit=cache_hit,
-                    outputs=engine_result.outputs,
-                    metrics=engine_result.metrics,
-                    engine=engine_result.engine,
-                    wall_seconds=time.perf_counter() - started,
-                )
-            if record.cancel_requested:
-                self._transition(
-                    record, CANCELLED, detail="cancelled while running"
-                )
-                return
-            self.results.put(result)
+                self.metrics.counter(
+                    "plan_cache.hits" if cache_hit else "plan_cache.misses"
+                ).inc()
+                with self._lock:
+                    record.cache_hit = cache_hit
+                if record.cancel_requested:
+                    self._transition(
+                        record, CANCELLED, detail="cancelled during planning"
+                    )
+                    return
+                if record.records is None:
+                    result = JobResult(
+                        job_id=record.job_id,
+                        plan=planned,
+                        fingerprint=fingerprint,
+                        cache_hit=cache_hit,
+                        wall_seconds=time.perf_counter() - started,
+                    )
+                else:
+                    config = self._shared_config(
+                        record.config
+                        if record.config is not None
+                        else planned.execution
+                    )
+                    engine_result = planner_pkg.run(
+                        planned,
+                        record.records,
+                        record.reduce_fn,
+                        combiner_fn=record.combiner_fn,
+                        strict_capacity=record.strict_capacity,
+                        config=config,
+                        tracer=tracer,
+                    )
+                    result = JobResult(
+                        job_id=record.job_id,
+                        plan=planned,
+                        fingerprint=fingerprint,
+                        cache_hit=cache_hit,
+                        outputs=engine_result.outputs,
+                        metrics=engine_result.metrics,
+                        engine=engine_result.engine,
+                        wall_seconds=time.perf_counter() - started,
+                    )
+                    self._account_engine_metrics(engine_result)
+                if record.cancel_requested:
+                    self._transition(
+                        record, CANCELLED, detail="cancelled while running"
+                    )
+                    return
+                with tracer.span("store", category="service"):
+                    self.results.put(result)
             self._transition(
                 record,
                 DONE,
                 detail="plan cache hit" if cache_hit else "",
             )
+            with self._lock:
+                committed = record.state == DONE
+            if committed:
+                self.metrics.histogram("job.wall_seconds").observe(
+                    result.wall_seconds
+                )
+                self.observations.record(
+                    ObservationRecord.from_result(
+                        result, queue_seconds=queue_seconds
+                    )
+                )
         except Exception as error:  # noqa: BLE001 - recorded, not raised
             with self._lock:
                 record.exception = error
                 record.error = f"{type(error).__name__}: {error}"
             self._transition(record, FAILED, detail=record.error)
+        finally:
+            self._update_scheduler_gauges()
+
+    def _account_engine_metrics(self, engine_result: Any) -> None:
+        """Fold one engine run's totals into the service metrics."""
+        metrics = engine_result.metrics
+        timings = engine_result.engine.timings
+        counter = self.metrics.counter
+        counter("engine.shuffle_pairs").inc(metrics.map_output_pairs)
+        counter("engine.spilled_bytes").inc(metrics.spilled_bytes)
+        counter("engine.spill_runs").inc(metrics.spill_runs)
+        counter("engine.output_records").inc(metrics.output_records)
+        histogram = self.metrics.histogram
+        histogram("phase.map_seconds").observe(timings.map_seconds)
+        histogram("phase.shuffle_seconds").observe(timings.shuffle_seconds)
+        histogram("phase.reduce_seconds").observe(timings.reduce_seconds)

@@ -1,0 +1,348 @@
+"""End-to-end observability: service traces, metrics, logs, and the CLI."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.engine.quickbench import check_baseline
+from repro.obs.store import load_observations
+from repro.obs.trace import Tracer, validate_chrome_trace
+from repro.planner import JobSpec
+from repro.service import JobService
+from repro.service.events import EventLog, JobEvent
+
+
+def _parse_ndjson(text: str) -> list[dict]:
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+SPEC_SIZES = [3, 5, 2, 7, 4]
+
+
+class TestServiceTracing:
+    def test_executed_job_produces_nested_trace(self, tmp_path):
+        tracer = Tracer()
+        obs_log = tmp_path / "obs.ndjson"
+        service = JobService(slots=1, tracer=tracer, obs_log=str(obs_log))
+        try:
+            handle = service.submit_spec(JobSpec.a2a(SPEC_SIZES, 12))
+            assert handle.wait(timeout=60.0).state == "done"
+            service.drain()
+        finally:
+            service.close()
+
+        spans = tracer.spans()
+        by_name: dict[str, list] = {}
+        for span in spans:
+            by_name.setdefault(span.name, []).append(span)
+        for required in (
+            "job",
+            "submit",
+            "queue",
+            "plan",
+            "map",
+            "map_task",
+            "shuffle",
+            "reduce",
+            "reduce_task",
+            "post",
+            "store",
+            "job:queued",
+            "job:running",
+            "job:done",
+        ):
+            assert required in by_name, sorted(by_name)
+
+        # Every span belongs to the job's trace (trace id == job id).
+        job_id = handle.job_id
+        assert {span.trace_id for span in spans} == {job_id}
+
+        # Nesting: service phases parent to the root job span, task spans
+        # to their phase span.
+        root = by_name["job"][0]
+        for name in ("submit", "queue", "plan", "map", "store"):
+            assert by_name[name][0].parent_id == root.span_id, name
+        map_span = by_name["map"][0]
+        for task in by_name["map_task"]:
+            assert task.parent_id == map_span.span_id
+
+        # The trace exports as valid Chrome trace-event JSON.
+        from repro.obs.trace import to_chrome_trace
+
+        events = validate_chrome_trace(to_chrome_trace(spans))
+        assert len(events) == len(spans)
+
+        # The completed job left one observation in memory and on disk.
+        records = load_observations(str(obs_log))
+        assert [r.job_id for r in records] == [job_id]
+        assert records[0].backend and records[0].wall_seconds >= 0
+
+    def test_two_jobs_get_distinct_trace_ids(self):
+        tracer = Tracer()
+        service = JobService(slots=1, tracer=tracer)
+        try:
+            first = service.submit_spec(JobSpec.a2a(SPEC_SIZES, 12))
+            second = service.submit_spec(JobSpec.a2a(SPEC_SIZES, 12))
+            assert first.wait(timeout=60.0).state == "done"
+            assert second.wait(timeout=60.0).state == "done"
+            service.drain()
+        finally:
+            service.close()
+        trace_ids = {span.trace_id for span in tracer.spans()}
+        assert trace_ids == {first.job_id, second.job_id}
+
+    def test_metrics_snapshot_counts_jobs_and_cache(self):
+        service = JobService(slots=1)
+        try:
+            first = service.submit_spec(JobSpec.a2a(SPEC_SIZES, 12))
+            second = service.submit_spec(JobSpec.a2a(SPEC_SIZES, 12))
+            first.wait(timeout=60.0)
+            second.wait(timeout=60.0)
+            service.drain()
+            snapshot = service.metrics_snapshot()
+        finally:
+            service.close()
+        assert snapshot["counters"]["jobs.submitted"] == 2
+        assert snapshot["counters"]["jobs.done"] == 2
+        assert snapshot["counters"]["plan_cache.hits"] == 1
+        assert snapshot["counters"]["plan_cache.misses"] == 1
+        assert snapshot["histograms"]["job.latency_seconds"]["count"] == 2
+        assert snapshot["plan_cache"]["hit_rate"] == 0.5
+        assert "scheduler.queue_depth" in snapshot["gauges"]
+
+    def test_untraced_service_stays_quiet(self):
+        service = JobService(slots=1)
+        try:
+            handle = service.submit_spec(JobSpec.a2a(SPEC_SIZES, 12))
+            assert handle.wait(timeout=60.0).state == "done"
+            service.drain()
+        finally:
+            service.close()
+        assert len(service.tracer) == 0
+        assert service.tracer.spans() == []
+
+
+class TestEventLogOrdering:
+    def test_seq_is_gapless_and_matches_append_order(self):
+        log = EventLog()
+        emitted = [
+            log.emit(JobEvent(job_id=f"j{i}", state="queued"))
+            for i in range(5)
+        ]
+        assert [event.seq for event in emitted] == [1, 2, 3, 4, 5]
+        assert [event.seq for event in log.snapshot()] == [1, 2, 3, 4, 5]
+
+    def test_concurrent_emitters_never_share_a_seq(self):
+        log = EventLog()
+
+        def emit_many(job_id: str) -> None:
+            for _ in range(100):
+                log.emit(JobEvent(job_id=job_id, state="running"))
+
+        threads = [
+            threading.Thread(target=emit_many, args=(f"j{i}",))
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        seqs = [event.seq for event in log.snapshot()]
+        assert seqs == sorted(seqs)
+        assert seqs == list(range(1, 401))
+
+    def test_events_carry_monotonic_timestamp(self):
+        log = EventLog()
+        first = log.emit(JobEvent(job_id="a", state="queued"))
+        second = log.emit(JobEvent(job_id="a", state="running"))
+        assert second.monotonic >= first.monotonic
+        payload = second.to_dict()
+        assert payload["seq"] == 2 and "monotonic" in payload
+
+    def test_tracer_receives_lifecycle_instants(self):
+        tracer = Tracer()
+        log = EventLog(tracer=tracer)
+        log.emit(JobEvent(job_id="job-7", state="done"))
+        spans = tracer.spans()
+        assert [span.name for span in spans] == ["job:done"]
+        assert spans[0].trace_id == "job-7"
+        assert spans[0].attrs["seq"] == 1
+
+
+class TestCheckBaseline:
+    ROWS = [
+        {"scenario": "map_heavy", "backend": "serial", "wall_s": 0.30},
+        {"scenario": "map_heavy", "backend": "threads", "wall_s": 0.20},
+    ]
+
+    def baseline(self, serial=0.30, **extra):
+        return {
+            "workers": 4,
+            "params": {"scale": 1.0},
+            "rows": [
+                {"scenario": "map_heavy", "backend": "serial", "wall_s": serial},
+                {"scenario": "map_heavy", "backend": "threads", "wall_s": 0.20},
+            ],
+            **extra,
+        }
+
+    def test_passes_within_bound(self):
+        failures, notes = check_baseline(
+            self.ROWS, self.baseline(), workers=4, params={"scale": 1.0}
+        )
+        assert failures == [] and notes == []
+
+    def test_fails_on_slowdown(self):
+        failures, _ = check_baseline(
+            self.ROWS, self.baseline(serial=0.10), workers=4,
+            params={"scale": 1.0},
+        )
+        assert len(failures) == 1
+        assert "map_heavy/serial" in failures[0]
+
+    def test_different_worker_count_skips_with_note(self):
+        failures, notes = check_baseline(
+            self.ROWS, self.baseline(), workers=2, params={"scale": 1.0}
+        )
+        assert failures == []
+        assert notes and "workers" in notes[0]
+
+    def test_different_params_skip_with_note(self):
+        failures, notes = check_baseline(
+            self.ROWS, self.baseline(), workers=4, params={"scale": 0.5}
+        )
+        assert failures == []
+        assert notes and "params differ" in notes[0]
+
+    def test_same_class_but_nothing_compared_fails(self):
+        baseline = {
+            "workers": 4,
+            "rows": [
+                {"scenario": "map_heavy", "backend": "serial", "wall_s": 0.001}
+            ],
+        }
+        failures, _ = check_baseline(self.ROWS, baseline, workers=4)
+        assert failures and "compared nothing" in failures[0]
+
+
+class TestObservabilityCli:
+    def test_submit_trace_writes_valid_chrome_json(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        exit_code = main(
+            [
+                "submit",
+                "--sizes",
+                "3,5,2,7",
+                "--q",
+                "12",
+                "--trace",
+                str(trace_path),
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "trace:" in captured.err
+        events = validate_chrome_trace(json.loads(trace_path.read_text()))
+        names = {event["name"] for event in events}
+        for required in ("job", "submit", "queue", "plan", "map", "reduce"):
+            assert required in names, sorted(names)
+
+    def test_serve_streams_spans_and_answers_metrics(self, tmp_path, capsys):
+        requests = tmp_path / "jobs.ndjson"
+        requests.write_text(
+            json.dumps(
+                {"id": "j1", "spec": {"kind": "a2a", "q": 12, "sizes": SPEC_SIZES}}
+            )
+            + "\n"
+            + json.dumps({"metrics": True})
+            + "\n"
+        )
+        trace_path = tmp_path / "trace.json"
+        obs_path = tmp_path / "obs.ndjson"
+        exit_code = main(
+            [
+                "serve",
+                "--input",
+                str(requests),
+                "--trace",
+                str(trace_path),
+                "--obs-log",
+                str(obs_path),
+            ]
+        )
+        assert exit_code == 0
+        lines = _parse_ndjson(capsys.readouterr().out)
+        kinds = {line["event"] for line in lines}
+        assert {"status", "result", "span", "metrics"} <= kinds
+        metrics_line = next(l for l in lines if l["event"] == "metrics")
+        assert metrics_line["counters"]["jobs.submitted"] >= 1
+        assert "plan_cache" in metrics_line
+        validate_chrome_trace(json.loads(trace_path.read_text()))
+        assert len(load_observations(str(obs_path))) == 1
+
+    def test_metrics_command_summarizes_log(self, tmp_path, capsys):
+        requests = tmp_path / "jobs.ndjson"
+        requests.write_text(
+            "".join(
+                json.dumps(
+                    {
+                        "id": f"j{i}",
+                        "spec": {"kind": "a2a", "q": 12, "sizes": SPEC_SIZES},
+                    }
+                )
+                + "\n"
+                for i in range(2)
+            )
+        )
+        obs_path = tmp_path / "obs.ndjson"
+        assert (
+            main(
+                [
+                    "serve",
+                    "--input",
+                    str(requests),
+                    "--quiet",
+                    "--obs-log",
+                    str(obs_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["metrics", "--log", str(obs_path)]) == 0
+        table = capsys.readouterr().out
+        assert "job observations (2 records)" in table
+        assert "cache_hit_rate" in table
+
+        assert main(["metrics", "--log", str(obs_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["observations"] == 2
+        assert payload["rows"][0]["jobs"] == 2
+
+    def test_metrics_command_missing_log_fails_cleanly(self, tmp_path, capsys):
+        assert main(["metrics", "--log", str(tmp_path / "nope.ndjson")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_bench_baseline_gate_round_trip(self, tmp_path, capsys):
+        baseline_path = tmp_path / "base.json"
+        args = [
+            "bench",
+            "--backends",
+            "serial",
+            "--scale",
+            "0.05",
+            "--tuples",
+            "60",
+        ]
+        assert main(args + ["--json-out", str(baseline_path)]) == 0
+        payload = json.loads(baseline_path.read_text())
+        assert "workers" in payload and "params" in payload
+        capsys.readouterr()
+        # Same params, same machine: the gate runs (tiny walls are skipped
+        # with notes, and check_regression needs threads rows, so no
+        # --check here — just the comparison plumbing).
+        assert main(args + ["--baseline", str(baseline_path)]) == 0

@@ -17,6 +17,7 @@ PUBLIC_MODULES = [
     "repro.covering",
     "repro.mapreduce",
     "repro.engine",
+    "repro.obs",
     "repro.planner",
     "repro.service",
     "repro.workloads",
