@@ -41,6 +41,16 @@ Commands:
   (written by ``serve --obs-log``) as a per-backend table: job counts,
   cache hit rate, wall-clock percentiles, phase means.
 
+``run`` and ``bench`` accept ``--inject-faults SPEC`` (e.g.
+``crash=0.2,kill=0.05,delay=0.1:0.02,transient=0.1,seed=7``) for
+deterministic chaos testing: ``run`` additionally takes
+``--max-attempts``, ``--task-timeout``, ``--deadline``, and
+``--fallback`` to shape the recovery policy, and ``bench`` adds the E23
+fault-injection comparison (fault-free vs injected, outputs asserted
+identical).  ``serve`` shuts down gracefully on SIGINT/SIGTERM —
+draining jobs, closing pools, and flushing ``--obs-log``/``--trace``
+before exiting 0.
+
 ``run``, ``bench``, and ``submit`` accept ``--trace out.json`` to export
 the run's spans as Chrome trace-event JSON (openable in Perfetto or
 ``chrome://tracing``); ``serve --trace`` additionally streams every
@@ -79,6 +89,27 @@ def _positive_int(text: str) -> int:
     if value <= 0:
         raise argparse.ArgumentTypeError(f"must be positive, got {value}")
     return value
+
+
+def _positive_float(text: str) -> float:
+    """Parse a strictly positive float argument (timeouts, deadlines)."""
+    try:
+        value = float(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}") from exc
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def _fault_spec(text: str):
+    """Parse an ``--inject-faults`` spec into a validated FaultSpec."""
+    from repro.faults import FaultSpec
+
+    try:
+        return FaultSpec.parse(text)
+    except ReproError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
 def _parse_sizes(text: str) -> list[int]:
@@ -274,6 +305,41 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the run's spans to this file as Chrome trace-event JSON",
     )
+    run.add_argument(
+        "--inject-faults",
+        type=_fault_spec,
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection, e.g. "
+        "'crash=0.2,kill=0.05,delay=0.1:0.02,transient=0.1,seed=7' "
+        "(rates in [0,1]; kill only takes effect on processes)",
+    )
+    run.add_argument(
+        "--max-attempts",
+        type=_positive_int,
+        default=None,
+        help="per-task retry budget (enables the retry policy; implied "
+        "default 4 whenever --inject-faults/--task-timeout/--deadline "
+        "is given)",
+    )
+    run.add_argument(
+        "--task-timeout",
+        type=_positive_float,
+        default=None,
+        help="seconds one task attempt may run before it is retried",
+    )
+    run.add_argument(
+        "--deadline",
+        type=_positive_float,
+        default=None,
+        help="seconds the whole run may take (DeadlineExceededError after)",
+    )
+    run.add_argument(
+        "--fallback",
+        action="store_true",
+        help="graceful degradation: retry the run down the chain "
+        "processes -> threads -> serial when a backend cannot run",
+    )
 
     bench = commands.add_parser(
         "bench", help="quick engine benchmark: backends x scenarios"
@@ -361,6 +427,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the scenario runs' spans to this file as Chrome "
         "trace-event JSON",
+    )
+    bench.add_argument(
+        "--inject-faults",
+        type=_fault_spec,
+        default=None,
+        metavar="SPEC",
+        help="also run the fault-injection comparison (E23): each backend "
+        "runs the shuffle scenario fault-free and under this spec; "
+        "outputs are asserted identical and --check gates bounded "
+        "retries",
     )
 
     serve = commands.add_parser(
@@ -548,7 +624,19 @@ def _run_app(args: argparse.Namespace) -> int:
     plan_mode = args.plan == "auto"
     method = "planned" if plan_mode else args.method
     tracer = _tracer_for(args.trace)
-    engine_knobs_given = any(
+    retry = None
+    if args.max_attempts is not None:
+        from repro.faults import RetryPolicy
+
+        retry = RetryPolicy(max_attempts=args.max_attempts)
+    fault_plane = (
+        args.inject_faults is not None
+        or retry is not None
+        or args.task_timeout is not None
+        or args.deadline is not None
+        or args.fallback
+    )
+    engine_knobs_given = fault_plane or any(
         value is not None
         for value in (
             args.backend,
@@ -567,6 +655,11 @@ def _run_app(args: argparse.Namespace) -> int:
             num_workers=args.num_workers,
             memory_budget=args.memory_budget,
             spill_dir=args.spill_dir,
+            retry=retry,
+            faults=args.inject_faults,
+            task_timeout=args.task_timeout,
+            deadline=args.deadline,
+            fallback=args.fallback,
         )
     if args.app == "similarity":
         from repro.apps.similarity_join import run_similarity_join
@@ -626,6 +719,17 @@ def _run_app(args: argparse.Namespace) -> int:
         )
     print(format_table([run.metrics.as_row()], title="job metrics"))
     print(format_table([run.engine.as_row()], title="engine metrics"))
+    if fault_plane and run.engine is not None:
+        engine = run.engine
+        parts = [
+            f"retries={engine.task_retries}",
+            f"pool_rebuilds={engine.pool_rebuilds}",
+        ]
+        if args.inject_faults is not None:
+            parts.append(f"spec={args.inject_faults.format()}")
+        if engine.fallback_backend is not None:
+            parts.append(f"fell back to {engine.fallback_backend}")
+        print(f"faults    : {', '.join(parts)}")
     if args.memory_budget is not None:
         metrics = run.metrics
         print(
@@ -671,14 +775,23 @@ def _run_serve(args: argparse.Namespace) -> int:
     ``{"metrics": true}`` request line answers with one
     ``{"event": "metrics", ...}`` snapshot of the service's counters,
     gauges, histograms, and plan-cache stats.
+
+    SIGINT/SIGTERM shut the loop down gracefully: input reading stops, a
+    ``{"event": "shutdown", ...}`` line is emitted, in-flight jobs drain
+    (bounded wait), backend pools close, and the ``--obs-log`` /
+    ``--trace`` outputs are flushed before the process exits 0 — no
+    half-written trace files or silently dropped observations.
     """
     import json
+    import signal
     import threading
 
     from repro.planner import JobSpec
     from repro.service import TERMINAL_STATES, JobService
 
-    print_lock = threading.Lock()
+    # Reentrant: a signal can interrupt the main thread while it holds
+    # the lock inside an emit, and the shutdown path emits its own line.
+    print_lock = threading.RLock()
 
     def emit_line(payload: dict) -> None:
         with print_lock:
@@ -752,6 +865,23 @@ def _run_serve(args: argparse.Namespace) -> int:
                 }
             )
 
+    class _ShutdownRequested(Exception):
+        def __init__(self, signum: int):
+            super().__init__(signum)
+            self.signum = signum
+
+    def _on_signal(signum: int, _frame: object) -> None:
+        raise _ShutdownRequested(signum)
+
+    installed: list[tuple[int, object]] = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            installed.append((signum, signal.signal(signum, _on_signal)))
+        except ValueError:
+            # Not the main thread (embedded use): the loop still works,
+            # it just cannot intercept signals.
+            pass
+    closed = False
     try:
         if args.input == "-":
             for number, line in enumerate(sys.stdin, start=1):
@@ -769,8 +899,28 @@ def _run_serve(args: argparse.Namespace) -> int:
                 for number, line in enumerate(stream, start=1):
                     handle_line(number, line)
         service.drain()
+    except _ShutdownRequested as request:
+        name = signal.Signals(request.signum).name
+        emit_line({"event": "shutdown", "signal": name, "state": "draining"})
+        drained = service.drain(timeout=10.0)
+        # Jobs still running after the bounded drain are abandoned by
+        # close(drain=False) — they move to 'cancelled' instead of
+        # keeping the process alive indefinitely.
+        service.close(drain=False)
+        closed = True
+        emit_line(
+            {
+                "event": "shutdown",
+                "signal": name,
+                "state": "complete",
+                "drained": drained,
+            }
+        )
     finally:
-        service.close()
+        for signum, previous in installed:
+            signal.signal(signum, previous)
+        if not closed:
+            service.close()
         _write_trace(tracer, args.trace)
     return 0
 
@@ -805,8 +955,19 @@ def _run_submit(args: argparse.Namespace) -> int:
             closed = True
             return 1
         if status.state != "done":
-            line = _result_line(service, handle.job_id)
-            print(json.dumps(line, default=str), file=sys.stderr)
+            # Structured error line: machine-readable on stderr, one
+            # line, with the job's terminal state and the actual error —
+            # scripts wrapping `repro submit` branch on exit status and
+            # parse this instead of scraping the status payload.
+            error_line = {
+                "event": "error",
+                "id": handle.job_id,
+                "state": status.state,
+                "error": status.error
+                or status.detail
+                or f"job finished in state {status.state!r}",
+            }
+            print(json.dumps(error_line, default=str), file=sys.stderr)
             return 1
         result = handle.result()
         if args.json:
@@ -873,8 +1034,10 @@ def _run_bench(args: argparse.Namespace) -> int:
     from repro.engine.backends import available_workers
     from repro.engine.quickbench import (
         check_baseline,
+        check_faults,
         check_regression,
         check_spill,
+        run_fault_injection,
         run_join_bench,
         run_out_of_core,
         run_planned_join,
@@ -935,6 +1098,24 @@ def _run_bench(args: argparse.Namespace) -> int:
                 ),
             )
         )
+    fault_rows: list[dict[str, object]] = []
+    if args.inject_faults is not None:
+        fault_rows = run_fault_injection(
+            backends=backends,
+            spec=args.inject_faults,
+            scale=args.scale,
+            repeat=args.repeat,
+            num_workers=args.num_workers,
+        )
+        print(
+            format_table(
+                fault_rows,
+                title=(
+                    f"fault injection: {args.inject_faults.format()} vs "
+                    "fault-free (outputs asserted identical)"
+                ),
+            )
+        )
     service_rows: list[dict[str, object]] = []
     service_failures: list[str] = []
     if args.service_jobs is not None:
@@ -958,6 +1139,11 @@ def _run_bench(args: argparse.Namespace) -> int:
         "tuples": args.tuples,
         "scale": args.scale,
         "repeat": args.repeat,
+        "faults": (
+            args.inject_faults.format()
+            if args.inject_faults is not None
+            else None
+        ),
     }
     if args.json_out:
         import json
@@ -971,6 +1157,7 @@ def _run_bench(args: argparse.Namespace) -> int:
                     "rows": rows,
                     "out_of_core_rows": spill_rows,
                     "service_rows": service_rows,
+                    "fault_rows": fault_rows,
                 },
                 indent=2,
                 default=str,
@@ -992,7 +1179,7 @@ def _run_bench(args: argparse.Namespace) -> int:
             )
             return 1
         baseline_failures, baseline_notes = check_baseline(
-            rows, baseline, params=params
+            rows + fault_rows, baseline, params=params
         )
         for note in baseline_notes:
             print(f"baseline: {note}", file=sys.stderr)
@@ -1000,6 +1187,8 @@ def _run_bench(args: argparse.Namespace) -> int:
         failures = check_regression(rows)
         if args.memory_budget is not None:
             failures += check_spill(spill_rows)
+        if args.inject_faults is not None:
+            failures += check_faults(fault_rows)
         failures += service_failures
         failures += baseline_failures
         for failure in failures:
@@ -1009,6 +1198,11 @@ def _run_bench(args: argparse.Namespace) -> int:
         notes = ["threads within 1.3x of serial everywhere"]
         if args.memory_budget is not None:
             notes.append("budgeted runs spilled and matched in-memory outputs")
+        if args.inject_faults is not None:
+            notes.append(
+                "injected-fault runs recovered with bounded retries and "
+                "identical outputs"
+            )
         if args.service_jobs is not None:
             notes.append("service outputs matched one-shot runs")
         if args.baseline and not baseline_notes:

@@ -33,6 +33,18 @@ The process backend additionally ships the task function *pickled once per
 ``run_tasks`` call* (workers cache the unpickled callable), rather than once
 per task — with schema routing tables bound into the map function, per-task
 pickling used to dominate small-task runs.
+
+Fault tolerance lives in a second dispatch path,
+:meth:`Backend.run_tasks_resilient`: per-task retry with attempt tracking
+(safe because engine tasks are pure over their schema-assigned
+partitions), per-task timeouts, a run deadline, and deterministic fault
+injection (:mod:`repro.faults`).  The process backend detects a broken
+pool (a worker died mid-flight), keeps every result that finished before
+the breakage, rebuilds the pool, and replays only the lost tasks.  The
+plain :meth:`Backend.run_tasks` path is untouched — zero overhead when
+the fault plane is off — and self-heals: a broken pool is torn down and
+rebuilt on next use instead of poisoning every later run that shares the
+backend.
 """
 
 from __future__ import annotations
@@ -40,14 +52,36 @@ from __future__ import annotations
 import os
 import pickle
 import threading
+import time
 from abc import ABC, abstractmethod
 from collections import deque
+from concurrent.futures import BrokenExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from functools import partial
 from typing import Any, Callable, Iterable, Sequence
+
+from repro.exceptions import (
+    TaskRetryExhaustedError,
+    TaskTimeoutError,
+    WorkerLostError,
+)
+from repro.faults import (
+    FaultInjector,
+    RetryPolicy,
+    check_deadline,
+    remaining_time,
+)
 
 #: In-flight futures per worker when consuming a streaming task iterable:
 #: enough to keep every worker busy without materializing the stream.
 _WINDOW_PER_WORKER = 4
+
+#: Livelock backstop for worker-death replay: a task lost to pool
+#: breakage consumes no retry attempt (its loss says nothing about the
+#: task — one killed worker takes every in-flight neighbour with it), but
+#: a task *dispatched* this many times max-attempts over is abandoned so
+#: a pool that dies on every round still terminates.
+_LOST_DISPATCH_FACTOR = 4
 
 
 def _windowed_submit(
@@ -83,6 +117,37 @@ def available_workers() -> int:
         return max(1, os.cpu_count() or 1)
 
 
+def _resilient_call(
+    item: tuple[int, int, Any],
+    *,
+    fn: Callable[[Any], Any],
+    injector: FaultInjector | None,
+    phase: str,
+    allow_kill: bool,
+) -> tuple[str, Any]:
+    """Worker-side guard around one task attempt.
+
+    *item* is ``(task index, attempt, payload)``.  Returns ``("ok",
+    result)`` or ``("err", exception)`` — failures are captured *inside*
+    the worker so one bad task cannot abort a whole pool batch; the
+    parent's retry loop classifies and replays.  An injected worker kill
+    is the one failure that escapes: the worker process exits, the pool
+    breaks, and the parent observes the task as lost.  Module-level so
+    process-pool workers can unpickle it (configuration bound via
+    :func:`functools.partial`, shipped through the once-per-call pickled
+    blob like every other task function).
+    """
+    index, attempt, payload = item
+    try:
+        if injector is not None:
+            injector.maybe_inject(
+                phase, index, attempt, allow_kill=allow_kill
+            )
+        return ("ok", fn(payload))
+    except Exception as exc:  # noqa: BLE001 - classified by RetryPolicy
+        return ("err", exc)
+
+
 class Backend(ABC):
     """Executes a batch of independent tasks, preserving task order."""
 
@@ -104,6 +169,9 @@ class Backend(ABC):
         #: Tasks run over this backend's lifetime; the service exports it
         #: as a pool-utilization metric for shared backends.
         self.tasks_dispatched = 0
+        #: Pools rebuilt after a worker death broke them (process backend);
+        #: the worker-death recovery tests pin this counter.
+        self.pool_rebuilds = 0
 
     @abstractmethod
     def run_tasks(
@@ -123,6 +191,257 @@ class Backend(ABC):
         with self._lifecycle_lock:
             self.tasks_dispatched += len(results)
         return results
+
+    #: Whether an injected ``kill`` fault may really terminate a worker on
+    #: this backend.  True only where workers are disposable OS processes;
+    #: elsewhere the injector degrades a kill to a task crash.
+    supports_worker_kill: bool = False
+
+    def run_tasks_resilient(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Iterable[Any],
+        *,
+        policy: RetryPolicy | None = None,
+        injector: FaultInjector | None = None,
+        phase: str = "tasks",
+        task_timeout: float | None = None,
+        deadline_at: float | None = None,
+        on_retry: Callable[[str, int, int, BaseException, float], None]
+        | None = None,
+    ) -> list[Any]:
+        """Run tasks with per-task retry, timeouts, and a run deadline.
+
+        The fault-tolerant counterpart of :meth:`run_tasks`; same contract
+        (results in task order), same task functions.  Differences:
+
+        * *tasks* is materialized up front — retry requires being able to
+          replay any payload, so this path trades the streaming window for
+          recoverability.
+        * Each failed attempt is classified by *policy*
+          (:class:`~repro.faults.RetryPolicy`): retryable failures are
+          re-dispatched (up to ``max_attempts`` observed failures per
+          task, with the policy's deterministic backoff between rounds);
+          everything else propagates immediately, so model and user
+          errors behave exactly as on the plain path.  A task lost to a
+          pool breakage is replayed without consuming an attempt — the
+          loss says nothing about the task — subject to a generous
+          total-dispatch backstop so a dying pool still terminates.
+        * A task attempt that exceeds *task_timeout* seconds is abandoned
+          and counts as a retryable failure; *deadline_at* (an absolute
+          ``time.monotonic`` instant) bounds the whole call —
+          :class:`~repro.exceptions.DeadlineExceededError` once passed.
+        * On the process backend, a worker death (e.g. an injected
+          ``kill`` from *injector*) breaks the pool: completed results
+          are kept, the pool is rebuilt, and only the lost in-flight
+          tasks are replayed.
+        * *on_retry* is called as ``(phase, task index, failed attempt,
+          exception, backoff seconds)`` before each replay — the engine
+          wires it to tracer instants and retry counters.
+
+        A task that fails on every allowed attempt raises
+        :class:`~repro.exceptions.TaskRetryExhaustedError` carrying the
+        last underlying error.
+        """
+        payloads = list(tasks)
+        if not payloads:
+            return []
+        policy = policy or RetryPolicy()
+        call = partial(
+            _resilient_call,
+            fn=fn,
+            injector=injector,
+            phase=phase,
+            allow_kill=self.supports_worker_kill,
+        )
+        results: list[Any] = [None] * len(payloads)
+        # ``dispatches`` counts every send of a task (it keys the fault
+        # injector's per-attempt decisions and the backoff schedule);
+        # ``failures`` counts only *observed* task failures, which is what
+        # max_attempts bounds — a task lost to pool breakage is replayed
+        # without consuming an attempt, because its loss carries no
+        # information about the task itself (see _LOST_DISPATCH_FACTOR
+        # for the termination backstop).
+        dispatches = [0] * len(payloads)
+        failures = [0] * len(payloads)
+        dispatch_cap = policy.max_attempts * _LOST_DISPATCH_FACTOR
+        pending = list(range(len(payloads)))
+        with self:
+            while pending:
+                check_deadline(deadline_at, what=f"{phase} phase")
+                batch = []
+                for index in pending:
+                    dispatches[index] += 1
+                    batch.append(
+                        (index, dispatches[index], payloads[index])
+                    )
+                outcomes = self._dispatch_resilient(
+                    call,
+                    batch,
+                    task_timeout=task_timeout,
+                    deadline_at=deadline_at,
+                )
+                with self._lifecycle_lock:
+                    self.tasks_dispatched += len(batch)
+                retry_indices: list[int] = []
+                backoff = 0.0
+                for index, (status, value) in zip(pending, outcomes):
+                    if status == "ok":
+                        results[index] = value
+                        continue
+                    exc: BaseException
+                    if status == "lost":
+                        exc = WorkerLostError(
+                            f"worker died running {phase} task {index} "
+                            f"(dispatch {dispatches[index]})"
+                        )
+                    else:
+                        exc = value
+                        failures[index] += 1
+                    if not policy.is_retryable(exc):
+                        raise exc
+                    if (
+                        failures[index] >= policy.max_attempts
+                        or dispatches[index] >= dispatch_cap
+                    ):
+                        if failures[index]:
+                            message = (
+                                f"{phase} task {index} failed on all "
+                                f"{failures[index]} attempts "
+                                f"({dispatches[index]} dispatches): {exc}"
+                            )
+                        else:
+                            message = (
+                                f"{phase} task {index} was lost to worker "
+                                f"deaths on all {dispatches[index]} "
+                                f"dispatches: {exc}"
+                            )
+                        raise TaskRetryExhaustedError(
+                            message,
+                            attempts=max(failures[index], 1),
+                            last_error=exc,
+                        ) from exc
+                    delay = policy.delay_seconds(
+                        dispatches[index], key=(phase, index)
+                    )
+                    if on_retry is not None:
+                        on_retry(
+                            phase, index, dispatches[index], exc, delay
+                        )
+                    retry_indices.append(index)
+                    backoff = max(backoff, delay)
+                pending = retry_indices
+                if pending and backoff > 0.0:
+                    remaining = remaining_time(deadline_at)
+                    if remaining is not None:
+                        check_deadline(deadline_at, what=f"{phase} phase")
+                        backoff = min(backoff, remaining)
+                    time.sleep(backoff)
+        return results
+
+    def _dispatch_resilient(
+        self,
+        call: Callable[[tuple[int, int, Any]], tuple[str, Any]],
+        batch: list[tuple[int, int, Any]],
+        *,
+        task_timeout: float | None,
+        deadline_at: float | None,
+    ) -> list[tuple[str, Any]]:
+        """Run one retry round; returns per-item ``(status, value)``.
+
+        ``status`` is ``"ok"``, ``"err"`` (value is the captured
+        exception), or ``"lost"`` (the worker died before producing
+        either).  The base implementation runs inline (the serial path):
+        nothing can be preempted, so *task_timeout* is enforced post hoc —
+        an attempt that measurably overran is discarded and reported as a
+        timeout, keeping retry semantics identical to the pooled backends.
+        The run deadline is likewise re-checked after each attempt: a
+        result that arrived past the deadline is discarded and the run
+        fails, exactly as a pooled backend's bounded wait would have.
+        """
+        outcomes: list[tuple[str, Any]] = []
+        for item in batch:
+            check_deadline(deadline_at, what="task dispatch")
+            started = time.monotonic()
+            outcome = call(item)
+            check_deadline(deadline_at, what="task dispatch")
+            if (
+                task_timeout is not None
+                and time.monotonic() - started > task_timeout
+            ):
+                index, attempt, _ = item
+                outcome = (
+                    "err",
+                    TaskTimeoutError(
+                        f"task {index} attempt {attempt} exceeded "
+                        f"{task_timeout:g}s timeout"
+                    ),
+                )
+            outcomes.append(outcome)
+        return outcomes
+
+    def _submit_resilient(
+        self,
+        pool: Any,
+        call: Callable[[tuple[int, int, Any]], tuple[str, Any]],
+        batch: list[tuple[int, int, Any]],
+        *,
+        task_timeout: float | None,
+        deadline_at: float | None,
+    ) -> list[tuple[str, Any]]:
+        """Pooled retry round: per-task futures, timeouts, loss detection.
+
+        Shared by the thread and process backends.  Tasks are submitted
+        individually (no chunked ``map``) so the parent knows exactly
+        which tasks completed when a pool breaks mid-batch.  Collection
+        walks the futures in task order; each future gets up to
+        *task_timeout* seconds of patience from the moment the parent
+        starts waiting on it (a task queued behind a straggler therefore
+        keeps its full allowance), capped by the run deadline.  A future
+        that raises :class:`concurrent.futures.BrokenExecutor` — and
+        every later future in the batch — is reported ``"lost"``.
+        """
+        futures: list[Any] = []
+        broken = False
+        for item in batch:
+            if broken:
+                futures.append(None)
+                continue
+            try:
+                futures.append(pool.submit(call, item))
+            except BrokenExecutor:
+                broken = True
+                futures.append(None)
+        outcomes: list[tuple[str, Any]] = []
+        for item, future in zip(batch, futures):
+            if future is None:
+                outcomes.append(("lost", None))
+                continue
+            index, attempt, _ = item
+            timeout = task_timeout
+            remaining = remaining_time(deadline_at)
+            if remaining is not None:
+                check_deadline(deadline_at, what="task dispatch")
+                timeout = (
+                    remaining if timeout is None else min(timeout, remaining)
+                )
+            try:
+                outcomes.append(future.result(timeout=timeout))
+            except (FuturesTimeoutError, TimeoutError):
+                future.cancel()
+                check_deadline(deadline_at, what="task dispatch")
+                outcomes.append(
+                    (
+                        "err",
+                        TaskTimeoutError(
+                            f"task {index} attempt {attempt} exceeded "
+                            f"{task_timeout:g}s timeout"
+                        ),
+                    )
+                )
+            except BrokenExecutor:
+                outcomes.append(("lost", None))
+        return outcomes
 
     def _make_pool(self) -> Any:
         """Build the reusable worker pool; ``None`` for poolless backends."""
@@ -249,6 +568,24 @@ class ThreadBackend(Backend):
         with self._make_pool() as pool:
             return self._count_tasks(list(pool.map(fn, tasks)))
 
+    def _dispatch_resilient(
+        self,
+        call: Callable[[tuple[int, int, Any]], tuple[str, Any]],
+        batch: list[tuple[int, int, Any]],
+        *,
+        task_timeout: float | None,
+        deadline_at: float | None,
+    ) -> list[tuple[str, Any]]:
+        """Pooled retry round on the thread pool (threads never break —
+        a ``lost`` outcome cannot occur here)."""
+        return self._submit_resilient(
+            self._pool,
+            call,
+            batch,
+            task_timeout=task_timeout,
+            deadline_at=deadline_at,
+        )
+
 
 #: Per-worker cache of recently unpickled task functions, keyed by their
 #: pickle bytes.  A single engine run sees one distinct function per phase,
@@ -294,6 +631,7 @@ class ProcessBackend(Backend):
     """
 
     name = "processes"
+    supports_worker_kill = True
 
     def __init__(self, max_workers: int | None = None, chunksize: int | None = None):
         super().__init__(max_workers)
@@ -320,7 +658,28 @@ class ProcessBackend(Backend):
         Streaming (non-sequence) task iterables go through windowed
         single-task submission instead of chunked ``map`` — the function
         blob is still pickled once and cached per worker.
+
+        A worker death mid-batch breaks the pool; this path cannot tell
+        which in-flight tasks were lost (chunked ``map`` shares one
+        future per chunk), so it heals the backend — tears down the
+        broken pool so the next use builds a fresh one — and raises
+        :class:`~repro.exceptions.WorkerLostError`.  Callers that need
+        replay instead of an error use :meth:`run_tasks_resilient`.
         """
+        try:
+            return self._run_tasks_pooled(fn, tasks)
+        except BrokenExecutor as exc:
+            self._heal_broken_pool()
+            raise WorkerLostError(
+                "a process-pool worker died mid-batch; the pool was "
+                "rebuilt — rerun the job (or enable a retry policy for "
+                "in-place replay)"
+            ) from exc
+
+    def _run_tasks_pooled(
+        self, fn: Callable[[Any], Any], tasks: Iterable[Any]
+    ) -> list[Any]:
+        """The chunked/windowed dispatch body (see :meth:`run_tasks`)."""
         if not isinstance(tasks, Sequence):
             call = partial(_call_pickled, pickle.dumps(fn))
             window = self.max_workers * _WINDOW_PER_WORKER
@@ -346,6 +705,53 @@ class ProcessBackend(Backend):
             return self._count_tasks(
                 list(pool.map(call, tasks, chunksize=chunksize))
             )
+
+    def _heal_broken_pool(self) -> None:
+        """Tear down a broken pool and rebuild it if one should be open.
+
+        Keeps the lifecycle flags (persistent / context depth) untouched:
+        if a pool is supposed to be open right now it is rebuilt
+        immediately, otherwise the next :meth:`_ensure_pool` builds one.
+        Either way :attr:`pool_rebuilds` records the breakage.
+        """
+        with self._lifecycle_lock:
+            pool, self._pool = self._pool, None
+            self.pool_rebuilds += 1
+            rebuild = self._persistent or self._depth > 0
+        if pool is not None:
+            pool.shutdown(wait=False)
+        if rebuild:
+            with self._lifecycle_lock:
+                self._ensure_pool()
+
+    def _dispatch_resilient(
+        self,
+        call: Callable[[tuple[int, int, Any]], tuple[str, Any]],
+        batch: list[tuple[int, int, Any]],
+        *,
+        task_timeout: float | None,
+        deadline_at: float | None,
+    ) -> list[tuple[str, Any]]:
+        """Pooled retry round with worker-death recovery.
+
+        Tasks go through the once-per-round pickled-callable trick like
+        the plain path, but as individual futures: when a worker death
+        breaks the pool, futures that already completed keep their
+        results, the unfinished ones come back ``"lost"``, and the pool
+        is rebuilt here so the caller's next retry round dispatches onto
+        fresh workers immediately.
+        """
+        wrapped = partial(_call_pickled, pickle.dumps(call))
+        outcomes = self._submit_resilient(
+            self._pool,
+            wrapped,
+            batch,
+            task_timeout=task_timeout,
+            deadline_at=deadline_at,
+        )
+        if any(status == "lost" for status, _ in outcomes):
+            self._heal_broken_pool()
+        return outcomes
 
 
 #: Name -> backend class; the CLI and benches iterate this.

@@ -9,6 +9,13 @@ on :class:`~repro.engine.engine.ExecutionEngine` and
 :func:`~repro.engine.engine.execute_schema` for backwards compatibility;
 :func:`resolve_execution` is the shared shim that lets an application
 accept either style.
+
+The fault-plane knobs (``retry``, ``faults``, ``task_timeout``,
+``deadline``, ``fallback``) ride in the same object.  They are runtime
+policy, not plan decisions: the planner never serializes them, and the
+service applies a submission's per-job retry/deadline on top of whatever
+config the plan resolved.  All of them default to off, and the engine
+takes the exact pre-fault-plane dispatch path when every one is off.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from dataclasses import dataclass
 
 from repro.engine.backends import Backend
 from repro.exceptions import InvalidInstanceError
+from repro.faults import FaultSpec, RetryPolicy, as_fault_spec
 
 
 @dataclass(frozen=True)
@@ -37,6 +45,23 @@ class ExecutionConfig:
         spill_dir: base directory for spill files (``None`` = the system
             temporary directory); each run gets its own subdirectory,
             removed when the run finishes.
+        retry: per-task :class:`~repro.faults.RetryPolicy`; ``None``
+            disables retrying (one attempt, failures propagate).  When
+            any other fault-plane knob is set without an explicit policy
+            the engine uses the default ``RetryPolicy()``.
+        faults: deterministic fault injection for chaos testing — a
+            :class:`~repro.faults.FaultSpec`, a spec string (parsed and
+            validated here, e.g. ``"crash=0.2,seed=7"``), or ``None``
+            for no injection.
+        task_timeout: seconds a single task attempt may run before it is
+            abandoned and retried (``None`` = no per-task timeout).
+        deadline: seconds the whole run may take; dispatch stops with
+            :class:`~repro.exceptions.DeadlineExceededError` once passed
+            (``None`` = no deadline).
+        fallback: opt-in graceful degradation — when a named backend
+            cannot run (its pool cannot be built, or workers keep dying
+            past the retry budget), retry the whole run down the chain
+            ``processes → threads → serial``.
     """
 
     backend: str | Backend = "serial"
@@ -45,15 +70,34 @@ class ExecutionConfig:
     num_reduce_tasks: int | None = None
     memory_budget: int | None = None
     spill_dir: str | None = None
+    retry: RetryPolicy | None = None
+    faults: FaultSpec | str | None = None
+    task_timeout: float | None = None
+    deadline: float | None = None
+    fallback: bool = False
 
     def __post_init__(self) -> None:
         for name in ("num_workers", "map_chunk_size", "num_reduce_tasks",
-                     "memory_budget"):
+                     "memory_budget", "task_timeout", "deadline"):
             value = getattr(self, name)
             if value is not None and value <= 0:
                 raise InvalidInstanceError(
                     f"{name} must be positive, got {value}"
                 )
+        # Normalize a spec string into a validated FaultSpec right away so
+        # a malformed --inject-faults fails at construction, not mid-run.
+        object.__setattr__(self, "faults", as_fault_spec(self.faults))
+
+    @property
+    def fault_plane_active(self) -> bool:
+        """Whether any knob requires the resilient dispatch path."""
+        faults = self.faults
+        return (
+            self.retry is not None
+            or (faults is not None and faults.enabled)
+            or self.task_timeout is not None
+            or self.deadline is not None
+        )
 
     def engine_kwargs(self) -> dict[str, object]:
         """The config as keyword arguments for ``ExecutionEngine``.
@@ -69,6 +113,11 @@ class ExecutionConfig:
             "num_reduce_tasks": self.num_reduce_tasks,
             "memory_budget": self.memory_budget,
             "spill_dir": self.spill_dir,
+            "retry": self.retry,
+            "faults": self.faults,
+            "task_timeout": self.task_timeout,
+            "deadline": self.deadline,
+            "fallback": self.fallback,
         }
 
 

@@ -57,7 +57,14 @@ from repro.engine.spill import (
     merge_sources,
     spill_groups,
 )
-from repro.exceptions import CapacityExceededError, InvalidInstanceError
+from repro.exceptions import (
+    CapacityExceededError,
+    InvalidInstanceError,
+    ReproError,
+    TaskRetryExhaustedError,
+    WorkerLostError,
+)
+from repro.faults import FaultInjector, FaultSpec, RetryPolicy, as_fault_spec
 from repro.mapreduce.metrics import JobMetrics
 from repro.obs.trace import Tracer, as_tracer, worker_span
 from repro.mapreduce.shuffle import (
@@ -79,6 +86,33 @@ _TASKS_PER_WORKER = 4
 #: large enough to amortize dispatch, small enough to bound the number of
 #: records in flight per task.
 _STREAM_CHUNK = 1024
+
+#: Graceful-degradation order: when ``fallback=True`` and a named backend
+#: cannot run (pool construction fails, or workers keep dying past the
+#: retry budget), the run is replayed on the next backend in this chain.
+_FALLBACK_CHAIN = ("processes", "threads", "serial")
+
+
+def _should_fall_back(exc: BaseException) -> bool:
+    """Whether a failed run is worth replaying on a weaker backend.
+
+    Only *backend* failures qualify: the pool's workers keep dying
+    (directly, or as the last error of an exhausted retry budget) or the
+    pool cannot be built at all (``OSError`` — resource limits, spawn
+    failures).  A blown deadline, a model error, or a user exception
+    would fail identically on any backend, so those propagate.
+    """
+    if isinstance(exc, WorkerLostError):
+        return True
+    if isinstance(exc, TaskRetryExhaustedError):
+        return isinstance(exc.last_error, WorkerLostError)
+    if isinstance(exc, ReproError):
+        # Everything else the library raises (deadlines, per-task
+        # timeouts, injected faults, model errors) fails the same way on
+        # any backend — several of these inherit OSError through
+        # TimeoutError/ConnectionError, so this check must come first.
+        return False
+    return isinstance(exc, OSError)
 
 
 @dataclass(frozen=True)
@@ -300,6 +334,29 @@ class ExecutionEngine:
             spans plus per-task worker spans (propagated through the
             pickling path on pooled backends) and per-flush ``spill``
             spans.  ``None`` (the default) disables tracing at zero cost.
+        retry: per-task :class:`~repro.faults.RetryPolicy`.  Any
+            fault-plane knob (retry, faults, task_timeout, deadline)
+            routes map/reduce dispatch through
+            :meth:`Backend.run_tasks_resilient`; with all of them off the
+            engine takes the exact plain dispatch path at zero cost.
+            Retry is safe here by construction: map and reduce tasks are
+            pure functions of their schema-assigned partitions, so a
+            replayed task recomputes identical output.
+        faults: deterministic fault injection
+            (:class:`~repro.faults.FaultSpec` or spec string) for chaos
+            testing; decisions are a pure function of the spec's seed and
+            the task coordinates, so outputs under injection are
+            byte-identical to a fault-free run on every backend.
+        task_timeout: seconds one task attempt may run before being
+            abandoned and retried.
+        deadline: seconds the whole run may take
+            (:class:`~repro.exceptions.DeadlineExceededError` once
+            passed; checked between tasks, never preempting one).
+        fallback: opt-in graceful degradation for *named* backends: when
+            the configured backend cannot run (pool construction fails,
+            or workers keep dying past the retry budget), replay the
+            whole run down ``processes → threads → serial``.  Requires a
+            re-iterable record source (lists, factory-backed datasets).
     """
 
     map_fn: MapFn
@@ -315,6 +372,11 @@ class ExecutionEngine:
     memory_budget: int | None = None
     spill_dir: str | None = None
     tracer: Tracer | None = None
+    retry: RetryPolicy | None = None
+    faults: FaultSpec | str | None = None
+    task_timeout: float | None = None
+    deadline: float | None = None
+    fallback: bool = False
 
     @classmethod
     def from_config(
@@ -336,14 +398,75 @@ class ExecutionEngine:
         *records* may be any iterable or a :class:`~repro.dataset.Dataset`;
         non-materialized datasets are consumed chunk by chunk, so the full
         input is never held in the parent at once (pooled backends keep a
-        bounded submission window of chunks in flight).
+        bounded submission window of chunks in flight).  With the fault
+        plane active the map phase materializes its chunks instead — a
+        retried task must be replayable — and the run deadline starts
+        counting here.
         """
         if self.memory_budget is not None and self.memory_budget <= 0:
             raise InvalidInstanceError(
                 f"memory_budget must be positive, got {self.memory_budget}"
             )
-        backend = get_backend(self.backend, max_workers=self.num_workers)
-        if isinstance(self.backend, Backend) and not backend.is_open:
+        for name in ("task_timeout", "deadline"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise InvalidInstanceError(
+                    f"{name} must be positive, got {value}"
+                )
+        deadline_at = (
+            time.monotonic() + self.deadline
+            if self.deadline is not None
+            else None
+        )
+        dataset = as_dataset(records)
+        chain = self._backend_chain()
+        last_exc: BaseException | None = None
+        for position, backend_spec in enumerate(chain):
+            if position:
+                as_tracer(self.tracer).instant(
+                    "fallback",
+                    category="faults",
+                    from_backend=str(chain[0]),
+                    to_backend=str(backend_spec),
+                    error=type(last_exc).__name__,
+                )
+            try:
+                return self._run_on(
+                    backend_spec,
+                    dataset,
+                    deadline_at,
+                    fallback_from=chain[0] if position else None,
+                )
+            except BaseException as exc:  # noqa: BLE001 - reraised below
+                if position + 1 >= len(chain) or not _should_fall_back(exc):
+                    raise
+                last_exc = exc
+        raise last_exc  # pragma: no cover - loop always returns or raises
+
+    def _backend_chain(self) -> list[str | Backend]:
+        """The backends this run may try, strongest first.
+
+        A single entry unless :attr:`fallback` is on; live
+        :class:`Backend` instances never fall back (their pool lifecycle
+        belongs to the caller).
+        """
+        if not self.fallback or not isinstance(self.backend, str):
+            return [self.backend]
+        if self.backend not in _FALLBACK_CHAIN:
+            return [self.backend]
+        start = _FALLBACK_CHAIN.index(self.backend)
+        return list(_FALLBACK_CHAIN[start:])
+
+    def _run_on(
+        self,
+        backend_spec: str | Backend,
+        dataset: Dataset,
+        deadline_at: float | None,
+        fallback_from: str | Backend | None = None,
+    ) -> EngineResult:
+        """One attempt of the whole run on one backend."""
+        backend = get_backend(backend_spec, max_workers=self.num_workers)
+        if isinstance(backend_spec, Backend) and not backend.is_open:
             # A pre-built backend is caller-owned: open its pool
             # persistently so consecutive runs on the same instance reuse
             # one pool instead of spawning (and tearing down) a pool per
@@ -351,7 +474,6 @@ class ExecutionEngine:
             # the caller already opened (open() or an enclosing context)
             # keeps the caller's lifecycle untouched.
             backend.open()
-        dataset = as_dataset(records)
         num_partitions = self.num_reduce_tasks or self._default_partitions(
             backend
         )
@@ -362,11 +484,73 @@ class ExecutionEngine:
         )
         try:
             return self._run_phases(
-                backend, dataset, num_partitions, run_spill_dir
+                backend,
+                dataset,
+                num_partitions,
+                run_spill_dir,
+                deadline_at,
+                fallback_from,
             )
         finally:
             if run_spill_dir is not None:
                 shutil.rmtree(run_spill_dir, ignore_errors=True)
+
+    def _fault_plane(
+        self, backend: Backend, tracer: Tracer, deadline_at: float | None
+    ) -> tuple[Any, list[int]]:
+        """Build the resilient-dispatch closure for this run, or ``None``.
+
+        Returns ``(dispatch, retry_counter)`` where *dispatch* is ``None``
+        when every fault-plane knob is off — the phases then call
+        :meth:`Backend.run_tasks` directly, keeping the happy path free
+        of any fault-plane work.
+        """
+        spec = as_fault_spec(self.faults)
+        injection = spec is not None and spec.enabled
+        retries = [0]
+        if not (
+            self.retry is not None
+            or injection
+            or self.task_timeout is not None
+            or deadline_at is not None
+        ):
+            return None, retries
+        policy = self.retry or RetryPolicy()
+        injector = FaultInjector(spec) if injection else None
+
+        def on_retry(
+            phase: str,
+            index: int,
+            attempt: int,
+            exc: BaseException,
+            delay: float,
+        ) -> None:
+            retries[0] += 1
+            tracer.instant(
+                "retry",
+                category="faults",
+                phase=phase,
+                task=index,
+                attempt=attempt,
+                error=type(exc).__name__,
+                backoff_s=round(delay, 4),
+            )
+
+        def dispatch(
+            fn: Any, tasks: Iterable[Any], phase: str
+        ) -> list[Any]:
+            return backend.run_tasks_resilient(
+                fn,
+                tasks,
+                policy=policy,
+                injector=injector,
+                phase=phase,
+                task_timeout=self.task_timeout,
+                deadline_at=deadline_at,
+                on_retry=on_retry,
+            )
+
+        return dispatch, retries
 
     def _run_phases(
         self,
@@ -374,9 +558,21 @@ class ExecutionEngine:
         dataset: Dataset,
         num_partitions: int,
         run_spill_dir: str | None,
+        deadline_at: float | None = None,
+        fallback_from: str | Backend | None = None,
     ) -> EngineResult:
         """The three phases plus the post-pass (spill dir managed by run)."""
         tracer = as_tracer(self.tracer)
+        resilient, retry_counter = self._fault_plane(
+            backend, tracer, deadline_at
+        )
+        rebuilds_before = backend.pool_rebuilds
+
+        def run_phase(fn: Any, tasks: Iterable[Any], phase: str) -> list[Any]:
+            if resilient is not None:
+                return resilient(fn, tasks, phase)
+            return backend.run_tasks(fn, tasks)
+
         with backend:
             # --- map phase: chunk records into tasks; each task returns its
             # pairs pre-grouped by key and bucketed by reduce partition
@@ -414,7 +610,7 @@ class ExecutionEngine:
                 if ctx is not None:
                     map_results = self._merge_map_spans(
                         tracer,
-                        backend.run_tasks(
+                        run_phase(
                             partial(
                                 _traced_task,
                                 inner=map_task,
@@ -422,10 +618,11 @@ class ExecutionEngine:
                                 name="map_task",
                             ),
                             chunks,
+                            "map",
                         ),
                     )
                 else:
-                    map_results = backend.run_tasks(map_task, chunks)
+                    map_results = run_phase(map_task, chunks, "map")
                 map_span.set("tasks", len(map_results))
                 map_seconds = time.perf_counter() - map_started
 
@@ -482,7 +679,7 @@ class ExecutionEngine:
                 if ctx is not None:
                     task_results = self._merge_reduce_spans(
                         tracer,
-                        backend.run_tasks(
+                        run_phase(
                             partial(
                                 _traced_task,
                                 inner=reduce_task,
@@ -490,10 +687,13 @@ class ExecutionEngine:
                                 name="reduce_task",
                             ),
                             partitions,
+                            "reduce",
                         ),
                     )
                 else:
-                    task_results = backend.run_tasks(reduce_task, partitions)
+                    task_results = run_phase(
+                        reduce_task, partitions, "reduce"
+                    )
                 reduce_span.set("tasks", len(partitions))
                 reduce_run_seconds = time.perf_counter() - reduce_started
 
@@ -560,6 +760,11 @@ class ExecutionEngine:
             bytes_moved=comm,
             task_loads=tuple(task_loads),
             capacity=self.reducer_capacity,
+            task_retries=retry_counter[0],
+            pool_rebuilds=backend.pool_rebuilds - rebuilds_before,
+            fallback_backend=(
+                backend.name if fallback_from is not None else None
+            ),
         )
         return EngineResult(
             outputs=outputs, metrics=metrics, engine=engine_metrics

@@ -55,6 +55,14 @@ class EngineMetrics:
             hash partition of keys, so its load is the sum of its keys'
             reducer loads).
         capacity: the reducer capacity ``q`` the job enforced, if any.
+        task_retries: task attempts replayed by the fault plane (0 on
+            every run with the fault plane off — the plain dispatch path
+            cannot retry).
+        pool_rebuilds: worker pools rebuilt after a worker death during
+            this run.
+        fallback_backend: set to the backend that actually completed the
+            run when the graceful-degradation chain demoted it (``None``
+            when the configured backend ran it).
     """
 
     backend: str
@@ -65,6 +73,9 @@ class EngineMetrics:
     bytes_moved: int
     task_loads: tuple[int, ...]
     capacity: int | None = None
+    task_retries: int = 0
+    pool_rebuilds: int = 0
+    fallback_backend: str | None = None
 
     @property
     def max_task_load(self) -> int:
@@ -92,4 +103,5 @@ class EngineMetrics:
             "total_s": round(self.timings.total_seconds, 4),
             "bytes_moved": self.bytes_moved,
             "max_task_load": self.max_task_load,
+            "retries": self.task_retries,
         }

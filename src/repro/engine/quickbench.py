@@ -112,6 +112,10 @@ def run_scenario(
     scale: float = 1.0,
     num_workers: int | None = None,
     memory_budget: int | None = None,
+    map_chunk_size: int | None = None,
+    num_reduce_tasks: int | None = None,
+    retry: Any = None,
+    faults: Any = None,
     tracer: Tracer | None = None,
 ) -> tuple[EngineResult, float]:
     """Run one scenario on one backend; returns the result and wall seconds.
@@ -120,6 +124,9 @@ def run_scenario(
     range factory), so the engine's out-of-core data path — lazy chunking
     plus, with a *memory_budget*, the spill-to-disk shuffle — is what gets
     measured.  A *tracer* records the run's phase and task spans.
+    *retry*/*faults* (with pinned *map_chunk_size*/*num_reduce_tasks*, so
+    the task decomposition — and therefore the injected fault pattern —
+    is identical on every backend) drive the fault-injection bench.
     """
     map_fn, reduce_fn = SCENARIOS[name]
     count = max(1, int(_SCENARIO_RECORDS[name] * scale))
@@ -130,6 +137,10 @@ def run_scenario(
         backend=backend,
         num_workers=num_workers,
         memory_budget=memory_budget,
+        map_chunk_size=map_chunk_size,
+        num_reduce_tasks=num_reduce_tasks,
+        retry=retry,
+        faults=faults,
         tracer=tracer,
     )
     started = time.perf_counter()
@@ -421,6 +432,171 @@ def run_trace_overhead(
     return rows
 
 
+#: Pinned task geometry for the fault-injection bench: identical task
+#: decomposition on every backend means identical injector decisions, so
+#: one spec tests the *same* failure scenario on serial, threads, and
+#: processes (the cross-backend byte-identity claim of E23).
+_FAULT_GEOMETRY = {"map_chunk_size": 32, "num_reduce_tasks": 8}
+
+#: Retry budget the fault-injection bench runs under; rows carry the
+#: resulting per-run bound so :func:`check_faults` can assert retries
+#: stayed inside it.
+_FAULT_MAX_ATTEMPTS = 6
+
+
+def run_fault_injection(
+    *,
+    scenario: str = "shuffle_heavy",
+    backends: Iterable[str] | None = None,
+    spec: Any = "crash=0.2,seed=7",
+    rates: Iterable[float] | None = None,
+    scale: float = 1.0,
+    repeat: int = 1,
+    num_workers: int | None = None,
+) -> list[dict[str, object]]:
+    """E23: completion time under deterministic fault injection.
+
+    For every backend the scenario first runs with the fault plane fully
+    off (mode ``faults-off`` — the plain dispatch path, which is also the
+    overhead baseline), then once per injected mode: *spec* as given, or,
+    with *rates*, *spec* with its crash rate swept over the non-zero
+    rates.  Every injected run's outputs are asserted identical to the
+    same backend's fault-free outputs **and** to serial's — recovery must
+    be invisible in the results — and each row carries the retry/rebuild
+    counters plus the documented retry bound.
+
+    Task geometry is pinned (:data:`_FAULT_GEOMETRY`) so the injector's
+    deterministic decisions hit the same tasks on every backend.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.faults import RetryPolicy, as_fault_spec
+
+    base = as_fault_spec(spec)
+    modes: list[tuple[str, Any]] = [("faults-off", None)]
+    if rates is None:
+        modes.append((base.format(), base))
+    else:
+        for rate in rates:
+            if rate <= 0:
+                continue
+            modes.append(
+                (f"crash={rate:g}", dc_replace(base, crash=float(rate)))
+            )
+    # Small backoff: the bench measures recovery work, not sleep time,
+    # and determinism comes from the seed, not the backoff schedule.
+    policy = RetryPolicy(
+        max_attempts=_FAULT_MAX_ATTEMPTS, backoff_base=0.002, backoff_max=0.02
+    )
+    rows: list[dict[str, object]] = []
+    serial_off_outputs: list | None = None
+    for backend in _ordered_backends(backends):
+        off_wall: float | None = None
+        off_outputs: list | None = None
+        for mode, fault_spec in modes:
+            injected = fault_spec is not None
+            best: tuple[EngineResult, float] | None = None
+            for _ in range(max(1, repeat)):
+                result, wall = run_scenario(
+                    scenario,
+                    backend,
+                    scale=scale,
+                    num_workers=num_workers,
+                    retry=policy if injected else None,
+                    faults=fault_spec,
+                    **_FAULT_GEOMETRY,
+                )
+                if best is None or wall < best[1]:
+                    best = (result, wall)
+            result, wall = best
+            if not injected:
+                off_wall, off_outputs = wall, result.outputs
+                if backend == "serial":
+                    serial_off_outputs = result.outputs
+                elif serial_off_outputs is not None:
+                    assert result.outputs == serial_off_outputs, (
+                        scenario,
+                        backend,
+                        "fault-free outputs diverged from serial",
+                    )
+            else:
+                assert result.outputs == off_outputs, (
+                    scenario,
+                    backend,
+                    mode,
+                    "outputs under injected faults diverged from the "
+                    "fault-free run",
+                )
+            total_tasks = (
+                result.engine.num_map_tasks + result.engine.num_reduce_tasks
+            )
+            rows.append(
+                {
+                    "scenario": scenario,
+                    "backend": backend,
+                    "mode": mode,
+                    "wall_s": round(wall, 3),
+                    "overhead_vs_off": (
+                        round(wall / off_wall, 2)
+                        if injected and off_wall
+                        else ""
+                    ),
+                    "retries": result.engine.task_retries,
+                    "retry_bound": (
+                        total_tasks * (_FAULT_MAX_ATTEMPTS - 1)
+                        if injected
+                        else ""
+                    ),
+                    "pool_rebuilds": result.engine.pool_rebuilds,
+                    "outputs": len(result.outputs),
+                }
+            )
+    return rows
+
+
+def check_faults(rows: Iterable[dict[str, object]]) -> list[str]:
+    """Smoke check for the fault-injection rows (the chaos gate).
+
+    Injected rows must show the fault plane actually working — retries
+    observed (a 5%+ crash rate over a hundred-plus tasks that retries
+    nothing means injection silently stopped) — and working *boundedly*:
+    retries within the row's documented bound, and outputs matching the
+    fault-free run's count (the full identity assert already ran inside
+    :func:`run_fault_injection`).  Returns failure strings (empty = pass).
+    """
+    failures: list[str] = []
+    checked = 0
+    off_outputs: dict[str, int] = {}
+    for row in rows:
+        if row.get("mode") == "faults-off":
+            off_outputs[str(row["backend"])] = int(row["outputs"])
+    for row in rows:
+        if row.get("mode") == "faults-off":
+            continue
+        checked += 1
+        label = f"{row['scenario']}/{row['backend']}/{row['mode']}"
+        retries = int(row["retries"])
+        bound = int(row["retry_bound"])
+        if retries < 1:
+            failures.append(
+                f"{label}: injected faults produced no retries — "
+                "injection or retry accounting is broken"
+            )
+        if retries > bound:
+            failures.append(
+                f"{label}: {retries} retries exceed the bound {bound}"
+            )
+        expected = off_outputs.get(str(row["backend"]))
+        if expected is not None and int(row["outputs"]) != expected:
+            failures.append(
+                f"{label}: {row['outputs']} outputs != fault-free "
+                f"{expected}"
+            )
+    if not checked:
+        failures.append("fault check compared nothing: no injected rows")
+    return failures
+
+
 def check_baseline(
     rows: Iterable[dict[str, object]],
     baseline: dict[str, object],
@@ -433,7 +609,9 @@ def check_baseline(
     """Regression gate: current bench rows against a committed baseline.
 
     *baseline* is a previously committed ``bench --json-out`` payload
-    (``{"workers": ..., "params": ..., "rows": [...]}``).  Rows are
+    (``{"workers": ..., "params": ..., "rows": [...]}``; a
+    ``fault_rows`` list, when present, is gated the same way so the
+    no-faults E23 configuration stays covered).  Rows are
     matched by ``(scenario, backend, mode)`` and a match fails when its
     wall clock exceeds *max_slowdown* × the baseline's.  The gate only
     bites for same-hardware-class runs: when the baseline was recorded
@@ -474,10 +652,11 @@ def check_baseline(
             str(row.get("mode", "")),
         )
 
+    base_rows = list(baseline.get("rows", [])) + list(
+        baseline.get("fault_rows", [])
+    )
     base_walls = {
-        _key(row): float(row["wall_s"])
-        for row in baseline.get("rows", [])
-        if "wall_s" in row
+        _key(row): float(row["wall_s"]) for row in base_rows if "wall_s" in row
     }
     compared = 0
     for row in rows:

@@ -108,6 +108,86 @@ class ResultEvictedError(ReproError, KeyError):
     """
 
 
+class InjectedFaultError(ReproError):
+    """A deterministic fault injector crashed this task attempt.
+
+    Raised inside worker tasks by :class:`repro.faults.FaultInjector` when
+    the seeded decision for ``(phase, task, attempt)`` says the attempt
+    crashes.  Classified retryable by the default
+    :class:`repro.faults.RetryPolicy` — an injected crash models a task
+    failure whose rerun would succeed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str = "crash",
+        phase: str = "",
+        task_index: int = -1,
+        attempt: int = 0,
+    ):
+        super().__init__(message)
+        self.kind = kind
+        self.phase = phase
+        self.task_index = task_index
+        self.attempt = attempt
+
+
+class TransientFaultError(InjectedFaultError, ConnectionError):
+    """An injected *transient* fault (simulated flaky I/O).
+
+    Subclasses :class:`ConnectionError` so it exercises the retry policy's
+    generic transient-exception classification rather than the explicit
+    injected-fault allowlist.
+    """
+
+
+class WorkerLostError(ReproError):
+    """A pool worker died while tasks were in flight.
+
+    Raised when the process backend detects a broken
+    :class:`~concurrent.futures.ProcessPoolExecutor` (a worker was killed
+    or segfaulted).  The backend rebuilds the pool before raising, so the
+    next dispatch runs on fresh workers; under a retry policy the lost
+    tasks — and only those — are replayed.
+    """
+
+
+class TaskTimeoutError(ReproError, TimeoutError):
+    """A single task attempt exceeded the configured per-task timeout.
+
+    The attempt is abandoned (its eventual result, if any, is discarded)
+    and the task is retried under the run's retry policy.  Subclasses
+    :class:`TimeoutError` so generic timeout handling also catches it.
+    """
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """The whole run exceeded its per-job deadline.
+
+    Unlike :class:`TaskTimeoutError` this is *not* retryable: the deadline
+    bounds the run end to end, so the engine stops dispatching and raises
+    as soon as the deadline passes between tasks or retry rounds.
+    """
+
+
+class TaskRetryExhaustedError(ReproError):
+    """A task kept failing after every allowed retry attempt.
+
+    Carries the attempt count and the last underlying error (also chained
+    as ``__cause__``) so callers can distinguish "retries exhausted on
+    worker loss" from "retries exhausted on injected crash".
+    """
+
+    def __init__(
+        self, message: str, *, attempts: int = 0, last_error: BaseException | None = None
+    ):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
 class UnknownMethodError(ReproError, ValueError):
     """A method name does not exist in the algorithm registry.
 

@@ -41,6 +41,13 @@ class ObservationRecord:
     pair/byte totals, spill traffic) plus enough context to filter by
     backend and worker count.  ``at`` is wall-clock (for humans reading
     the log); every duration is monotonic-clock derived.
+
+    ``status`` distinguishes completed jobs (``done``) from failures
+    (``failed``) — the service appends a record for *every* finished
+    execution, so failure rates are first-class observations rather than
+    gaps in the log — and ``task_retries``/``pool_rebuilds`` carry the
+    fault plane's recovery work into the calibration data.  All four
+    fields default so logs written before the fault plane load cleanly.
     """
 
     job_id: str
@@ -60,6 +67,10 @@ class ObservationRecord:
     spilled_bytes: int = 0
     spill_runs: int = 0
     output_records: int = 0
+    status: str = "done"
+    error: str = ""
+    task_retries: int = 0
+    pool_rebuilds: int = 0
     at: float = field(default_factory=time.time)
 
     @classmethod
@@ -90,6 +101,8 @@ class ObservationRecord:
                 map_seconds=engine.timings.map_seconds,
                 shuffle_seconds=engine.timings.shuffle_seconds,
                 reduce_seconds=engine.timings.reduce_seconds,
+                task_retries=engine.task_retries,
+                pool_rebuilds=engine.pool_rebuilds,
             )
         if metrics is not None:
             kwargs.update(

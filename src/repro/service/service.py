@@ -41,7 +41,9 @@ from repro.exceptions import (
     JobCancelledError,
     ReproError,
     ResultEvictedError,
+    WorkerLostError,
 )
+from repro.faults import RetryPolicy
 from repro.mapreduce.types import ReduceFn
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.store import ObservationRecord, ObservationStore
@@ -87,6 +89,27 @@ def spec_records(
         "multiway specs run on the reference simulator, not the engine; "
         "submit them as plan-only jobs"
     )
+
+
+def _involves_worker_loss(error: BaseException | None) -> bool:
+    """Whether *error*'s chain records a worker death.
+
+    Walks ``__cause__``/``__context__`` plus the ``last_error`` carried
+    by :class:`~repro.exceptions.TaskRetryExhaustedError`, so a pool
+    breakage is recognized whether it propagated raw, wrapped by the
+    retry loop, or re-raised by the fallback chain.
+    """
+    seen: set[int] = set()
+    exc = error
+    while exc is not None and id(exc) not in seen:
+        seen.add(id(exc))
+        if isinstance(exc, WorkerLostError):
+            return True
+        last = getattr(exc, "last_error", None)
+        if isinstance(last, BaseException) and _involves_worker_loss(last):
+            return True
+        exc = exc.__cause__ or exc.__context__
+    return False
 
 
 def collect_reduce(key, values):
@@ -160,6 +183,8 @@ class _JobRecord:
     combiner_fn: ReduceFn | None
     config: ExecutionConfig | None
     strict_capacity: bool
+    retry: RetryPolicy | None = None
+    deadline: float | None = None
     state: str = QUEUED
     submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
@@ -282,6 +307,8 @@ class JobService:
         priority: int | None = None,
         job_id: str | None = None,
         strict_capacity: bool = True,
+        retry: RetryPolicy | None = None,
+        deadline: float | None = None,
     ) -> JobHandle:
         """Submit one job; returns immediately with a :class:`JobHandle`.
 
@@ -289,13 +316,21 @@ class JobService:
         the shared plan cache) and no engine run.  With *records* (and a
         *reduce_fn*) the job executes the planned schema on the service's
         shared backend pools; *config* overrides the plan's resolved
-        execution configuration.  Jobs that fail admission control are
+        execution configuration.  *retry* and *deadline* are per-job
+        fault-tolerance policy layered on top of whichever config the job
+        executes with (an explicit *config* or the plan's): the retry
+        policy bounds per-task replay, the deadline bounds the whole run
+        in seconds from dispatch.  Jobs that fail admission control are
         returned in the ``rejected`` state rather than raised, so batch
         submitters observe rejections uniformly via status/result.
         """
         if records is not None and reduce_fn is None:
             raise InvalidInstanceError(
                 "submitting records requires a reduce_fn"
+            )
+        if deadline is not None and deadline <= 0:
+            raise InvalidInstanceError(
+                f"deadline must be positive, got {deadline}"
             )
         with self._lock:
             if self._closed:
@@ -318,6 +353,8 @@ class JobService:
                 combiner_fn=combiner_fn,
                 config=config,
                 strict_capacity=strict_capacity,
+                retry=retry,
+                deadline=deadline,
             )
             # The job's whole lifetime is one trace (trace id = job id)
             # sharing the service tracer's sink; the root span stays open
@@ -357,6 +394,8 @@ class JobService:
         priority: int | None = None,
         job_id: str | None = None,
         config: ExecutionConfig | None = None,
+        retry: RetryPolicy | None = None,
+        deadline: float | None = None,
     ) -> JobHandle:
         """Submit a bare spec, synthesizing records for pairwise kinds.
 
@@ -364,11 +403,17 @@ class JobService:
         serve`` / ``repro submit``): *execute* runs the planned schema
         over :func:`spec_records` placeholders with the
         :func:`collect_reduce` reducer; multiway specs are always
-        plan-only (the engine's schema router is pairwise).
+        plan-only (the engine's schema router is pairwise).  *retry* and
+        *deadline* pass through to :meth:`submit`.
         """
         if not execute or spec.kind == "multiway":
             return self.submit(
-                spec, priority=priority, job_id=job_id, config=config
+                spec,
+                priority=priority,
+                job_id=job_id,
+                config=config,
+                retry=retry,
+                deadline=deadline,
             )
         return self.submit(
             spec,
@@ -377,6 +422,8 @@ class JobService:
             priority=priority,
             job_id=job_id,
             config=config,
+            retry=retry,
+            deadline=deadline,
         )
 
     # -- lifecycle queries ----------------------------------------------
@@ -649,6 +696,49 @@ class JobService:
                 self._backends[key] = backend
         return replace(config, backend=backend)
 
+    def _job_config(self, record: _JobRecord, planned: Any) -> ExecutionConfig:
+        """The config this job executes with, per-job policy applied.
+
+        Starts from the submission's explicit config (or the plan's
+        resolved one) and layers the per-job ``retry``/``deadline`` from
+        :meth:`submit` on top — an explicit per-job policy wins over
+        whatever the base config carries.
+        """
+        base = (
+            record.config
+            if record.config is not None
+            else planned.execution
+        )
+        if record.retry is not None or record.deadline is not None:
+            base = replace(
+                base,
+                retry=record.retry if record.retry is not None else base.retry,
+                deadline=(
+                    record.deadline
+                    if record.deadline is not None
+                    else base.deadline
+                ),
+            )
+        return base
+
+    def _evict_backend(self, key: tuple[str, int | None]) -> bool:
+        """Drop and close the shared pool entry for *key*, if present.
+
+        Called when a job fails with a worker loss in its error chain:
+        the entry is removed under the backend lock (so a concurrent
+        :meth:`_shared_config` builds a fresh backend) and the old
+        backend closed outside it.  A job currently running on the old
+        backend is unaffected beyond losing pool reuse — its remaining
+        ``run_tasks`` calls fall back to throwaway pools.
+        """
+        with self._backend_lock:
+            backend = self._backends.pop(key, None)
+        if backend is None:
+            return False
+        self.metrics.counter("pools.evicted").inc()
+        backend.close()
+        return True
+
     def _plan(
         self, spec: JobSpec, *, tracer: Tracer | None = None
     ) -> tuple[Any, str, bool]:
@@ -684,6 +774,9 @@ class JobService:
                 self.metrics.gauge(f"pool.{label}.tasks_dispatched").set(
                     backend.tasks_dispatched
                 )
+                self.metrics.gauge(f"pool.{label}.rebuilds").set(
+                    backend.pool_rebuilds
+                )
         snapshot = self.metrics.snapshot()
         snapshot["plan_cache"] = self.plan_cache.stats()
         return snapshot
@@ -711,6 +804,8 @@ class JobService:
         self._update_scheduler_gauges()
         self._transition(record, RUNNING)
         started = time.perf_counter()
+        fingerprint = ""
+        pool_key: tuple[str, int | None] | None = None
         try:
             # Everything below nests under the job's root span: the
             # planner's "plan" span, the engine's phase/task spans, and
@@ -738,11 +833,13 @@ class JobService:
                         wall_seconds=time.perf_counter() - started,
                     )
                 else:
-                    config = self._shared_config(
-                        record.config
-                        if record.config is not None
-                        else planned.execution
-                    )
+                    base_config = self._job_config(record, planned)
+                    if isinstance(base_config.backend, str):
+                        pool_key = (
+                            base_config.backend,
+                            base_config.num_workers,
+                        )
+                    config = self._shared_config(base_config)
                     engine_result = planner_pkg.run(
                         planned,
                         record.records,
@@ -790,7 +887,34 @@ class JobService:
             with self._lock:
                 record.exception = error
                 record.error = f"{type(error).__name__}: {error}"
+            self.metrics.counter(f"jobs.failed.{type(error).__name__}").inc()
+            if pool_key is not None and _involves_worker_loss(error):
+                # A worker died and the run still failed: the shared pool
+                # for this shape may be poisoned (dead workers, broken
+                # pipes).  Evict it so the next job with this shape gets a
+                # freshly built backend instead of inheriting the damage.
+                evicted = self._evict_backend(pool_key)
+                if evicted:
+                    tracer.instant(
+                        "pool_evicted",
+                        category="faults",
+                        backend=pool_key[0],
+                        workers=pool_key[1] or 0,
+                        error=type(error).__name__,
+                    )
             self._transition(record, FAILED, detail=record.error)
+            self.observations.record(
+                ObservationRecord(
+                    job_id=record.job_id,
+                    fingerprint=fingerprint,
+                    cache_hit=bool(record.cache_hit),
+                    wall_seconds=time.perf_counter() - started,
+                    queue_seconds=queue_seconds,
+                    status=FAILED,
+                    error=record.error,
+                    task_retries=max(getattr(error, "attempts", 1) - 1, 0),
+                )
+            )
         finally:
             self._update_scheduler_gauges()
 
@@ -803,6 +927,13 @@ class JobService:
         counter("engine.spilled_bytes").inc(metrics.spilled_bytes)
         counter("engine.spill_runs").inc(metrics.spill_runs)
         counter("engine.output_records").inc(metrics.output_records)
+        engine = engine_result.engine
+        if engine.task_retries:
+            counter("engine.task_retries").inc(engine.task_retries)
+        if engine.pool_rebuilds:
+            counter("engine.pool_rebuilds").inc(engine.pool_rebuilds)
+        if engine.fallback_backend is not None:
+            counter(f"engine.fallbacks.{engine.fallback_backend}").inc()
         histogram = self.metrics.histogram
         histogram("phase.map_seconds").observe(timings.map_seconds)
         histogram("phase.shuffle_seconds").observe(timings.shuffle_seconds)

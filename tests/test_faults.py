@@ -1,0 +1,273 @@
+"""Unit tests for the fault plane: specs, injector, retry policy, deadlines.
+
+The injector's promise is determinism — every decision a pure function of
+``(seed, kind, phase, task index, attempt)`` — so these tests pin exact
+replayability, picklability (process-pool workers must agree with the
+parent), and the retry policy's semantics-preserving classification.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+
+from repro.exceptions import (
+    DeadlineExceededError,
+    InjectedFaultError,
+    InvalidInstanceError,
+    TaskTimeoutError,
+    TransientFaultError,
+    WorkerLostError,
+)
+from repro.faults import (
+    DEFAULT_DELAY_SECONDS,
+    FAULT_KINDS,
+    FaultInjector,
+    FaultSpec,
+    RetryPolicy,
+    as_fault_spec,
+    check_deadline,
+    remaining_time,
+)
+
+
+class TestFaultSpec:
+    def test_parse_full_grammar(self):
+        spec = FaultSpec.parse(
+            "crash=0.2,kill=0.05,delay=0.1:0.02,transient=0.1,seed=7"
+        )
+        assert spec.crash == 0.2
+        assert spec.kill == 0.05
+        assert spec.delay == 0.1
+        assert spec.delay_seconds == 0.02
+        assert spec.transient == 0.1
+        assert spec.seed == 7
+        assert spec.enabled
+
+    def test_format_round_trips(self):
+        spec = FaultSpec.parse(
+            "crash=0.2,kill=0.05,delay=0.1:0.02,transient=0.1,seed=7"
+        )
+        assert FaultSpec.parse(spec.format()) == spec
+
+    def test_noop_spec(self):
+        spec = FaultSpec()
+        assert not spec.enabled
+        assert FaultSpec.parse(spec.format()) == spec
+
+    def test_delay_without_seconds_uses_default(self):
+        assert FaultSpec.parse("delay=0.5").delay_seconds == (
+            DEFAULT_DELAY_SECONDS
+        )
+
+    def test_whitespace_and_empty_entries_tolerated(self):
+        assert FaultSpec.parse(" crash = 0.2 , ,seed= 3 ") == FaultSpec(
+            crash=0.2, seed=3
+        )
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "cosmic=0.5",  # unknown kind
+            "crash",  # no '='
+            "crash=",  # empty value
+            "crash=abc",  # not a number
+            "crash=1.5",  # out of range
+            "crash=-0.1",  # out of range
+            "delay=0.1:-1",  # negative sleep
+        ],
+    )
+    def test_parse_rejects(self, text):
+        with pytest.raises(InvalidInstanceError):
+            FaultSpec.parse(text)
+
+    def test_constructor_validates_rates(self):
+        with pytest.raises(InvalidInstanceError):
+            FaultSpec(kill=2.0)
+
+    def test_scaled_caps_at_one_and_keeps_seed(self):
+        spec = FaultSpec(crash=0.4, kill=0.2, seed=9, delay_seconds=0.01)
+        scaled = spec.scaled(5.0)
+        assert scaled.crash == 1.0
+        assert scaled.kill == 1.0
+        assert scaled.seed == 9
+        assert scaled.delay_seconds == 0.01
+        assert not spec.scaled(0.0).enabled
+
+    def test_as_fault_spec_normalizes(self):
+        spec = FaultSpec(crash=0.1)
+        assert as_fault_spec(None) is None
+        assert as_fault_spec(spec) is spec
+        assert as_fault_spec("crash=0.1,seed=0") == FaultSpec(crash=0.1)
+
+
+class TestFaultInjector:
+    def test_decisions_are_deterministic(self):
+        injector = FaultInjector(FaultSpec(crash=0.5, seed=7))
+        grid = [
+            (kind, phase, index, attempt)
+            for kind in FAULT_KINDS
+            for phase in ("map", "reduce")
+            for index in range(8)
+            for attempt in (1, 2)
+        ]
+        first = [injector.decides(*coords) for coords in grid]
+        again = [injector.decides(*coords) for coords in grid]
+        assert first == again
+
+    def test_rolls_are_uniform_coordinates(self):
+        injector = FaultInjector(FaultSpec(seed=3))
+        rolls = {
+            injector.roll("crash", "map", index, attempt)
+            for index in range(16)
+            for attempt in (1, 2)
+        }
+        assert all(0.0 <= roll < 1.0 for roll in rolls)
+        # Distinct coordinates hash to distinct rolls.
+        assert len(rolls) == 32
+
+    def test_rate_zero_never_fires(self):
+        injector = FaultInjector(FaultSpec())
+        for index in range(50):
+            injector.maybe_inject("map", index, 1)  # must not raise
+
+    def test_crash_at_rate_one_carries_coordinates(self):
+        injector = FaultInjector(FaultSpec(crash=1.0, seed=1))
+        with pytest.raises(InjectedFaultError) as excinfo:
+            injector.maybe_inject("reduce", 5, 2)
+        assert excinfo.value.kind == "crash"
+        assert excinfo.value.phase == "reduce"
+        assert excinfo.value.task_index == 5
+        assert excinfo.value.attempt == 2
+
+    def test_retries_see_fresh_rolls(self):
+        injector = FaultInjector(FaultSpec(crash=0.5, seed=0))
+        decisions = {
+            injector.decides("crash", "map", 0, attempt)
+            for attempt in range(1, 30)
+        }
+        assert decisions == {True, False}
+
+    def test_kill_degrades_to_crash_without_killable_workers(self):
+        injector = FaultInjector(FaultSpec(kill=1.0, seed=2))
+        with pytest.raises(InjectedFaultError) as excinfo:
+            injector.maybe_inject("map", 0, 1, allow_kill=False)
+        assert excinfo.value.kind == "kill"
+
+    def test_transient_is_a_connection_error(self):
+        injector = FaultInjector(FaultSpec(transient=1.0))
+        with pytest.raises(TransientFaultError) as excinfo:
+            injector.maybe_inject("map", 3, 1)
+        assert isinstance(excinfo.value, ConnectionError)
+
+    def test_delay_sleeps_then_crash_still_fires(self, monkeypatch):
+        sleeps: list[float] = []
+        monkeypatch.setattr(
+            "repro.faults.injector.time.sleep", sleeps.append
+        )
+        injector = FaultInjector(
+            FaultSpec(delay=1.0, delay_seconds=0.02, crash=1.0)
+        )
+        with pytest.raises(InjectedFaultError):
+            injector.maybe_inject("map", 0, 1)
+        assert sleeps == [0.02]
+
+    def test_injector_pickles_to_identical_decisions(self):
+        injector = FaultInjector(FaultSpec(crash=0.3, kill=0.1, seed=11))
+        clone = pickle.loads(pickle.dumps(injector))
+        coords = [("map", i, a) for i in range(10) for a in (1, 2, 3)]
+        for kind in FAULT_KINDS:
+            assert [clone.decides(kind, *c) for c in coords] == [
+                injector.decides(kind, *c) for c in coords
+            ]
+
+
+class TestRetryPolicy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            InjectedFaultError("boom"),
+            WorkerLostError("died"),
+            TaskTimeoutError("slow"),
+            TimeoutError(),
+            ConnectionError(),
+            OSError(),
+        ],
+    )
+    def test_default_retryable(self, exc):
+        assert RetryPolicy().is_retryable(exc)
+
+    @pytest.mark.parametrize(
+        "exc", [ValueError("user bug"), InvalidInstanceError("bad model")]
+    )
+    def test_user_and_model_errors_not_retryable(self, exc):
+        assert not RetryPolicy().is_retryable(exc)
+
+    def test_deadline_exceeded_never_retryable(self):
+        # DeadlineExceededError subclasses TimeoutError, but retrying
+        # cannot un-blow a per-job deadline — even an explicit allowlist
+        # naming TimeoutError must not resurrect it.
+        exc = DeadlineExceededError("too late")
+        assert not RetryPolicy().is_retryable(exc)
+        assert not RetryPolicy(retryable=(TimeoutError,)).is_retryable(exc)
+
+    def test_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(InvalidInstanceError):
+            RetryPolicy(backoff_base=-0.5)
+
+    def test_backoff_without_jitter_is_exact(self):
+        policy = RetryPolicy(
+            max_attempts=5,
+            backoff_base=0.1,
+            backoff_multiplier=2.0,
+            backoff_max=0.5,
+            jitter=0.0,
+        )
+        assert [policy.delay_seconds(a) for a in (1, 2, 3, 4)] == [
+            0.1,
+            0.2,
+            0.4,
+            0.5,  # capped
+        ]
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        policy = RetryPolicy(backoff_base=0.1, jitter=0.2, seed=4)
+        delays = [policy.delay_seconds(1, key=("map", i)) for i in range(20)]
+        assert delays == [
+            policy.delay_seconds(1, key=("map", i)) for i in range(20)
+        ]
+        for delay in delays:
+            assert 0.1 <= delay <= 0.1 * 1.2
+        # Distinct task keys de-synchronize the schedule.
+        assert len(set(delays)) > 1
+
+    def test_none_policy_never_retries(self):
+        policy = RetryPolicy.none()
+        assert policy.max_attempts == 1
+        assert policy.delay_seconds(1) == 0.0
+
+    def test_policy_pickles(self):
+        policy = RetryPolicy(max_attempts=3, seed=5)
+        clone = pickle.loads(pickle.dumps(policy))
+        assert clone == policy
+
+
+class TestDeadlineHelpers:
+    def test_none_disables(self):
+        check_deadline(None)  # must not raise
+        assert remaining_time(None) is None
+
+    def test_future_deadline_passes(self):
+        deadline_at = time.monotonic() + 60.0
+        check_deadline(deadline_at, what="map phase")
+        remaining = remaining_time(deadline_at)
+        assert remaining is not None and 0.0 < remaining <= 60.0
+
+    def test_past_deadline_raises_with_context(self):
+        with pytest.raises(DeadlineExceededError, match="reduce phase"):
+            check_deadline(time.monotonic() - 1.0, what="reduce phase")
+        assert remaining_time(time.monotonic() - 1.0) == 0.0
