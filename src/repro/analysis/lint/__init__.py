@@ -1,0 +1,39 @@
+"""``repro lint``: static enforcement of the stack's runtime invariants.
+
+An AST-rule engine plus the built-in rule set (determinism, pickle-safety,
+exception-taxonomy, lock-discipline).  See
+:mod:`repro.analysis.lint.engine` for the framework and the suppression
+syntax, :mod:`repro.analysis.lint.baseline` for grandfathered findings.
+"""
+
+from repro.analysis.lint.baseline import (
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.lint.engine import (
+    LintRule,
+    ModuleInfo,
+    Suppression,
+    lint_paths,
+    load_module,
+    run_rules,
+)
+from repro.analysis.lint.findings import SEVERITIES, Finding, LintReport
+from repro.analysis.lint.rules import all_rules
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "LintRule",
+    "ModuleInfo",
+    "SEVERITIES",
+    "Suppression",
+    "all_rules",
+    "apply_baseline",
+    "lint_paths",
+    "load_baseline",
+    "load_module",
+    "run_rules",
+    "save_baseline",
+]

@@ -1,0 +1,74 @@
+"""Baseline files: grandfathered findings that do not fail the build.
+
+A baseline is a committed JSON file listing findings that existed when the
+linter was introduced (or when a rule was added) and have not yet been
+fixed.  ``repro lint --baseline FILE`` subtracts baselined findings from
+the report, so only *new* violations gate; ``--write-baseline`` rewrites
+the file from the current tree, which is how a grandfathered finding gets
+retired once fixed.
+
+Entries match on :attr:`Finding.baseline_key` — rule id, path, and message,
+deliberately *not* the line number — so unrelated edits that shift code do
+not resurrect a baselined finding.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> list[Finding]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValueError(f"baseline {path} is not a repro-lint baseline file")
+    version = payload.get("version", 0)
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has version {version!r}; expected {BASELINE_VERSION}"
+        )
+    return [Finding.from_dict(entry) for entry in payload["findings"]]
+
+
+def save_baseline(path: Path, findings: list[Finding]) -> None:
+    """Write ``findings`` as a baseline file (sorted, trailing newline)."""
+    ordered = sorted(findings, key=lambda f: f.baseline_key)
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [f.to_dict() for f in ordered],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: list[Finding]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into ``(new, grandfathered)`` against a baseline.
+
+    Matching is multiset-style: a baseline entry absorbs at most one live
+    finding with the same key, so duplicating a violation in the same file
+    still fails the build.
+    """
+    budget: dict[str, int] = {}
+    for entry in baseline:
+        budget[entry.baseline_key] = budget.get(entry.baseline_key, 0) + 1
+    new: list[Finding] = []
+    grandfathered: list[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    return new, grandfathered

@@ -1,0 +1,269 @@
+"""The repro lint engine: module loading, suppressions, and rule dispatch.
+
+The engine parses every Python file under the requested roots into a
+:class:`ModuleInfo` (path, dotted module name, source lines, AST, and the
+set of inline suppressions), then runs each registered :class:`LintRule`
+whose scope matches the module.  Rules are plain AST visitors that return
+:class:`~repro.analysis.lint.findings.Finding` records; the engine filters
+out findings whose line carries a matching suppression comment.
+
+Suppression syntax, on the offending line or the line directly above::
+
+    value = time.time()  # repro-lint: disable=determinism -- human-readable timestamp
+
+Multiple rules separate with commas; ``disable=all`` silences every rule.
+The ``-- reason`` tail is required by convention (the self-lint test
+enforces it for this repository) so every suppression documents *why* the
+invariant does not apply.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.lint.findings import Finding, LintReport
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_,\- ]+?)"
+    r"(?:\s*--\s*(?P<reason>.*))?$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One inline ``# repro-lint: disable=...`` comment."""
+
+    line: int
+    rules: frozenset[str]
+    reason: str
+
+    def matches(self, rule_id: str) -> bool:
+        return "all" in self.rules or rule_id in self.rules
+
+
+@dataclass
+class ModuleInfo:
+    """Everything a rule needs to know about one parsed module."""
+
+    path: Path
+    relpath: str
+    module: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    suppressions: list[Suppression] = field(default_factory=list)
+
+    def in_package(self, prefixes: Sequence[str]) -> bool:
+        """True when this module's dotted name falls under any prefix.
+
+        Scopes narrow where in the *library* a rule applies; files outside
+        every scoped top-level package (lint fixtures, ad-hoc scripts
+        passed on the command line) always get the full rule set.
+        """
+        if not prefixes:
+            return True
+        top_packages = {prefix.split(".", 1)[0] for prefix in prefixes}
+        own_top = self.module.split(".", 1)[0]
+        if own_top not in top_packages:
+            return True
+        for prefix in prefixes:
+            if self.module == prefix or self.module.startswith(prefix + "."):
+                return True
+        return False
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        """True when ``line`` (or the line above it) disables ``rule_id``."""
+        for sup in self.suppressions:
+            if sup.line in (line, line - 1) and sup.matches(rule_id):
+                return True
+        return False
+
+
+class LintRule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`rule_id`, :attr:`severity`, :attr:`description`,
+    and :attr:`scopes` (dotted module prefixes the rule applies to; empty
+    means every module), and implement :meth:`check`.
+    """
+
+    rule_id: str = ""
+    severity: str = "error"
+    description: str = ""
+    #: Dotted module-name prefixes this rule applies to (empty = all).
+    scopes: tuple[str, ...] = ()
+
+    def check(self, info: ModuleInfo) -> list[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        info: ModuleInfo,
+        node: ast.AST,
+        message: str,
+        hint: str = "",
+    ) -> Finding:
+        """Build a Finding anchored at ``node`` in ``info``."""
+        return Finding(
+            rule=self.rule_id,
+            path=info.relpath,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            severity=self.severity,
+            message=message,
+            hint=hint,
+        )
+
+
+def parse_suppressions(source: str) -> list[Suppression]:
+    """Extract ``# repro-lint: disable=...`` comments via the tokenizer.
+
+    Tokenizing (rather than regexing raw lines) keeps directives inside
+    string literals from being misread as live suppressions.
+    """
+    suppressions: list[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(iter(source.splitlines(keepends=True)).__next__)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if match is None:
+                continue
+            rules = frozenset(
+                part.strip() for part in match.group("rules").split(",") if part.strip()
+            )
+            reason = (match.group("reason") or "").strip()
+            suppressions.append(
+                Suppression(line=tok.start[0], rules=rules, reason=reason)
+            )
+    except tokenize.TokenError:
+        pass
+    return suppressions
+
+
+def _module_name(path: Path, root: Path) -> str:
+    """Dotted module name of ``path`` relative to the source root.
+
+    ``root`` is the directory that *contains* the top-level package, e.g.
+    ``src`` for ``src/repro/engine/engine.py`` -> ``repro.engine.engine``.
+    Files outside any package hierarchy get their stem as the name.
+    """
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        return path.stem
+    parts = list(rel.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else path.stem
+
+
+def find_source_root(path: Path) -> Path:
+    """Walk up from ``path`` past every directory that has an ``__init__.py``."""
+    current = path.resolve()
+    if current.is_file():
+        current = current.parent
+    while (current / "__init__.py").exists() and current.parent != current:
+        current = current.parent
+    return current
+
+
+def load_module(path: Path, root: Path | None = None) -> ModuleInfo:
+    """Parse one Python file into a :class:`ModuleInfo`.
+
+    Raises ``SyntaxError`` if the file does not parse; callers decide
+    whether that is fatal (the CLI reports it as a finding-like error).
+    """
+    resolved = Path(path).resolve()
+    if root is None:
+        root = find_source_root(resolved)
+    source = resolved.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(resolved))
+    try:
+        relpath = str(resolved.relative_to(Path.cwd()))
+    except ValueError:
+        relpath = str(resolved)
+    return ModuleInfo(
+        path=resolved,
+        relpath=relpath,
+        module=_module_name(resolved, root),
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+        suppressions=parse_suppressions(source),
+    )
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Yield .py files under each path, directories walked recursively."""
+    seen: set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield resolved
+
+
+def run_rules(info: ModuleInfo, rules: Sequence[LintRule]) -> tuple[list[Finding], int]:
+    """Run every in-scope rule over one module.
+
+    Returns ``(findings, suppressed_count)`` where findings excludes
+    anything silenced by an inline suppression.
+    """
+    kept: list[Finding] = []
+    suppressed = 0
+    for rule in rules:
+        if not info.in_package(rule.scopes):
+            continue
+        for finding in rule.check(info):
+            if info.suppressed(finding.rule, finding.line):
+                suppressed += 1
+            else:
+                kept.append(finding)
+    return kept, suppressed
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    rules: Sequence[LintRule],
+    *,
+    root: Path | None = None,
+) -> LintReport:
+    """Lint every Python file under ``paths`` with ``rules``.
+
+    Unparseable files surface as a ``parse-error`` finding rather than
+    aborting the run, so one bad fixture cannot hide findings elsewhere.
+    """
+    report = LintReport()
+    for path in iter_python_files(paths):
+        try:
+            info = load_module(path, root=root)
+        except SyntaxError as exc:
+            report.findings.append(
+                Finding(
+                    rule="parse-error",
+                    path=str(path),
+                    line=int(exc.lineno or 0),
+                    message=f"file does not parse: {exc.msg}",
+                    severity="error",
+                )
+            )
+            report.files_checked += 1
+            continue
+        findings, suppressed = run_rules(info, rules)
+        report.findings.extend(findings)
+        report.suppressed += suppressed
+        report.files_checked += 1
+    return report

@@ -1,0 +1,94 @@
+"""Finding records produced by the repro lint engine.
+
+A :class:`Finding` pins one rule violation to a file and line, carries the
+rule id and severity, and — because every rule knows the idiom it wants
+instead — a concrete fix hint.  Findings serialize to plain dicts so the
+CLI can emit them as JSON and the baseline file can round-trip them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Ordered severities, least to most severe.
+SEVERITIES: tuple[str, ...] = ("info", "warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    severity: str = "error"
+    hint: str = ""
+    col: int = 0
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    @property
+    def baseline_key(self) -> str:
+        """Stable identity used to match grandfathered findings.
+
+        Deliberately excludes the line number so a baseline entry survives
+        unrelated edits that shift code up or down in the file.
+        """
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Finding":
+        return cls(
+            rule=str(payload["rule"]),
+            path=str(payload["path"]),
+            line=int(payload.get("line", 0)),
+            message=str(payload["message"]),
+            severity=str(payload.get("severity", "error")),
+            hint=str(payload.get("hint", "")),
+            col=int(payload.get("col", 0)),
+        )
+
+    def render(self) -> str:
+        """Human-readable one-liner, ``path:line: [rule] message``."""
+        text = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run over a set of modules."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    def sorted_findings(self) -> list[Finding]:
+        return sorted(
+            self.findings, key=lambda f: (f.path, f.line, f.col, f.rule, f.message)
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "findings": [f.to_dict() for f in self.sorted_findings()],
+        }

@@ -1,0 +1,27 @@
+"""The built-in repro lint rule set."""
+
+from __future__ import annotations
+
+from repro.analysis.lint.engine import LintRule
+from repro.analysis.lint.rules.determinism import DeterminismRule
+from repro.analysis.lint.rules.exceptions_taxonomy import ExceptionTaxonomyRule
+from repro.analysis.lint.rules.lock_discipline import LockDisciplineRule
+from repro.analysis.lint.rules.pickle_safety import PickleSafetyRule
+
+__all__ = [
+    "DeterminismRule",
+    "ExceptionTaxonomyRule",
+    "LockDisciplineRule",
+    "PickleSafetyRule",
+    "all_rules",
+]
+
+
+def all_rules() -> list[LintRule]:
+    """Fresh instances of every built-in rule, in catalogue order."""
+    return [
+        DeterminismRule(),
+        PickleSafetyRule(),
+        ExceptionTaxonomyRule(),
+        LockDisciplineRule(),
+    ]

@@ -1,0 +1,94 @@
+"""Shared AST helpers for repro lint rules.
+
+The helpers here answer the two questions every rule asks: *what module
+does this name refer to?* (import-aware resolution of ``Name``/``Attribute``
+chains to canonical dotted paths) and *where does this node sit?* (parent
+links, enclosing-function lookup).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+_PARENT_ATTR = "_repro_lint_parent"
+
+
+def link_parents(tree: ast.AST) -> None:
+    """Attach a parent pointer to every node (idempotent)."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            setattr(child, _PARENT_ATTR, node)
+
+
+def parent_of(node: ast.AST) -> ast.AST | None:
+    return getattr(node, _PARENT_ATTR, None)
+
+
+def ancestors(node: ast.AST) -> Iterator[ast.AST]:
+    """Yield parents from nearest to the module root."""
+    current = parent_of(node)
+    while current is not None:
+        yield current
+        current = parent_of(current)
+
+
+def enclosing_functions(node: ast.AST) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Function defs containing ``node``, nearest first."""
+    return [
+        anc
+        for anc in ancestors(node)
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+class ImportResolver:
+    """Resolve names in one module to canonical dotted paths.
+
+    Tracks ``import x [as y]`` and ``from x import y [as z]`` so that a
+    rule can ask what ``rnd.random`` or a bare ``uuid4`` actually refers
+    to.  Resolution is lexical and module-wide — good enough for lint
+    heuristics, not a real scope analysis.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        #: local alias -> canonical module path, e.g. {"rnd": "random"}
+        self.modules: dict[str, str] = {}
+        #: local name -> canonical dotted path, e.g. {"uuid4": "uuid.uuid4"}
+        self.names: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    canonical = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.modules[local] = canonical
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports stay unresolved
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.names[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Canonical dotted path for a ``Name``/``Attribute`` chain, or None."""
+        if isinstance(node, ast.Name):
+            if node.id in self.modules:
+                return self.modules[node.id]
+            if node.id in self.names:
+                return self.names[node.id]
+            return None
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+
+def terminal_name(node: ast.AST) -> str:
+    """The last identifier in a ``Name``/``Attribute`` chain ('' if none)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""

@@ -1,0 +1,79 @@
+"""Rule ``exception-taxonomy``: engine/faults/service raise repro types.
+
+The retry policy (:class:`repro.faults.RetryPolicy`) classifies failures
+by exception type: repro types carry retryability semantics, while a raw
+builtin ``RuntimeError`` or ``ValueError`` is indistinguishable from a
+user bug and silently falls into the "never retry" bucket.  Raise sites
+in the execution layers must therefore use :mod:`repro.exceptions` types
+(most dual-inherit the matching builtin, so existing ``except ValueError``
+callers keep working).
+
+``TypeError``, ``NotImplementedError``, and ``AssertionError`` stay
+allowed: they signal caller programming errors and abstract-method
+contracts, not runtime failures the taxonomy needs to classify.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.engine import LintRule, ModuleInfo
+from repro.analysis.lint.findings import Finding
+
+#: Builtins that must not be raised directly in the scoped layers.
+_DISALLOWED_BUILTINS = {
+    "ValueError",
+    "RuntimeError",
+    "KeyError",
+    "IndexError",
+    "LookupError",
+    "TimeoutError",
+    "OSError",
+    "IOError",
+    "ConnectionError",
+    "InterruptedError",
+    "ArithmeticError",
+    "ZeroDivisionError",
+    "OverflowError",
+    "Exception",
+    "BaseException",
+}
+
+
+class ExceptionTaxonomyRule(LintRule):
+    rule_id = "exception-taxonomy"
+    severity = "error"
+    description = (
+        "raise sites in engine/, faults/, and service/ must use"
+        " repro.exceptions types so retry classification stays sound"
+    )
+    scopes = ("repro.engine", "repro.faults", "repro.service")
+
+    def check(self, info: ModuleInfo) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            name = _raised_builtin(node.exc)
+            if name is None:
+                continue
+            findings.append(
+                self.finding(
+                    info,
+                    node,
+                    f"raise of builtin `{name}` in an execution layer;"
+                    " the retry policy cannot classify it",
+                    "raise a repro.exceptions type (dual-inherit the builtin"
+                    " for backwards compatibility)",
+                )
+            )
+        return findings
+
+
+def _raised_builtin(exc: ast.expr) -> str | None:
+    """Name of a disallowed builtin being raised, or None."""
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name) and exc.id in _DISALLOWED_BUILTINS:
+        return exc.id
+    return None

@@ -531,6 +531,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the summary as JSON"
     )
 
+    lint = commands.add_parser(
+        "lint",
+        help="static analysis: determinism, pickle-safety, exception"
+        " taxonomy, and lock discipline",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed repro"
+        " package)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default="lint-baseline.json",
+        help="baseline file of grandfathered findings (missing file ="
+        " empty baseline)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    lint.add_argument(
+        "--json-out", default=None, help="write the findings report as JSON"
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
     return parser
 
 
@@ -1029,6 +1060,82 @@ def _run_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    """Handle ``repro lint``: run the static-analysis rules, gate on new
+    findings (anything not absorbed by the baseline)."""
+    import json
+    from pathlib import Path
+
+    import repro
+    from repro.analysis.lint import (
+        all_rules,
+        apply_baseline,
+        lint_paths,
+        load_baseline,
+        save_baseline,
+    )
+
+    rules = all_rules()
+    if args.list_rules:
+        rows = [
+            {
+                "rule": rule.rule_id,
+                "severity": rule.severity,
+                "scopes": ", ".join(rule.scopes) or "(all)",
+                "invariant": rule.description,
+            }
+            for rule in rules
+        ]
+        print(format_table(rows, title="repro lint rules"))
+        return 0
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+        root = None  # inferred per file from the package hierarchy
+    else:
+        package_dir = Path(repro.__file__).resolve().parent
+        paths = [package_dir]
+        root = package_dir.parent
+
+    report = lint_paths(paths, rules, root=root)
+    findings = report.sorted_findings()
+
+    if args.write_baseline:
+        save_baseline(Path(args.baseline), findings)
+        print(
+            f"wrote {len(findings)} finding(s) to baseline {args.baseline}"
+        )
+        return 0
+
+    try:
+        baseline = load_baseline(Path(args.baseline))
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    new, grandfathered = apply_baseline(findings, baseline)
+
+    if args.json_out:
+        payload = {
+            "files_checked": report.files_checked,
+            "suppressed": report.suppressed,
+            "new": [f.to_dict() for f in new],
+            "grandfathered": [f.to_dict() for f in grandfathered],
+        }
+        repro_io.atomic_write_text(
+            args.json_out, json.dumps(payload, indent=2) + "\n"
+        )
+
+    for finding in new:
+        print(finding.render())
+    print(
+        f"checked {report.files_checked} file(s):"
+        f" {len(new)} new finding(s),"
+        f" {len(grandfathered)} grandfathered,"
+        f" {report.suppressed} suppressed"
+    )
+    return 1 if new else 0
+
+
 def _run_bench(args: argparse.Namespace) -> int:
     """Handle ``repro bench``: quick speedup table, optional smoke check."""
     from repro.engine.backends import available_workers
@@ -1242,6 +1349,8 @@ def main(argv: list[str] | None = None) -> int:
             return _run_submit(args)
         elif args.command == "metrics":
             return _run_metrics(args)
+        elif args.command == "lint":
+            return _run_lint(args)
         elif args.command == "verify":
             try:
                 with open(args.file) as handle:

@@ -61,8 +61,10 @@ from functools import partial
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.exceptions import (
+    InvalidInstanceError,
     TaskRetryExhaustedError,
     TaskTimeoutError,
+    UnknownMethodError,
     WorkerLostError,
 )
 from repro.faults import (
@@ -156,7 +158,9 @@ class Backend(ABC):
 
     def __init__(self, max_workers: int | None = None):
         if max_workers is not None and max_workers <= 0:
-            raise ValueError(f"max_workers must be positive, got {max_workers}")
+            raise InvalidInstanceError(
+                f"max_workers must be positive, got {max_workers}"
+            )
         self.max_workers = max_workers or available_workers()
         self._pool: Any = None
         self._depth = 0
@@ -636,7 +640,9 @@ class ProcessBackend(Backend):
     def __init__(self, max_workers: int | None = None, chunksize: int | None = None):
         super().__init__(max_workers)
         if chunksize is not None and chunksize <= 0:
-            raise ValueError(f"chunksize must be positive, got {chunksize}")
+            raise InvalidInstanceError(
+                f"chunksize must be positive, got {chunksize}"
+            )
         self.chunksize = chunksize
 
     def _make_pool(self):
@@ -773,7 +779,7 @@ def get_backend(
     if isinstance(spec, Backend):
         return spec
     if spec not in BACKENDS:
-        raise ValueError(
+        raise UnknownMethodError(
             f"unknown backend {spec!r}; choose from {sorted(BACKENDS)}"
         )
     return BACKENDS[spec](max_workers=max_workers)

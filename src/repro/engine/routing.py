@@ -22,7 +22,7 @@ from typing import Any, Callable, Hashable, Iterable, Iterator, Sequence
 
 from repro.core.schema import A2ASchema, X2YSchema
 from repro.dataset import Dataset
-from repro.exceptions import InvalidInstanceError
+from repro.exceptions import InvalidInstanceError, InvalidSchemaError
 
 
 def a2a_memberships(schema: A2ASchema) -> list[list[int]]:
@@ -79,7 +79,9 @@ def canonical_meeting(
     # fall back to the exact set intersection before declaring failure.
     common = set(seq_a) & set(seq_b)
     if not common:
-        raise ValueError("inputs share no reducer; schema is invalid for this pair")
+        raise InvalidSchemaError(
+            "inputs share no reducer; schema is invalid for this pair"
+        )
     return min(common)  # pragma: no cover - unsorted-input fallback
 
 

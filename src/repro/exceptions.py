@@ -196,3 +196,32 @@ class UnknownMethodError(ReproError, ValueError):
     :class:`ReproError` so front-ends (the CLI) can report it as user error
     without a blanket ``ValueError`` catch that would mask library bugs.
     """
+
+
+class ServiceClosedError(ReproError, RuntimeError):
+    """An operation was attempted on a closed service or scheduler.
+
+    Raised by :class:`repro.service.JobService` and
+    :class:`repro.service.JobScheduler` when work is submitted after
+    ``close()``/``shutdown()``.  Subclasses ``RuntimeError`` for backwards
+    compatibility with callers that catch the historical exception type.
+    """
+
+
+class UnknownJobError(ReproError, KeyError):
+    """A job id is not known to the service or result store.
+
+    Subclasses ``KeyError`` because lookups are by job id and existing
+    callers treat a missing job as a missing key.
+    """
+
+
+class ResultWaitTimeoutError(ReproError, TimeoutError):
+    """Waiting for a job result exceeded the caller's timeout.
+
+    Raised by ``JobService.result(..., timeout=...)`` when the job has not
+    reached a terminal state within the allotted time.  Distinct from
+    :class:`TaskTimeoutError` (a single task attempt timed out) and
+    :class:`DeadlineExceededError` (the run blew its deadline): here the
+    job may still be running — only the caller stopped waiting.
+    """

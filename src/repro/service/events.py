@@ -12,6 +12,11 @@ Every transition is recorded as a :class:`JobEvent` — in the job's own
 history and in the service-wide :class:`EventLog` — and optionally pushed
 to a subscriber callback, which is how ``repro serve`` streams NDJSON
 status lines while jobs run.
+
+Event ordering is defined by the log's ``seq`` counter (with the
+``monotonic`` timestamp for durations), never by the wall-clock ``at``
+field: ``at`` exists purely so humans reading a status line see a real
+date, and the wall clock can step backwards under NTP adjustment.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
+from repro.exceptions import InvalidInstanceError
 from repro.obs.trace import Tracer, as_tracer
 
 #: Lifecycle states, in rough forward order.
@@ -60,6 +66,7 @@ class JobEvent:
 
     job_id: str
     state: str
+    # repro-lint: disable=determinism -- `at` is display-only wall time; ordering uses monotonic+seq
     at: float = field(default_factory=time.time)
     detail: str = ""
     monotonic: float = field(default_factory=time.perf_counter)
@@ -100,7 +107,9 @@ class EventLog:
 
     def __init__(self, capacity: int = 4096, *, tracer: Tracer | None = None):
         if capacity <= 0:
-            raise ValueError(f"capacity must be positive, got {capacity}")
+            raise InvalidInstanceError(
+                f"capacity must be positive, got {capacity}"
+            )
         self._capacity = capacity
         self._events: list[JobEvent] = []
         self._lock = threading.Lock()

@@ -22,6 +22,7 @@ import threading
 from collections import OrderedDict
 from typing import Any
 
+from repro.exceptions import InvalidInstanceError
 from repro.planner.environment import Environment
 from repro.planner.plan import Plan
 from repro.planner.planner import plan_fingerprint
@@ -44,7 +45,9 @@ class PlanCache:
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY):
         if capacity <= 0:
-            raise ValueError(f"capacity must be positive, got {capacity}")
+            raise InvalidInstanceError(
+                f"capacity must be positive, got {capacity}"
+            )
         self.capacity = capacity
         self._entries: OrderedDict[str, Plan] = OrderedDict()
         self._lock = threading.Lock()

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.engine.metrics import EngineMetrics
+from repro.exceptions import InvalidInstanceError, UnknownJobError
 from repro.mapreduce.metrics import JobMetrics
 from repro.planner.plan import Plan
 
@@ -91,7 +92,9 @@ class ResultStore:
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY):
         if capacity <= 0:
-            raise ValueError(f"capacity must be positive, got {capacity}")
+            raise InvalidInstanceError(
+                f"capacity must be positive, got {capacity}"
+            )
         self.capacity = capacity
         self._entries: OrderedDict[str, JobResult] = OrderedDict()
         self._lock = threading.Lock()
@@ -120,7 +123,7 @@ class ResultStore:
         with self._lock:
             result = self._entries.get(job_id)
             if result is None:
-                raise KeyError(job_id)
+                raise UnknownJobError(job_id)
             self._entries.move_to_end(job_id)
             return result
 

@@ -23,6 +23,8 @@ import itertools
 import threading
 from typing import Callable
 
+from repro.exceptions import InvalidInstanceError, ServiceClosedError
+
 #: Default concurrent job slots.
 DEFAULT_SLOTS = 2
 
@@ -37,7 +39,7 @@ class JobScheduler:
 
     def __init__(self, slots: int = DEFAULT_SLOTS, *, name: str = "repro-job"):
         if slots <= 0:
-            raise ValueError(f"slots must be positive, got {slots}")
+            raise InvalidInstanceError(f"slots must be positive, got {slots}")
         self.slots = slots
         self._heap: list[tuple[int, int, str, Callable[[], None]]] = []
         self._seq = itertools.count()
@@ -74,7 +76,7 @@ class JobScheduler:
         """Queue *thunk* under *job_id*; lower *priority* runs earlier."""
         with self._lock:
             if self._shutdown:
-                raise RuntimeError("scheduler is shut down")
+                raise ServiceClosedError("scheduler is shut down")
             heapq.heappush(
                 self._heap, (priority, next(self._seq), job_id, thunk)
             )

@@ -41,6 +41,9 @@ from repro.exceptions import (
     JobCancelledError,
     ReproError,
     ResultEvictedError,
+    ResultWaitTimeoutError,
+    ServiceClosedError,
+    UnknownJobError,
     WorkerLostError,
 )
 from repro.faults import RetryPolicy
@@ -186,6 +189,7 @@ class _JobRecord:
     retry: RetryPolicy | None = None
     deadline: float | None = None
     state: str = QUEUED
+    # repro-lint: disable=determinism -- display-only wall time; latency metrics use submitted_mono
     submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
@@ -334,7 +338,7 @@ class JobService:
             )
         with self._lock:
             if self._closed:
-                raise RuntimeError("service is closed")
+                raise ServiceClosedError("service is closed")
             if job_id is None:
                 self._counter += 1
                 job_id = f"job-{self._counter:04d}"
@@ -433,7 +437,7 @@ class JobService:
             try:
                 return self._records[job_id]
             except KeyError:
-                raise KeyError(f"unknown job id {job_id!r}") from None
+                raise UnknownJobError(f"unknown job id {job_id!r}") from None
 
     def status(self, job_id: str) -> JobStatus:
         """The job's current lifecycle snapshot (works in every state)."""
@@ -463,7 +467,7 @@ class JobService:
         """
         record = self._record(job_id)
         if not record.done.wait(timeout):
-            raise TimeoutError(
+            raise ResultWaitTimeoutError(
                 f"job {job_id!r} still {record.state!r} after {timeout}s"
             )
         if record.state == FAILED:
@@ -643,8 +647,10 @@ class JobService:
             if detail:
                 record.detail = detail
             if state == RUNNING and record.started_at is None:
+                # repro-lint: disable=determinism -- display-only wall time; durations use perf_counter
                 record.started_at = time.time()
             if state in TERMINAL_STATES:
+                # repro-lint: disable=determinism -- display-only wall time; durations use perf_counter
                 record.finished_at = time.time()
                 self.metrics.counter(f"jobs.{state}").inc()
                 self.metrics.histogram("job.latency_seconds").observe(

@@ -1,0 +1,21 @@
+"""Negative fixture: the allowed idioms the determinism rule must not flag."""
+
+import time
+
+from repro.utils.rng import make_rng
+
+
+def pick(items, seed):
+    rng = make_rng(seed)  # seeded numpy Generator: the sanctioned idiom
+    return items[int(rng.integers(len(items)))]
+
+
+def elapsed(start):
+    return time.perf_counter() - start  # monotonic clocks are fine
+
+
+def merged_keys(xs, ys):
+    out = []
+    for key in sorted(set(xs) | set(ys)):  # sorted before iterating
+        out.append(key)
+    return out

@@ -1,0 +1,27 @@
+"""Negative fixture: typed raises and the allowed builtin contract errors."""
+
+from repro.exceptions import InvalidInstanceError, ServiceClosedError
+
+
+def check_capacity(capacity):
+    if capacity <= 0:
+        raise InvalidInstanceError(
+            f"capacity must be positive, got {capacity}"
+        )
+
+
+def refuse_closed(closed):
+    if closed:
+        raise ServiceClosedError("service is closed")
+
+
+def require_schema(schema):
+    if not hasattr(schema, "assignments"):
+        raise TypeError("expected an A2ASchema or X2YSchema")
+
+
+def reraise():
+    try:
+        check_capacity(0)
+    except InvalidInstanceError:
+        raise  # bare re-raise is always fine

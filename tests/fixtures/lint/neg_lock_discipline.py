@@ -1,0 +1,31 @@
+"""Negative fixture: snapshot under the lock, block after releasing it."""
+
+import threading
+
+
+class GoodService:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._futures = []
+        self._workers = []
+        self._results = []
+
+    def drain(self):
+        with self._lock:
+            pending = list(self._futures)
+            self._futures.clear()
+        return [fut.result() for fut in pending]
+
+    def shutdown(self):
+        with self._lock:
+            workers = list(self._workers)
+            self._workers.clear()
+        for worker in workers:
+            worker.join()
+
+    def wait_for_work(self):
+        with self._lock:
+            # Condition.wait releases the lock while blocking: allowed.
+            self._wake.wait(timeout=1.0)
+            return list(self._results)

@@ -1,0 +1,29 @@
+"""Positive fixture: every determinism violation the rule should catch."""
+
+import os
+import random
+import time
+import uuid
+
+
+def pick(items):
+    return items[random.randrange(len(items))]  # unseeded global random
+
+
+def stamp():
+    return time.time()  # wall-clock read
+
+
+def fresh_id():
+    return uuid.uuid4().hex  # nondeterministic id
+
+
+def configured_workers():
+    return os.environ.get("REPRO_WORKERS", "4")  # environment read
+
+
+def merged_keys(xs, ys):
+    out = []
+    for key in set(xs) | set(ys):  # set-order iteration
+        out.append(key)
+    return out

@@ -1,0 +1,17 @@
+"""Positive fixture: builtin raises the taxonomy rule must flag."""
+
+
+def check_capacity(capacity):
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity}")
+
+
+def refuse_closed(closed):
+    if closed:
+        raise RuntimeError("service is closed")
+
+
+def lookup(records, job_id):
+    if job_id not in records:
+        raise KeyError(job_id)
+    return records[job_id]

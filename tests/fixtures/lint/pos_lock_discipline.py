@@ -1,0 +1,29 @@
+"""Positive fixture: blocking while holding a lock."""
+
+import threading
+import time
+
+
+class BadService:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._futures = []
+        self._workers = []
+
+    def drain(self):
+        with self._lock:
+            return [fut.result() for fut in self._futures]
+
+    def shutdown(self):
+        with self._lock:
+            for worker in self._workers:
+                worker.join()
+
+    def throttle(self):
+        with self._lock:
+            time.sleep(0.1)
+
+    def persist(self, path):
+        with self._lock:
+            with open(path, "w") as handle:
+                handle.write("state")

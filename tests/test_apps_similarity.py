@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.engine.routing import a2a_memberships, canonical_meeting
+from repro.exceptions import InvalidSchemaError
 from repro.apps.similarity_join import run_broadcast_baseline, run_similarity_join
 from repro.core.instance import A2AInstance
 from repro.core.schema import A2ASchema
@@ -23,7 +24,7 @@ class TestCommonHelpers:
         assert canonical_meeting([0, 2, 5], [2, 5, 9]) == 2
 
     def test_canonical_meeting_requires_overlap(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(InvalidSchemaError):
             canonical_meeting([0], [1])
 
 

@@ -1,0 +1,110 @@
+"""The ``repro lint`` subcommand: exit codes, JSON output, baselines."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+
+
+def lint(*argv):
+    return main(["lint", *argv])
+
+
+class TestExitCodes:
+    def test_each_positive_fixture_fails(self, tmp_path):
+        for fixture in sorted(FIXTURES.glob("pos_*.py")):
+            code = lint(
+                str(fixture), "--baseline", str(tmp_path / "empty.json")
+            )
+            assert code == 1, f"{fixture.name} should exit nonzero"
+
+    def test_each_negative_fixture_passes(self, tmp_path):
+        for fixture in sorted(FIXTURES.glob("neg_*.py")):
+            code = lint(
+                str(fixture), "--baseline", str(tmp_path / "empty.json")
+            )
+            assert code == 0, f"{fixture.name} should exit zero"
+
+    def test_list_rules_exits_zero(self, capsys):
+        assert lint("--list-rules") == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "determinism",
+            "pickle-safety",
+            "exception-taxonomy",
+            "lock-discipline",
+        ):
+            assert rule_id in out
+
+    def test_corrupt_baseline_is_a_usage_error(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text('{"version": 99, "findings": []}')
+        fixture = FIXTURES / "neg_determinism.py"
+        assert lint(str(fixture), "--baseline", str(baseline)) == 2
+        assert "version" in capsys.readouterr().err
+
+
+class TestJsonOut:
+    def test_report_payload_shape(self, tmp_path):
+        out = tmp_path / "findings.json"
+        fixture = FIXTURES / "pos_determinism.py"
+        code = lint(
+            str(fixture),
+            "--baseline",
+            str(tmp_path / "empty.json"),
+            "--json-out",
+            str(out),
+        )
+        assert code == 1
+        payload = json.loads(out.read_text())
+        assert payload["files_checked"] == 1
+        assert payload["grandfathered"] == []
+        assert payload["new"]
+        first = payload["new"][0]
+        assert {"rule", "path", "line", "severity", "message", "hint"} <= set(
+            first
+        )
+
+    def test_clean_run_still_writes_report(self, tmp_path):
+        out = tmp_path / "findings.json"
+        fixture = FIXTURES / "neg_determinism.py"
+        code = lint(
+            str(fixture),
+            "--baseline",
+            str(tmp_path / "empty.json"),
+            "--json-out",
+            str(out),
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["new"] == []
+
+
+class TestBaselineWorkflow:
+    def test_write_baseline_then_gate_passes(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        fixture = FIXTURES / "pos_exception_taxonomy.py"
+        assert (
+            lint(str(fixture), "--baseline", str(baseline), "--write-baseline")
+            == 0
+        )
+        assert baseline.exists()
+        capsys.readouterr()
+        assert lint(str(fixture), "--baseline", str(baseline)) == 0
+        out = capsys.readouterr().out
+        assert "3 grandfathered" in out
+
+    def test_new_violation_not_absorbed_by_baseline(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        fixture = FIXTURES / "pos_exception_taxonomy.py"
+        lint(str(fixture), "--baseline", str(baseline), "--write-baseline")
+        grown = tmp_path / "grown.py"
+        grown.write_text(
+            (fixture.read_text())
+            + "\n\ndef extra():\n    raise RuntimeError('brand new')\n"
+        )
+        assert lint(str(grown), "--baseline", str(baseline)) == 1

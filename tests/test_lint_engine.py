@@ -1,0 +1,219 @@
+"""The lint framework itself: suppressions, baselines, scoping, findings."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    Finding,
+    all_rules,
+    apply_baseline,
+    lint_paths,
+    load_baseline,
+    load_module,
+    run_rules,
+    save_baseline,
+)
+from repro.analysis.lint.engine import parse_suppressions
+
+
+class TestSuppressions:
+    def test_parse_single_rule_with_reason(self):
+        source = "x = 1  # repro-lint: disable=determinism -- display only\n"
+        sups = parse_suppressions(source)
+        assert len(sups) == 1
+        assert sups[0].line == 1
+        assert sups[0].rules == frozenset({"determinism"})
+        assert sups[0].reason == "display only"
+        assert sups[0].matches("determinism")
+        assert not sups[0].matches("pickle-safety")
+
+    def test_parse_multiple_rules_and_all(self):
+        source = (
+            "a = 1  # repro-lint: disable=determinism,lock-discipline\n"
+            "b = 2  # repro-lint: disable=all -- fixture\n"
+        )
+        sups = parse_suppressions(source)
+        assert sups[0].rules == frozenset({"determinism", "lock-discipline"})
+        assert sups[1].matches("anything-at-all")
+
+    def test_directive_inside_string_is_ignored(self):
+        source = 's = "# repro-lint: disable=determinism"\n'
+        assert parse_suppressions(source) == []
+
+    def test_suppression_on_offending_line(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "import time\n"
+            "now = time.time()  # repro-lint: disable=determinism -- display\n"
+        )
+        info = load_module(path, root=tmp_path)
+        findings, suppressed = run_rules(info, all_rules())
+        assert findings == []
+        assert suppressed == 1
+
+    def test_suppression_on_line_above(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "import time\n"
+            "# repro-lint: disable=determinism -- display\n"
+            "now = time.time()\n"
+        )
+        info = load_module(path, root=tmp_path)
+        findings, suppressed = run_rules(info, all_rules())
+        assert findings == []
+        assert suppressed == 1
+
+    def test_wrong_rule_suppression_does_not_silence(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "import time\n"
+            "now = time.time()  # repro-lint: disable=pickle-safety -- nope\n"
+        )
+        info = load_module(path, root=tmp_path)
+        findings, suppressed = run_rules(info, all_rules())
+        assert [f.rule for f in findings] == ["determinism"]
+        assert suppressed == 0
+
+
+class TestScoping:
+    def test_module_outside_library_gets_all_rules(self, tmp_path):
+        path = tmp_path / "script.py"
+        path.write_text("import time\nnow = time.time()\n")
+        info = load_module(path, root=tmp_path)
+        assert info.module == "script"
+        findings, _ = run_rules(info, all_rules())
+        assert [f.rule for f in findings] == ["determinism"]
+
+    def test_out_of_scope_library_module_is_skipped(self, tmp_path):
+        pkg = tmp_path / "repro" / "obs"
+        pkg.mkdir(parents=True)
+        path = pkg / "clock.py"
+        path.write_text("import time\nnow = time.time()\n")
+        info = load_module(path, root=tmp_path)
+        assert info.module == "repro.obs.clock"
+        findings, _ = run_rules(info, all_rules())
+        assert findings == []  # obs is deliberately outside determinism scope
+
+    def test_in_scope_library_module_is_checked(self, tmp_path):
+        pkg = tmp_path / "repro" / "engine"
+        pkg.mkdir(parents=True)
+        path = pkg / "clock.py"
+        path.write_text("import time\nnow = time.time()\n")
+        info = load_module(path, root=tmp_path)
+        findings, _ = run_rules(info, all_rules())
+        assert [f.rule for f in findings] == ["determinism"]
+
+
+class TestFindings:
+    def test_render_and_dict_round_trip(self):
+        finding = Finding(
+            rule="determinism",
+            path="src/x.py",
+            line=7,
+            message="wall-clock read",
+            hint="use perf_counter",
+        )
+        assert "src/x.py:7: [determinism] wall-clock read" in finding.render()
+        assert Finding.from_dict(finding.to_dict()) == finding
+
+    def test_invalid_severity_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            Finding(
+                rule="r", path="p", line=1, message="m", severity="fatal"
+            )
+
+    def test_baseline_key_ignores_line(self):
+        one = Finding(rule="r", path="p", line=1, message="m")
+        two = Finding(rule="r", path="p", line=99, message="m")
+        assert one.baseline_key == two.baseline_key
+
+
+class TestBaseline:
+    def _finding(self, line=1, message="m"):
+        return Finding(rule="r", path="p.py", line=line, message=message)
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        findings = [self._finding(1, "a"), self._finding(2, "b")]
+        save_baseline(path, findings)
+        assert load_baseline(path) == sorted(
+            findings, key=lambda f: f.baseline_key
+        )
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == []
+
+    def test_apply_splits_new_from_grandfathered(self):
+        baseline = [self._finding(1, "old")]
+        live = [self._finding(5, "old"), self._finding(6, "new")]
+        new, grandfathered = apply_baseline(live, baseline)
+        assert [f.message for f in new] == ["new"]
+        assert [f.message for f in grandfathered] == ["old"]
+
+    def test_baseline_entry_absorbs_at_most_one(self):
+        baseline = [self._finding(1, "dup")]
+        live = [self._finding(5, "dup"), self._finding(6, "dup")]
+        new, grandfathered = apply_baseline(live, baseline)
+        assert len(new) == 1 and len(grandfathered) == 1
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "findings": []}')
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(path)
+
+    def test_non_baseline_payload_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"not": "a baseline"}')
+        with pytest.raises(ValueError, match="not a repro-lint baseline"):
+            load_baseline(path)
+
+
+class TestLintPaths:
+    def test_unparseable_file_becomes_parse_error_finding(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        report = lint_paths([bad], all_rules(), root=tmp_path)
+        assert [f.rule for f in report.findings] == ["parse-error"]
+
+    def test_directory_walk_and_dedup(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "b.py").write_text("y = 2\n")
+        report = lint_paths(
+            [tmp_path, tmp_path / "a.py"], all_rules(), root=tmp_path
+        )
+        assert report.files_checked == 2
+        assert report.findings == []
+
+    def test_findings_sorted_by_location(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "import time\n"
+            "import random\n"
+            "b = time.time()\n"
+            "a = random.random()\n"
+        )
+        report = lint_paths([path], all_rules(), root=tmp_path)
+        lines = [f.line for f in report.sorted_findings()]
+        assert lines == sorted(lines)
+
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+
+
+def test_fixture_directory_exit_semantics():
+    """Positive fixtures produce findings; negative fixtures stay silent."""
+    rules = all_rules()
+    for fixture in sorted(FIXTURES.glob("*.py")):
+        report = lint_paths([fixture], rules)
+        if fixture.name.startswith("pos_"):
+            assert report.findings, f"{fixture.name} should produce findings"
+        else:
+            assert not report.findings, (
+                f"{fixture.name} should be clean, got "
+                f"{[f.render() for f in report.findings]}"
+            )
