@@ -43,6 +43,7 @@ from repro.engine import (
 from repro.exceptions import (
     AdmissionError,
     CapacityExceededError,
+    CodecError,
     InfeasibleInstanceError,
     InvalidInstanceError,
     InvalidSchemaError,
@@ -99,5 +100,6 @@ __all__ = [
     "ResultEvictedError",
     "SolverLimitError",
     "SpillError",
+    "CodecError",
     "__version__",
 ]

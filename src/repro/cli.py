@@ -438,6 +438,14 @@ def build_parser() -> argparse.ArgumentParser:
         "outputs are asserted identical and --check gates bounded "
         "retries",
     )
+    bench.add_argument(
+        "--codec",
+        action="store_true",
+        help="also run the block-codec bench (E24): encode/decode "
+        "throughput per key kind, a block-size sweep, and the processes "
+        "backend with the shared-memory transport on vs off (--check "
+        "gates round-trip identity and codec selection)",
+    )
 
     serve = commands.add_parser(
         "serve",
@@ -1141,9 +1149,11 @@ def _run_bench(args: argparse.Namespace) -> int:
     from repro.engine.backends import available_workers
     from repro.engine.quickbench import (
         check_baseline,
+        check_codec,
         check_faults,
         check_regression,
         check_spill,
+        run_codec_bench,
         run_fault_injection,
         run_join_bench,
         run_out_of_core,
@@ -1223,6 +1233,20 @@ def _run_bench(args: argparse.Namespace) -> int:
                 ),
             )
         )
+    codec_rows: list[dict[str, object]] = []
+    if args.codec:
+        codec_rows = run_codec_bench(
+            repeat=args.repeat, transport_scale=args.scale
+        )
+        print(
+            format_table(
+                codec_rows,
+                title=(
+                    "block codec: encode/decode throughput, block-size "
+                    "sweep, shm vs pipe transport (round-trips verified)"
+                ),
+            )
+        )
     service_rows: list[dict[str, object]] = []
     service_failures: list[str] = []
     if args.service_jobs is not None:
@@ -1265,6 +1289,7 @@ def _run_bench(args: argparse.Namespace) -> int:
                     "out_of_core_rows": spill_rows,
                     "service_rows": service_rows,
                     "fault_rows": fault_rows,
+                    "codec_rows": codec_rows,
                 },
                 indent=2,
                 default=str,
@@ -1296,6 +1321,8 @@ def _run_bench(args: argparse.Namespace) -> int:
             failures += check_spill(spill_rows)
         if args.inject_faults is not None:
             failures += check_faults(fault_rows)
+        if args.codec:
+            failures += check_codec(codec_rows)
         failures += service_failures
         failures += baseline_failures
         for failure in failures:
@@ -1309,6 +1336,10 @@ def _run_bench(args: argparse.Namespace) -> int:
             notes.append(
                 "injected-fault runs recovered with bounded retries and "
                 "identical outputs"
+            )
+        if args.codec:
+            notes.append(
+                "codec round-trips verified with typed codecs selected"
             )
         if args.service_jobs is not None:
             notes.append("service outputs matched one-shot runs")

@@ -35,6 +35,13 @@ from repro.engine.backends import (
     available_workers,
     get_backend,
 )
+from repro.engine.codec import (
+    decode_block,
+    decode_block_groups,
+    encode_groups,
+    encode_items,
+    select_codec,
+)
 from repro.engine.config import ExecutionConfig, resolve_execution
 from repro.engine.crossval import (
     CrossValidationReport,
@@ -43,6 +50,7 @@ from repro.engine.crossval import (
 )
 from repro.engine.engine import EngineResult, ExecutionEngine, execute_schema
 from repro.engine.metrics import EngineMetrics, PhaseTimings
+from repro.engine.shm import ShmSlice, shm_available
 from repro.engine.routing import (
     a2a_memberships,
     a2a_meeting_table,
@@ -66,6 +74,13 @@ __all__ = [
     "available_workers",
     "EngineMetrics",
     "PhaseTimings",
+    "select_codec",
+    "encode_items",
+    "encode_groups",
+    "decode_block",
+    "decode_block_groups",
+    "ShmSlice",
+    "shm_available",
     "CrossValidationReport",
     "compare_results",
     "validate_against_simulator",

@@ -67,6 +67,7 @@ from repro.exceptions import (
     UnknownMethodError,
     WorkerLostError,
 )
+from repro.engine.shm import ShmArena, shm_available
 from repro.faults import (
     FaultInjector,
     RetryPolicy,
@@ -200,6 +201,22 @@ class Backend(ABC):
     #: this backend.  True only where workers are disposable OS processes;
     #: elsewhere the injector degrades a kill to a task crash.
     supports_worker_kill: bool = False
+
+    #: Whether task payloads and results cross a process boundary.  The
+    #: engine block-encodes shuffle buckets only when they do — on the
+    #: in-process backends the dict buckets are handed over by reference,
+    #: so encoding would be pure overhead.
+    ships_blocks: bool = False
+
+    def block_transport(self) -> ShmArena | None:
+        """A fresh block transport for one run, or ``None`` for pipe/inline.
+
+        Backends that do not ship blocks (and process backends without a
+        usable shared-memory filesystem) return ``None``: encoded blocks
+        then stay inline in the reduce payloads and travel over the
+        result pipe like any other pickled payload.
+        """
+        return None
 
     def run_tasks_resilient(
         self,
@@ -632,22 +649,80 @@ class ProcessBackend(Backend):
     transfer without starving the pool.  The task function is pickled once
     in the parent and cached per worker (see :func:`_call_pickled`); task
     payloads must still be picklable.
+
+    This backend ships shuffle data as encoded blocks
+    (:attr:`ships_blocks`), staged through shared memory when the
+    platform supports it.  ``use_shm`` overrides the automatic probe:
+    ``True`` forces shared-memory staging (benchmarks), ``False`` forces
+    the pipe fallback, ``None`` (default) probes once per process.
+    Every arena handed out is tracked and swept in :meth:`close`, so a
+    run abandoned without reaching the engine's own cleanup still leaves
+    zero segments behind.
     """
 
     name = "processes"
     supports_worker_kill = True
+    ships_blocks = True
 
-    def __init__(self, max_workers: int | None = None, chunksize: int | None = None):
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        chunksize: int | None = None,
+        use_shm: bool | None = None,
+    ):
         super().__init__(max_workers)
         if chunksize is not None and chunksize <= 0:
             raise InvalidInstanceError(
                 f"chunksize must be positive, got {chunksize}"
             )
         self.chunksize = chunksize
+        self.use_shm = use_shm
+        self._arenas: set[ShmArena] = set()
+
+    def block_transport(self) -> ShmArena | None:
+        """A registered :class:`ShmArena`, or ``None`` on the pipe path."""
+        use = self.use_shm if self.use_shm is not None else shm_available()
+        if not use:
+            return None
+        arena = ShmArena(on_close=self._forget_arena)
+        with self._lifecycle_lock:
+            self._arenas.add(arena)
+        return arena
+
+    def _forget_arena(self, arena: ShmArena) -> None:
+        with self._lifecycle_lock:
+            self._arenas.discard(arena)
+
+    def close(self) -> None:
+        """Shut down the pool, then sweep any arenas still registered.
+
+        The engine unlinks its arena in its own ``finally``; this sweep
+        is the backstop for runs that never got there (a crash between
+        staging and dispatch, a caller dropping a shared backend).
+        Arenas are closed outside the lifecycle lock — unlinking does
+        filesystem work.
+        """
+        super().close()
+        with self._lifecycle_lock:
+            arenas = list(self._arenas)
+        for arena in arenas:
+            arena.close()
 
     def _make_pool(self):
         from concurrent.futures import ProcessPoolExecutor
 
+        try:
+            # Start the resource tracker before the pool forks: workers
+            # must inherit the live tracker so their shared-memory
+            # attaches register with the parent's tracker (a no-op on a
+            # name the parent already registered) instead of each worker
+            # lazily spawning its own tracker, which would try to clean
+            # up parent-owned segments when the worker exits.
+            from multiprocessing.resource_tracker import ensure_running
+
+            ensure_running()
+        except Exception:
+            pass
         pool = ProcessPoolExecutor(max_workers=self.max_workers)
         # ProcessPoolExecutor spawns workers lazily on first submit, which
         # would bill worker startup to whatever phase runs first; spawn

@@ -48,9 +48,15 @@ from typing import Any, Hashable, Iterable, Iterator, Sequence
 from repro.core.schema import A2ASchema, X2YSchema
 from repro.dataset import Dataset, as_dataset, iter_chunks
 from repro.engine.backends import Backend, SerialBackend, get_backend
+from repro.engine.codec import (
+    decode_block_groups,
+    encode_groups,
+    select_codec,
+)
 from repro.engine.config import ExecutionConfig
 from repro.engine.metrics import EngineMetrics, PhaseTimings
 from repro.engine.routing import build_schema_plan
+from repro.engine.shm import SegmentReader, ShmSlice
 from repro.engine.spill import (
     MapSpill,
     make_spill_dir,
@@ -139,18 +145,25 @@ def _run_map_task(
     memory_budget: int | None = None,
     spill_dir: str | None = None,
     check_keys: bool = True,
-) -> tuple[
-    list[dict[Hashable, list[Any]]], int, int, int, int, MapSpill | None
-]:
+    encode: bool = False,
+) -> tuple[Any, int, int, int, int, MapSpill | None, int, float]:
     """One map task: map (and combine) a chunk into partition-bucketed groups.
 
     Returns ``(buckets, pair_count, comm, record_count, peak_buffered,
-    spill)`` where ``buckets[p]`` maps each key of reduce partition ``p``
-    to its value list in record order.  Pair counting and size accounting
-    happen here, in the (parallel) task, so the parent does no per-pair
-    work at all.  Module-level so process-pool workers can unpickle it;
-    the configuration is bound via :func:`functools.partial` and pickled
-    once per phase.
+    spill, encoded_bytes, encode_seconds)`` where ``buckets[p]`` maps
+    each key of reduce partition ``p`` to its value list in record order.
+    Pair counting and size accounting happen here, in the (parallel)
+    task, so the parent does no per-pair work at all.  Module-level so
+    process-pool workers can unpickle it; the configuration is bound via
+    :func:`functools.partial` and pickled once per phase.
+
+    With *encode* (set exactly when the backend ships results across a
+    process boundary), each non-empty bucket is returned as one encoded
+    block (:mod:`repro.engine.codec`) instead of a dict — the codec is
+    probed once from this task's keys, never per record — and empty
+    buckets as ``None``.  ``encoded_bytes``/``encode_seconds`` report
+    that work; both are 0 on the in-process backends, whose dict buckets
+    are handed over by reference.
 
     With a *memory_budget*, the task flushes its buffered groups to
     per-partition sorted run files in *spill_dir* whenever the buffered
@@ -197,14 +210,71 @@ def _run_map_task(
                 spill_groups(groups, num_partitions, spill_dir, spill)
                 groups = {}
                 buffered = 0
+    buckets: Any = partition_groups(groups, num_partitions)
+    encoded_bytes = 0
+    encode_seconds = 0.0
+    if encode:
+        encode_started = time.perf_counter()
+        codec = select_codec(groups)
+        blocks: list[bytes | None] = []
+        for bucket in buckets:
+            if bucket:
+                block = encode_groups(bucket, codec)
+                encoded_bytes += len(block)
+                blocks.append(block)
+            else:
+                blocks.append(None)
+        buckets = blocks
+        encode_seconds = time.perf_counter() - encode_started
     return (
-        partition_groups(groups, num_partitions),
+        buckets,
         pair_count,
         comm,
         record_count,
         peak_buffered,
         spill,
+        encoded_bytes,
+        encode_seconds,
     )
+
+
+def _resolve_sources(
+    sources: list[Any],
+) -> tuple[list[Any], float]:
+    """Decode a reduce task's block sources back into bucket dicts.
+
+    ``bytes`` sources (pipe-shipped blocks) and :class:`ShmSlice`
+    descriptors (shared-memory staged blocks) become dicts in place;
+    dict buckets and spill-run paths pass through untouched.  Shm
+    segments are attached once per segment, read zero-copy, and detached
+    before returning — decoded objects never reference the mapping.
+    Returns ``(resolved sources, decode seconds)``.
+    """
+    if not any(
+        isinstance(source, (bytes, ShmSlice)) for source in sources
+    ):
+        return sources, 0.0
+    decode_started = time.perf_counter()
+    reader: SegmentReader | None = None
+    resolved: list[Any] = []
+    try:
+        for source in sources:
+            if isinstance(source, bytes):
+                resolved.append(decode_block_groups(source))
+            elif isinstance(source, ShmSlice):
+                if reader is None:
+                    reader = SegmentReader()
+                view = reader.view(source)
+                try:
+                    resolved.append(decode_block_groups(view))
+                finally:
+                    view.release()
+            else:
+                resolved.append(source)
+    finally:
+        if reader is not None:
+            reader.close()
+    return resolved, time.perf_counter() - decode_started
 
 
 def _run_reduce_task(
@@ -214,22 +284,30 @@ def _run_reduce_task(
     size_of: SizeFn,
     capacity: int | None,
     strict: bool,
-) -> tuple[list[tuple[Hashable, list[Any]]] | None, list[tuple[Hashable, int]]]:
+) -> tuple[
+    list[tuple[Hashable, list[Any]]] | None,
+    list[tuple[Hashable, int]],
+    float,
+]:
     """One reduce task: merge a partition's sources and reduce each key.
 
     ``sources`` holds, in spill order (map-task order, then flush order
-    within a task, with each task's in-memory leftover last), either
-    bucket dicts or paths of sorted run files.  Extending value lists in
-    that order reproduces the simulator's global record order.  When every
-    source is in-memory the merge is the dict-based fast path; as soon as
-    one source lives on disk the whole partition goes through the
-    streaming external merge, which holds one key's merged values at a
-    time.  Returns ``(results, loads)``: per-key outputs plus per-key
-    loads.  Under strict capacity, a task whose partition contains an
-    overloaded key discards its outputs and returns ``results=None`` — the
-    parent merges all loads and raises for the globally smallest offending
-    key, so the strict-mode exception is identical to the simulator's.
+    within a task, with each task's in-memory leftover last), bucket
+    dicts, encoded blocks (``bytes`` or :class:`ShmSlice` descriptors —
+    decoded here, in the parallel task), or paths of sorted run files.
+    Extending value lists in that order reproduces the simulator's global
+    record order.  When every source is in-memory the merge is the
+    dict-based fast path; as soon as one source lives on disk the whole
+    partition goes through the streaming external merge, which holds one
+    key's merged values at a time.  Returns ``(results, loads,
+    decode_seconds)``: per-key outputs plus per-key loads plus the time
+    spent decoding block sources.  Under strict capacity, a task whose
+    partition contains an overloaded key discards its outputs and returns
+    ``results=None`` — the parent merges all loads and raises for the
+    globally smallest offending key, so the strict-mode exception is
+    identical to the simulator's.
     """
+    sources, decode_seconds = _resolve_sources(sources)
     stream: Iterable[tuple[Hashable, list[Any]]]
     if any(isinstance(source, str) for source in sources):
         stream = merge_sources(sources)
@@ -254,8 +332,8 @@ def _run_reduce_task(
         if not (strict and overloaded):
             results.append((key, list(reduce_fn(key, values))))
     if strict and overloaded:
-        return None, loads
-    return results, loads
+        return None, loads, decode_seconds
+    return results, loads, decode_seconds
 
 
 def _traced_task(
@@ -482,6 +560,13 @@ class ExecutionEngine:
             if self.memory_budget is not None
             else None
         )
+        # The block transport (a shared-memory arena on the processes
+        # backend, None for pipe/inline shipping) is owned here: closing
+        # it in the finally guarantees every staged segment is unlinked on
+        # success, failure, and fallback alike.  Worker loss cannot leak
+        # segments either way — they are created and unlinked only in this
+        # parent process, so a replayed reduce task just re-attaches.
+        transport = backend.block_transport() if backend.ships_blocks else None
         try:
             return self._run_phases(
                 backend,
@@ -490,8 +575,11 @@ class ExecutionEngine:
                 run_spill_dir,
                 deadline_at,
                 fallback_from,
+                transport,
             )
         finally:
+            if transport is not None:
+                transport.close()
             if run_spill_dir is not None:
                 shutil.rmtree(run_spill_dir, ignore_errors=True)
 
@@ -560,8 +648,10 @@ class ExecutionEngine:
         run_spill_dir: str | None,
         deadline_at: float | None = None,
         fallback_from: str | Backend | None = None,
+        transport: Any = None,
     ) -> EngineResult:
-        """The three phases plus the post-pass (spill dir managed by run)."""
+        """The three phases plus the post-pass (spill dir and block
+        transport are owned by :meth:`_run_on`)."""
         tracer = as_tracer(self.tracer)
         resilient, retry_counter = self._fault_plane(
             backend, tracer, deadline_at
@@ -605,6 +695,7 @@ class ExecutionEngine:
                     check_keys=(
                         self.strict_capacity or self.memory_budget is not None
                     ),
+                    encode=backend.ships_blocks,
                 )
                 ctx = tracer.worker_context()
                 if ctx is not None:
@@ -628,8 +719,11 @@ class ExecutionEngine:
 
             # --- shuffle: a transpose.  Collect each partition's sources
             # across map tasks — spilled runs in flush order, then the
-            # task's in-memory leftover — and drop empty partitions; no
-            # per-pair or per-key work happens here.
+            # task's in-memory leftover (a dict bucket, or an opaque
+            # encoded block on block-shipping backends) — and drop empty
+            # partitions; no per-pair or per-key work happens here.  With
+            # a shared-memory transport, each partition's blocks are then
+            # staged into one segment and replaced by slice descriptors.
             with tracer.span("shuffle", category="engine") as shuffle_span:
                 shuffle_started = time.perf_counter()
                 map_inputs = sum(result[3] for result in map_results)
@@ -648,6 +742,8 @@ class ExecutionEngine:
                     for result in map_results
                     if result[5] is not None
                 )
+                encoded_bytes = sum(result[6] for result in map_results)
+                encode_seconds = sum(result[7] for result in map_results)
                 partitions: list[list[Any]] = []
                 for p in range(num_partitions):
                     sources: list[Any] = []
@@ -658,10 +754,21 @@ class ExecutionEngine:
                         if result[0][p]:
                             sources.append(result[0][p])
                     if sources:
+                        if transport is not None:
+                            sources = transport.stage(sources)
                         partitions.append(sources)
+                shm_segments = (
+                    transport.segments_created
+                    if transport is not None
+                    else 0
+                )
                 shuffle_span.set("pairs", map_pairs)
                 shuffle_span.set("partitions", len(partitions))
                 shuffle_span.set("spilled_bytes", spilled_bytes)
+                if encoded_bytes:
+                    shuffle_span.set("encoded_bytes", encoded_bytes)
+                if shm_segments:
+                    shuffle_span.set("shm_segments", shm_segments)
                 shuffle_seconds = time.perf_counter() - shuffle_started
 
             # --- reduce phase: each task merges its partition's sources,
@@ -706,9 +813,11 @@ class ExecutionEngine:
             loads: dict[Hashable, int] = {}
             outputs_by_key: dict[Hashable, list[Any]] = {}
             task_loads: list[int] = []
-            for results, partition_loads in task_results:
+            decode_seconds = 0.0
+            for results, partition_loads, task_decode in task_results:
                 task_loads.append(sum(load for _, load in partition_loads))
                 loads.update(partition_loads)
+                decode_seconds += task_decode
                 if results is not None:
                     for key, outs in results:
                         outputs_by_key[key] = outs
@@ -765,6 +874,10 @@ class ExecutionEngine:
             fallback_backend=(
                 backend.name if fallback_from is not None else None
             ),
+            encoded_bytes=encoded_bytes,
+            encode_seconds=encode_seconds,
+            decode_seconds=decode_seconds,
+            shm_segments=shm_segments,
         )
         return EngineResult(
             outputs=outputs, metrics=metrics, engine=engine_metrics
@@ -787,6 +900,8 @@ class ExecutionEngine:
             args = span_dict["args"]
             args["records"] = result[3]
             args["pairs"] = result[1]
+            if result[6]:
+                args["encoded_bytes"] = result[6]
             spill = result[5]
             if spill is not None and spill.flush_windows:
                 args["spilled_bytes"] = spill.spilled_bytes

@@ -63,6 +63,16 @@ class EngineMetrics:
         fallback_backend: set to the backend that actually completed the
             run when the graceful-degradation chain demoted it (``None``
             when the configured backend ran it).
+        encoded_bytes: total size of the shuffle blocks map tasks encoded
+            (:mod:`repro.engine.codec`); 0 on in-process backends, which
+            hand buckets over by reference.
+        encode_seconds: wall time map tasks spent encoding blocks (summed
+            across tasks, so it can exceed the map phase wall time on a
+            parallel backend).
+        decode_seconds: wall time reduce tasks spent decoding block
+            sources (same summation caveat).
+        shm_segments: shared-memory segments the run staged its reduce
+            partitions through (0 on the pipe/inline transport).
     """
 
     backend: str
@@ -76,6 +86,10 @@ class EngineMetrics:
     task_retries: int = 0
     pool_rebuilds: int = 0
     fallback_backend: str | None = None
+    encoded_bytes: int = 0
+    encode_seconds: float = 0.0
+    decode_seconds: float = 0.0
+    shm_segments: int = 0
 
     @property
     def max_task_load(self) -> int:
@@ -104,4 +118,8 @@ class EngineMetrics:
             "bytes_moved": self.bytes_moved,
             "max_task_load": self.max_task_load,
             "retries": self.task_retries,
+            "encoded_bytes": self.encoded_bytes,
+            "encode_s": round(self.encode_seconds, 4),
+            "decode_s": round(self.decode_seconds, 4),
+            "shm_segments": self.shm_segments,
         }

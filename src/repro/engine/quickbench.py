@@ -720,6 +720,244 @@ def check_spill(rows: Iterable[dict[str, object]]) -> list[str]:
     return failures
 
 
+#: Key generators for the codec bench, one per key kind the data plane
+#: distinguishes (the ``tuple`` kind exercises the pickle fallback).
+def _int_keys(count: int) -> list:
+    return list(range(count))
+
+
+def _str_keys(count: int) -> list:
+    return [f"key-{index:08d}" for index in range(count)]
+
+
+def _bytes_keys(count: int) -> list:
+    return [b"key-%08d" % index for index in range(count)]
+
+
+def _tuple_keys(count: int) -> list:
+    return [("join", index % 97, index) for index in range(count)]
+
+
+_CODEC_KEYSETS = {
+    "int": _int_keys,
+    "str": _str_keys,
+    "bytes": _bytes_keys,
+    "tuple": _tuple_keys,
+}
+
+
+def run_codec_bench(
+    *,
+    items: int = 20000,
+    values_per_key: int = 4,
+    repeat: int = 3,
+    block_items: Iterable[int] = (128, 512, 2048),
+    transport_scale: float = 0.5,
+    include_transport: bool = True,
+) -> list[dict[str, object]]:
+    """E24: block-codec throughput, block-size sweep, and shm-vs-pipe.
+
+    Three row families, all best-of-*repeat*:
+
+    * ``codec`` — encode/decode one *items*-key bucket per key kind
+      (int/str/bytes, plus tuples for the pickle fallback), next to a
+      plain whole-dict pickle round-trip of the same bucket (the data
+      plane this codec replaced).  Each row round-trip-verifies before
+      it reports a number.
+    * ``block_sweep`` — the same int bucket encoded in blocks of each
+      *block_items* size: how block granularity trades framing overhead
+      against streaming-decode batch size (the spill path's knob).
+    * ``shuffle_heavy`` transport rows (``include_transport``) — the
+      shuffle-heavy scenario on the ``processes`` backend with the
+      shared-memory transport forced on and off; outputs are asserted
+      identical, so the pair is also a correctness check of both paths.
+    """
+    import pickle
+
+    from repro.engine.codec import (
+        decode_block,
+        decode_block_groups,
+        encode_groups,
+        encode_items,
+        select_codec,
+    )
+
+    rows: list[dict[str, object]] = []
+    reps = max(1, repeat)
+    for kind, make_keys in _CODEC_KEYSETS.items():
+        keys = make_keys(items)
+        groups = {
+            key: list(range(index, index + values_per_key))
+            for index, key in enumerate(keys)
+        }
+        codec = select_codec(groups)
+        block = encode_groups(groups, codec)
+        encode_wall = min(
+            _timed(encode_groups, groups, codec) for _ in range(reps)
+        )
+        decode_wall = min(_timed(decode_block_groups, block) for _ in range(reps))
+        pickled = pickle.dumps(groups, protocol=pickle.HIGHEST_PROTOCOL)
+        pickle_wall = min(
+            _timed(pickle.dumps, groups, pickle.HIGHEST_PROTOCOL)
+            + _timed(pickle.loads, pickled)
+            for _ in range(reps)
+        )
+        rows.append(
+            {
+                "scenario": "codec",
+                "kind": kind,
+                "codec": codec.decode("ascii"),
+                "items": items,
+                "encoded_bytes": len(block),
+                "pickled_bytes": len(pickled),
+                "encode_s": round(encode_wall, 4),
+                "decode_s": round(decode_wall, 4),
+                "roundtrip_s": round(encode_wall + decode_wall, 4),
+                "pickle_roundtrip_s": round(pickle_wall, 4),
+                "ok": decode_block_groups(block) == groups,
+            }
+        )
+    int_items = [
+        (key, [key]) for key in _CODEC_KEYSETS["int"](items)
+    ]
+    int_codec = select_codec(key for key, _ in int_items)
+    for size in block_items:
+        size = max(1, int(size))
+        blocks = [
+            encode_items(int_items[start : start + size], int_codec)
+            for start in range(0, len(int_items), size)
+        ]
+
+        def _encode_all() -> None:
+            for start in range(0, len(int_items), size):
+                encode_items(int_items[start : start + size], int_codec)
+
+        def _decode_all() -> None:
+            for encoded in blocks:
+                decode_block(encoded)
+
+        encode_wall = min(_timed(_encode_all) for _ in range(reps))
+        decode_wall = min(_timed(_decode_all) for _ in range(reps))
+        decoded = [item for encoded in blocks for item in decode_block(encoded)]
+        rows.append(
+            {
+                "scenario": "block_sweep",
+                "kind": "int",
+                "block_items": size,
+                "blocks": len(blocks),
+                "items": len(int_items),
+                "encoded_bytes": sum(len(b) for b in blocks),
+                "encode_s": round(encode_wall, 4),
+                "decode_s": round(decode_wall, 4),
+                "ok": decoded == int_items,
+            }
+        )
+    if include_transport:
+        rows.extend(_run_transport_bench(scale=transport_scale, repeat=reps))
+    return rows
+
+
+def _timed(fn: Any, *args: Any) -> float:
+    """Wall seconds of one ``fn(*args)`` call."""
+    started = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - started
+
+
+def _run_transport_bench(
+    *, scale: float, repeat: int
+) -> list[dict[str, object]]:
+    """Shuffle-heavy on ``processes`` with the shm transport on vs off."""
+    from repro.engine.backends import ProcessBackend
+    from repro.engine.shm import shm_available
+
+    serial_result, _ = run_scenario("shuffle_heavy", "serial", scale=scale)
+    variants = [("pipe", False)]
+    if shm_available():
+        variants.append(("shm", True))
+    rows: list[dict[str, object]] = []
+    for label, use_shm in variants:
+        best: tuple[EngineResult, float] | None = None
+        with ProcessBackend(use_shm=use_shm) as backend:
+            for _ in range(repeat):
+                result, wall = run_scenario(
+                    "shuffle_heavy", backend, scale=scale
+                )
+                if best is None or wall < best[1]:
+                    best = (result, wall)
+        result, wall = best
+        assert result.outputs == serial_result.outputs, (
+            "transport",
+            label,
+            "processes outputs diverged from serial",
+        )
+        rows.append(
+            {
+                "scenario": "shuffle_heavy",
+                "kind": "transport",
+                "backend": f"processes[{label}]",
+                "wall_s": round(wall, 3),
+                "encoded_bytes": result.engine.encoded_bytes,
+                "encode_s": round(result.engine.encode_seconds, 4),
+                "decode_s": round(result.engine.decode_seconds, 4),
+                "shm_segments": result.engine.shm_segments,
+                "outputs": len(result.outputs),
+                "ok": True,
+            }
+        )
+    return rows
+
+
+def check_codec(rows: Iterable[dict[str, object]]) -> list[str]:
+    """Smoke check for the codec-bench rows (the E24 gate).
+
+    Every row must have round-trip-verified (``ok``); the typed kinds
+    must actually have selected their typed codec (int→``i``, str→``s``,
+    bytes→``b``) with tuples on the pickle fallback — a silent fallback
+    would quietly bench the wrong code path; and transport rows, when
+    present, must agree on the output count.  Returns failure strings
+    (empty = pass).
+    """
+    failures: list[str] = []
+    expected_codec = {"int": "i", "str": "s", "bytes": "b", "tuple": "p"}
+    codec_rows = 0
+    transport_outputs: dict[str, int] = {}
+    for row in rows:
+        label = f"{row.get('scenario')}/{row.get('kind')}"
+        if not row.get("ok", False):
+            failures.append(f"{label}: block round-trip failed")
+        if row.get("scenario") == "codec":
+            codec_rows += 1
+            kind = str(row.get("kind"))
+            want = expected_codec.get(kind)
+            if want is not None and row.get("codec") != want:
+                failures.append(
+                    f"{label}: selected codec {row.get('codec')!r}, "
+                    f"expected {want!r}"
+                )
+            if int(row.get("encoded_bytes", 0)) <= 0:
+                failures.append(f"{label}: encoded zero bytes")
+        if row.get("kind") == "transport":
+            transport_outputs[str(row.get("backend"))] = int(
+                row.get("outputs", 0)
+            )
+            if int(row.get("encoded_bytes", 0)) <= 0:
+                failures.append(
+                    f"{label}/{row.get('backend')}: processes run encoded "
+                    "zero bytes — the block data plane is not engaged"
+                )
+    if codec_rows < len(expected_codec):
+        failures.append(
+            f"codec check compared only {codec_rows} codec rows, "
+            f"expected {len(expected_codec)} key kinds"
+        )
+    if transport_outputs and len(set(transport_outputs.values())) > 1:
+        failures.append(
+            f"transport variants disagree on outputs: {transport_outputs}"
+        )
+    return failures
+
+
 def check_regression(
     rows: Iterable[dict[str, object]],
     *,

@@ -1,0 +1,261 @@
+"""Zero-copy shared-memory transport for encoded shuffle blocks.
+
+On the ``processes`` backend, map tasks return their partition buckets as
+encoded blocks (:mod:`repro.engine.codec`) through the result pipe — a
+``bytes`` pickle is a straight memcpy, already far cheaper than pickling
+the dict it replaced.  The reduce phase is where shared memory pays: the
+parent *stages* each reduce partition's blocks into one
+:class:`multiprocessing.shared_memory.SharedMemory` segment and ships the
+workers only tiny :class:`ShmSlice` descriptors (segment name, offset,
+length).  A reduce worker attaches the named segment, decodes its blocks
+directly from a ``memoryview`` of the mapping — the block bytes are never
+copied through a pipe and never duplicated in the worker — and detaches.
+
+Lifecycle and crash-safety:
+
+* Segments are **parent-owned**.  The engine closes (and unlinks) its
+  arena in a ``finally`` as soon as the reduce phase ends, success or
+  failure.  Because ownership never transfers, a worker killed mid-task
+  cannot leak a segment: the descriptors it held stay valid and the
+  retried task simply re-attaches.
+* The :class:`~repro.engine.backends.ProcessBackend` additionally keeps a
+  registry of every arena it handed out and sweeps it in
+  ``Backend.close()`` — a backstop for runs torn down by an exception
+  path that never reached the engine's ``finally``.
+* Segment names are deterministic per parent process:
+  ``rp{pid}_{seq}_{n}`` (short enough for macOS's 31-character shm name
+  limit).  A name collision with a stale segment from a recycled pid is
+  resolved by retrying under the next sequence number.
+* Worker-side attaches must not register with ``resource_tracker`` — on
+  CPython < 3.13 attaching registers the segment for cleanup-at-exit,
+  which would unlink a parent-owned segment early and spew warnings.
+  Python 3.13+ has ``track=False``; older versions get an explicit
+  ``resource_tracker.unregister`` straight after attaching.
+
+When ``/dev/shm`` (or the platform equivalent) is unavailable, the probe
+in :func:`shm_available` fails once per process and the transport
+degrades to the pipe path: blocks simply stay inline in the reduce
+payloads.  Correctness is identical either way; only the copy count
+changes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from dataclasses import dataclass
+from typing import Any
+
+#: Attempts to find an unused segment name before giving up on shm for
+#: the run (names collide only with stale segments from a recycled pid).
+_NAME_ATTEMPTS = 8
+
+#: Per-process sequence for segment names; combined with the pid this
+#: makes names unique among live processes.
+_SEGMENT_SEQ = itertools.count()
+
+#: Cached result of the one-time availability probe (None = not probed).
+_SHM_OK: bool | None = None
+
+
+@dataclass(frozen=True)
+class ShmSlice:
+    """A reduce-task source living in a shared-memory segment.
+
+    Picklable and tiny — this is what crosses the pipe instead of the
+    block bytes.  ``segment`` is the :class:`SharedMemory` name; the
+    block occupies ``[offset, offset + length)`` of its mapping.
+    """
+
+    segment: str
+    offset: int
+    length: int
+
+
+def shm_available() -> bool:
+    """Whether this platform can create shared-memory segments (cached).
+
+    Creates and immediately unlinks a 1-byte probe segment once per
+    process; any failure (no ``/dev/shm``, seccomp, missing ``_posixshmem``)
+    marks shm unavailable and the data plane stays on pipe transport.
+    """
+    global _SHM_OK
+    if _SHM_OK is None:
+        try:
+            from multiprocessing import shared_memory
+
+            probe = shared_memory.SharedMemory(create=True, size=1)
+            probe.close()
+            probe.unlink()
+            _SHM_OK = True
+        except Exception:
+            _SHM_OK = False
+    return _SHM_OK
+
+
+def attach_segment(name: str) -> Any:
+    """Attach an existing segment without disturbing its parent ownership.
+
+    Python 3.13+ has ``track=False``, which keeps the attach invisible to
+    the resource tracker.  Before 3.13, attaching always registers the
+    segment, and the right correction depends on the start method:
+    fork-started workers share the parent's tracker process — the name is
+    already registered from the parent's create (registrations are a
+    set, so the attach is a no-op) and the parent's unlink unregisters it
+    exactly once, so the worker must *not* unregister.  Spawn/forkserver
+    workers run their own tracker, which would unlink the parent-owned
+    segment when the worker exits — there the attach is unregistered
+    immediately.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        # Python < 3.13: no ``track`` parameter.
+        pass
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        import multiprocessing
+
+        if multiprocessing.get_start_method(allow_none=True) != "fork":
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(
+                getattr(segment, "_name", "/" + segment.name),
+                "shared_memory",
+            )
+    except Exception:
+        pass
+    return segment
+
+
+class ShmArena:
+    """Parent-side owner of one run's shared-memory segments.
+
+    :meth:`stage` packs a partition's encoded blocks into one fresh
+    segment and rewrites the source list with :class:`ShmSlice`
+    descriptors; :meth:`close` unmaps and unlinks everything (idempotent,
+    called from the engine's ``finally`` and again from the backend's
+    registry sweep).
+    """
+
+    def __init__(self, on_close: Any = None):
+        self._segments: list[Any] = []
+        self._on_close = on_close
+        self.closed = False
+        #: Set when segment allocation failed mid-run: the arena stops
+        #: staging and the remaining blocks ship inline over the pipe.
+        self.degraded = False
+        #: Segments created so far (reported as ``shm_segments``).
+        self.segments_created = 0
+        #: Total block bytes staged into shared memory.
+        self.staged_bytes = 0
+
+    def _create_segment(self, size: int) -> Any:
+        """Allocate one named segment, or ``None`` when shm gives out.
+
+        A name collision (stale segment from a recycled pid) retries
+        under the next sequence number; any other failure (``/dev/shm``
+        full, resource limits) degrades the arena — correctness never
+        depends on shared memory.
+        """
+        from multiprocessing import shared_memory
+
+        for _ in range(_NAME_ATTEMPTS):
+            name = f"rp{os.getpid()}_{next(_SEGMENT_SEQ)}"
+            try:
+                segment = shared_memory.SharedMemory(
+                    name=name, create=True, size=size
+                )
+            except FileExistsError:
+                continue
+            except OSError:
+                return None
+            self._segments.append(segment)
+            self.segments_created += 1
+            return segment
+        return None
+
+    def stage(self, sources: list[Any]) -> list[Any]:
+        """Move a partition's block sources into one shared segment.
+
+        Only ``bytes`` blocks are staged; dict buckets and spill-run
+        paths pass through untouched, and a partition with no blocks
+        allocates nothing.  Source order — the shuffle's task order — is
+        preserved exactly.  When allocation fails the sources are
+        returned unchanged (and the arena degrades to a pass-through):
+        inline blocks over the pipe are the universal fallback.
+        """
+        if self.degraded:
+            return sources
+        total = sum(
+            len(source) for source in sources if isinstance(source, bytes)
+        )
+        if total == 0:
+            return sources
+        segment = self._create_segment(total)
+        if segment is None:
+            self.degraded = True
+            return sources
+        staged: list[Any] = []
+        offset = 0
+        buf = segment.buf
+        for source in sources:
+            if isinstance(source, bytes):
+                end = offset + len(source)
+                buf[offset:end] = source
+                staged.append(ShmSlice(segment.name, offset, len(source)))
+                offset = end
+            else:
+                staged.append(source)
+        self.staged_bytes += total
+        return staged
+
+    def close(self) -> None:
+        """Unmap and unlink every segment (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        segments, self._segments = self._segments, []
+        for segment in segments:
+            try:
+                segment.close()
+            except Exception:
+                pass
+            try:
+                segment.unlink()
+            except Exception:
+                pass
+        if self._on_close is not None:
+            self._on_close(self)
+            self._on_close = None
+
+
+class SegmentReader:
+    """Worker-side cache of attached segments for one reduce task.
+
+    A task's sources may reference the same segment several times; attach
+    once per segment, hand out in-place views, and detach everything in
+    :meth:`close` (the task's ``finally``).
+    """
+
+    def __init__(self) -> None:
+        self._attached: dict[str, Any] = {}
+
+    def view(self, source: ShmSlice) -> memoryview:
+        """A zero-copy view of one staged block (valid until :meth:`close`)."""
+        segment = self._attached.get(source.segment)
+        if segment is None:
+            segment = attach_segment(source.segment)
+            self._attached[source.segment] = segment
+        return segment.buf[source.offset : source.offset + source.length]
+
+    def close(self) -> None:
+        """Detach every cached segment (never unlinks — parent owns them)."""
+        attached, self._attached = self._attached, {}
+        for segment in attached.values():
+            try:
+                segment.close()
+            except Exception:
+                pass

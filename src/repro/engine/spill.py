@@ -24,10 +24,16 @@ Two invariants make the spilled path bit-identical to the in-memory one:
   in-memory leftover last.  That is precisely the record order the
   in-memory path produces by extending value lists slab by slab.
 
-Run files are plain pickle streams in a per-run temporary directory owned
-by the engine (workers on the ``processes`` backend write to the shared
-directory and return file paths; the parent removes the directory when
-the run finishes).
+Run files live in a per-run temporary directory owned by the engine
+(workers on the ``processes`` backend write to the shared directory and
+return file paths; the parent removes the directory when the run
+finishes).  A run file is a short pickled header ``("rblk1", item
+count)`` followed by encoded blocks (:mod:`repro.engine.codec`) of up to
+:data:`RUN_BLOCK_ITEMS` sorted items each, pickled as opaque ``bytes`` —
+the same wire format the shuffle ships, so spilling pays one typed batch
+encode per block instead of one pickle per item, and the k-way merge
+streams one decoded block at a time.  The legacy format (a pickled item
+count followed by per-item pickles) is still readable.
 """
 
 from __future__ import annotations
@@ -40,8 +46,17 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterator
 
-from repro.exceptions import SpillError
+from repro.engine.codec import decode_block, encode_items, select_codec
+from repro.exceptions import CodecError, SpillError
 from repro.mapreduce.shuffle import partition_groups
+
+#: Sorted items per encoded block in a run file: large enough to amortize
+#: the per-block pickle/codec framing, small enough that the streaming
+#: merge holds only a sliver of a big partition in memory.
+RUN_BLOCK_ITEMS = 512
+
+#: Header tag of block-format run files.
+_RUN_HEADER_TAG = "rblk1"
 
 #: A reduce task's input source: an in-memory bucket dict, or the path of
 #: a spilled run file (distinguished by ``isinstance(source, str)``).
@@ -94,20 +109,30 @@ def _sorted_items(
 def write_run(
     groups: dict[Hashable, list[Any]], spill_dir: str
 ) -> tuple[str, int]:
-    """Write one partition's groups as a sorted run file.
+    """Write one partition's groups as a sorted block-format run file.
 
-    Returns ``(path, bytes_written)``.  The file is a pickled item count
-    followed by that many pickled ``(key, values)`` items in sorted-key
-    order; the count header lets :func:`iter_run` distinguish a complete
-    run from one truncated at an item boundary (which a bare pickle
-    stream would silently read as a shorter run).
+    Returns ``(path, bytes_written)``.  The file is a pickled
+    ``("rblk1", item count)`` header followed by encoded blocks of up to
+    :data:`RUN_BLOCK_ITEMS` ``(key, values)`` items in sorted-key order,
+    each pickled as one ``bytes`` object.  The codec is probed once per
+    run from the groups' keys; the count header lets :func:`iter_run`
+    distinguish a complete run from one truncated at a block boundary
+    (which a bare pickle stream would silently read as a shorter run).
     """
     items = _sorted_items(groups)
+    codec = select_codec(groups)
     fd, path = tempfile.mkstemp(dir=spill_dir, suffix=".run")
     with os.fdopen(fd, "wb") as handle:
-        pickle.dump(len(items), handle, protocol=pickle.HIGHEST_PROTOCOL)
-        for item in items:
-            pickle.dump(item, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        pickle.dump(
+            (_RUN_HEADER_TAG, len(items)),
+            handle,
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        for start in range(0, len(items), RUN_BLOCK_ITEMS):
+            block = encode_items(
+                items[start : start + RUN_BLOCK_ITEMS], codec
+            )
+            pickle.dump(block, handle, protocol=pickle.HIGHEST_PROTOCOL)
     return path, os.path.getsize(path)
 
 
@@ -145,8 +170,11 @@ def spill_groups(
 def iter_run(path: str) -> Iterator[tuple[Hashable, list[Any]]]:
     """Stream ``(key, values)`` items back out of one run file.
 
-    Every failure mode — unreadable file, garbage bytes, or a run holding
-    fewer items than its count header promises — raises
+    Decodes block-format runs one block at a time (memory is bounded by
+    one block, not the run) and still reads the legacy per-item-pickle
+    format.  Every failure mode — unreadable file, garbage bytes, a
+    block that does not decode, or a run holding fewer items than its
+    count header promises — raises
     :class:`~repro.exceptions.SpillError`; a truncated run must never be
     silently read as a shorter one (the reduce task would drop keys and
     produce wrong outputs without any error).
@@ -157,14 +185,42 @@ def iter_run(path: str) -> Iterator[tuple[Hashable, list[Any]]]:
         raise SpillError(f"cannot open spill run {path!r}: {exc}") from exc
     with handle:
         try:
-            expected = pickle.load(handle)
-            if not isinstance(expected, int) or expected < 0:
+            header = pickle.load(handle)
+            if (
+                isinstance(header, tuple)
+                and len(header) == 2
+                and header[0] == _RUN_HEADER_TAG
+                and isinstance(header[1], int)
+                and header[1] >= 0
+            ):
+                remaining = header[1]
+                while remaining > 0:
+                    block = pickle.load(handle)
+                    if not isinstance(block, bytes):
+                        raise SpillError(
+                            f"corrupt spill run {path!r}: expected an "
+                            f"encoded block, got {type(block).__name__}"
+                        )
+                    items = decode_block(block)
+                    if not items or len(items) > remaining:
+                        raise SpillError(
+                            f"corrupt spill run {path!r}: block item "
+                            "count disagrees with the run header"
+                        )
+                    yield from items
+                    remaining -= len(items)
+            elif isinstance(header, int) and header >= 0:
+                # Legacy format: per-item pickles after an item count.
+                for _ in range(header):
+                    yield pickle.load(handle)
+            else:
                 raise SpillError(
-                    f"corrupt spill run {path!r}: bad item count header "
-                    f"{expected!r}"
+                    f"corrupt spill run {path!r}: bad header {header!r}"
                 )
-            for _ in range(expected):
-                yield pickle.load(handle)
+        except CodecError as exc:
+            raise SpillError(
+                f"corrupt or truncated spill run {path!r}: {exc}"
+            ) from exc
         except (EOFError, pickle.UnpicklingError, OSError) as exc:
             raise SpillError(
                 f"corrupt or truncated spill run {path!r}: {exc}"

@@ -48,6 +48,11 @@ class ObservationRecord:
     gaps in the log — and ``task_retries``/``pool_rebuilds`` carry the
     fault plane's recovery work into the calibration data.  All four
     fields default so logs written before the fault plane load cleanly.
+
+    The data-plane counters (``encoded_bytes``/``encode_seconds``/
+    ``decode_seconds``/``shm_segments``) likewise default to zero so
+    logs written before the block codec landed load unchanged; they are
+    only nonzero on backends that ship encoded blocks.
     """
 
     job_id: str
@@ -71,6 +76,10 @@ class ObservationRecord:
     error: str = ""
     task_retries: int = 0
     pool_rebuilds: int = 0
+    encoded_bytes: int = 0
+    encode_seconds: float = 0.0
+    decode_seconds: float = 0.0
+    shm_segments: int = 0
     at: float = field(default_factory=time.time)
 
     @classmethod
@@ -103,6 +112,10 @@ class ObservationRecord:
                 reduce_seconds=engine.timings.reduce_seconds,
                 task_retries=engine.task_retries,
                 pool_rebuilds=engine.pool_rebuilds,
+                encoded_bytes=engine.encoded_bytes,
+                encode_seconds=engine.encode_seconds,
+                decode_seconds=engine.decode_seconds,
+                shm_segments=engine.shm_segments,
             )
         if metrics is not None:
             kwargs.update(
@@ -240,6 +253,8 @@ def summarize_observations(
                 ),
                 "shuffle_pairs": sum(r.map_output_pairs for r in group),
                 "spilled_bytes": sum(r.spilled_bytes for r in group),
+                "encoded_bytes": sum(r.encoded_bytes for r in group),
+                "shm_segments": sum(r.shm_segments for r in group),
                 "outputs": sum(r.output_records for r in group),
             }
         )

@@ -1,0 +1,301 @@
+"""End-to-end tests for the batched block data plane.
+
+Three layers under test: the shared-memory transport primitives
+(:mod:`repro.engine.shm`), the engine's block shuffle on the
+``processes`` backend (shm and pipe-fallback variants), and the
+lifecycle guarantees — byte-identical outputs on every backend and
+**zero leaked ``/dev/shm`` segments**, including under fault injection
+with real worker kills.
+
+Map/reduce functions are module-level so they pickle on ``processes``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.engine.backends import ProcessBackend
+from repro.engine.codec import decode_block_groups, encode_groups
+from repro.engine.engine import ExecutionEngine
+from repro.engine.shm import SegmentReader, ShmArena, ShmSlice, shm_available
+from repro.faults import RetryPolicy
+from repro.obs.store import ObservationRecord
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="shared memory unavailable on this platform"
+)
+
+#: Pinned geometry so every backend decomposes work identically.
+GEOMETRY = dict(map_chunk_size=2, num_reduce_tasks=4, num_workers=2)
+
+RECORDS = [
+    "the quick brown fox",
+    "the lazy dog",
+    "the quick dog jumps",
+    "a brown dog",
+    "fox and dog and fox",
+    "jumps over the lazy fox",
+    "quick brown jumps",
+    "dog and fox",
+]
+
+
+def word_map(record: str):
+    for word in record.split():
+        yield word, 1
+
+
+def word_reduce(key, values):
+    yield key, sum(values)
+
+
+def _engine(backend, **kwargs):
+    merged = dict(
+        map_fn=word_map, reduce_fn=word_reduce, backend=backend, **GEOMETRY
+    )
+    merged.update(kwargs)
+    return ExecutionEngine(**merged)
+
+
+def _own_segments() -> list[str]:
+    """Names of this process's live shm segments (the leak detector)."""
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():
+        return []
+    prefix = f"rp{os.getpid()}_"
+    return sorted(p.name for p in shm_dir.iterdir() if p.name.startswith(prefix))
+
+
+class TestShmArena:
+    @needs_shm
+    def test_stage_and_read_back(self):
+        arena = ShmArena()
+        try:
+            blocks = [
+                encode_groups({"a": [1, 2]}),
+                encode_groups({"b": [3]}),
+            ]
+            staged = arena.stage(list(blocks))
+            assert all(isinstance(s, ShmSlice) for s in staged)
+            assert len({s.segment for s in staged}) == 1  # one segment/partition
+            assert arena.segments_created == 1
+            assert arena.staged_bytes == sum(len(b) for b in blocks)
+            reader = SegmentReader()
+            try:
+                for source, block in zip(staged, blocks):
+                    view = reader.view(source)
+                    try:
+                        assert decode_block_groups(view) == decode_block_groups(
+                            block
+                        )
+                    finally:
+                        view.release()
+            finally:
+                reader.close()
+        finally:
+            arena.close()
+        assert _own_segments() == []
+
+    @needs_shm
+    def test_non_bytes_sources_pass_through(self):
+        arena = ShmArena()
+        try:
+            bucket = {"k": [1]}
+            staged = arena.stage([bucket, "/tmp/run.0", encode_groups(bucket)])
+            assert staged[0] is bucket
+            assert staged[1] == "/tmp/run.0"
+            assert isinstance(staged[2], ShmSlice)
+        finally:
+            arena.close()
+
+    def test_empty_partition_allocates_nothing(self):
+        arena = ShmArena()
+        try:
+            sources = [{"k": [1]}, "/tmp/run.1"]
+            assert arena.stage(list(sources)) == sources
+            assert arena.segments_created == 0
+        finally:
+            arena.close()
+
+    @needs_shm
+    def test_close_is_idempotent_and_unlinks(self):
+        arena = ShmArena()
+        arena.stage([encode_groups({"a": [1]})])
+        assert len(_own_segments()) == 1
+        arena.close()
+        assert _own_segments() == []
+        arena.close()  # second close is a no-op
+
+    @needs_shm
+    def test_on_close_fires_exactly_once(self):
+        fired = []
+        arena = ShmArena(on_close=fired.append)
+        arena.stage([encode_groups({"a": [1]})])
+        arena.close()
+        arena.close()
+        assert fired == [arena]
+
+    def test_allocation_failure_degrades_to_passthrough(self, monkeypatch):
+        import multiprocessing.shared_memory as sm
+
+        def refuse(*args, **kwargs):
+            raise OSError("no space on /dev/shm")
+
+        monkeypatch.setattr(sm, "SharedMemory", refuse)
+        arena = ShmArena()
+        try:
+            block = encode_groups({"a": [1]})
+            assert arena.stage([block]) == [block]
+            assert arena.degraded
+            assert arena.segments_created == 0
+            # Subsequent stages short-circuit without retrying.
+            assert arena.stage([block]) == [block]
+        finally:
+            arena.close()
+
+
+class TestBlockShuffleCrossval:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return _engine("serial").run(RECORDS)
+
+    @pytest.mark.parametrize("use_shm", [False, pytest.param(True, marks=needs_shm)])
+    def test_processes_byte_identical_and_leak_free(self, reference, use_shm):
+        with ProcessBackend(max_workers=2, use_shm=use_shm) as backend:
+            result = _engine(backend).run(RECORDS)
+            assert result.outputs == reference.outputs
+            assert result.metrics == reference.metrics
+            assert result.engine.encoded_bytes > 0
+            assert result.engine.encode_seconds >= 0.0
+            assert result.engine.decode_seconds >= 0.0
+            if use_shm:
+                assert result.engine.shm_segments > 0
+            else:
+                assert result.engine.shm_segments == 0
+        assert _own_segments() == []
+
+    def test_serial_and_threads_do_not_encode(self, reference):
+        for backend in ("serial", "threads"):
+            result = _engine(backend).run(RECORDS)
+            assert result.outputs == reference.outputs
+            assert result.metrics == reference.metrics
+            assert result.engine.encoded_bytes == 0
+            assert result.engine.shm_segments == 0
+
+    @needs_shm
+    def test_fault_injected_run_is_identical_and_leak_free(self, reference):
+        policy = RetryPolicy(
+            max_attempts=6, backoff_base=0.001, backoff_max=0.01
+        )
+        result = _engine(
+            "processes", retry=policy, faults="crash=0.2,kill=0.05,seed=7"
+        ).run(RECORDS)
+        assert result.outputs == reference.outputs
+        assert result.metrics == reference.metrics
+        assert result.engine.task_retries >= 1
+        assert _own_segments() == []
+
+    @needs_shm
+    def test_spilled_run_is_identical_and_leak_free(self, reference):
+        result = _engine("processes", memory_budget=4).run(RECORDS)
+        assert result.outputs == reference.outputs
+        assert result.metrics.spilled_bytes > 0
+        assert _own_segments() == []
+
+
+class TestBackendArenaRegistry:
+    @needs_shm
+    def test_close_sweeps_unreleased_arenas(self):
+        backend = ProcessBackend(max_workers=1, use_shm=True)
+        arena = backend.block_transport()
+        assert isinstance(arena, ShmArena)
+        arena.stage([encode_groups({"a": [1]})])
+        assert len(_own_segments()) == 1
+        backend.close()
+        assert arena.closed
+        assert _own_segments() == []
+
+    @needs_shm
+    def test_arena_close_unregisters_from_backend(self):
+        backend = ProcessBackend(max_workers=1, use_shm=True)
+        try:
+            arena = backend.block_transport()
+            assert arena in backend._arenas
+            arena.close()
+            assert arena not in backend._arenas
+        finally:
+            backend.close()
+
+    def test_use_shm_false_disables_transport(self):
+        backend = ProcessBackend(max_workers=1, use_shm=False)
+        try:
+            assert backend.block_transport() is None
+        finally:
+            backend.close()
+
+    def test_serial_and_thread_backends_ship_references(self):
+        from repro.engine.backends import SerialBackend, ThreadBackend
+
+        assert SerialBackend.ships_blocks is False
+        assert ThreadBackend.ships_blocks is False
+        assert ProcessBackend.ships_blocks is True
+        assert SerialBackend().block_transport() is None
+
+
+class TestMetricsSurfacing:
+    def test_engine_metrics_row_has_data_plane_columns(self):
+        result = _engine("serial").run(RECORDS)
+        row = result.engine.as_row()
+        for column in (
+            "encoded_bytes",
+            "encode_s",
+            "decode_s",
+            "shm_segments",
+        ):
+            assert column in row
+
+    def test_observation_record_defaults_are_backwards_compatible(self):
+        # A pre-codec log line (no data-plane fields) must load cleanly.
+        record = ObservationRecord.from_dict(
+            {"job_id": "j1", "fingerprint": "f1", "cache_hit": False}
+        )
+        assert record.encoded_bytes == 0
+        assert record.encode_seconds == 0.0
+        assert record.decode_seconds == 0.0
+        assert record.shm_segments == 0
+
+    def test_observation_record_carries_engine_counters(self):
+        result = _engine("serial").run(RECORDS)
+
+        class FakeResult:
+            job_id = "j1"
+            fingerprint = "f1"
+            cache_hit = False
+            wall_seconds = 0.5
+            metrics = result.metrics
+            engine = result.engine
+
+        record = ObservationRecord.from_result(FakeResult())
+        assert record.encoded_bytes == result.engine.encoded_bytes
+        assert record.shm_segments == result.engine.shm_segments
+
+    def test_summary_rows_include_data_plane_totals(self):
+        from repro.obs.store import summarize_observations
+
+        rows = summarize_observations(
+            [
+                ObservationRecord(
+                    job_id="j1",
+                    fingerprint="f1",
+                    cache_hit=False,
+                    backend="processes",
+                    encoded_bytes=128,
+                    shm_segments=3,
+                )
+            ]
+        )
+        assert rows[0]["encoded_bytes"] == 128
+        assert rows[0]["shm_segments"] == 3

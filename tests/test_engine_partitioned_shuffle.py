@@ -143,7 +143,16 @@ def sum_reduce(key, values):
 class TestMapTaskContract:
     def test_map_task_buckets_pairs_and_accounts(self):
         chunk = ["a b a", "b c"]
-        buckets, pair_count, comm, record_count, peak, spill = _run_map_task(
+        (
+            buckets,
+            pair_count,
+            comm,
+            record_count,
+            peak,
+            spill,
+            encoded_bytes,
+            encode_seconds,
+        ) = _run_map_task(
             chunk,
             map_fn=word_map,
             combiner_fn=None,
@@ -155,6 +164,7 @@ class TestMapTaskContract:
         assert record_count == 2
         assert peak == 0  # only measured in memory-budgeted runs
         assert spill is None
+        assert encoded_bytes == 0 and encode_seconds == 0.0
         assert len(buckets) == 4
         merged = {}
         for bucket in buckets:
@@ -167,7 +177,7 @@ class TestMapTaskContract:
 
     def test_reduce_task_merges_in_task_order(self):
         slabs = [{"a": [1, 2]}, {"a": [3], "b": [4]}]
-        results, loads = _run_reduce_task(
+        results, loads, _decode = _run_reduce_task(
             slabs,
             reduce_fn=lambda key, values: [tuple(values)],
             size_of=default_size,
@@ -178,7 +188,7 @@ class TestMapTaskContract:
         assert loads == [("a", 3), ("b", 1)]
 
     def test_reduce_task_skips_reducing_on_strict_overflow(self):
-        results, loads = _run_reduce_task(
+        results, loads, _decode = _run_reduce_task(
             [{"a": [1, 1, 1]}],
             reduce_fn=lambda key, values: [sum(values)],
             size_of=default_size,

@@ -4,7 +4,9 @@ from __future__ import annotations
 
 from repro.engine.quickbench import (
     SCENARIOS,
+    check_codec,
     check_regression,
+    run_codec_bench,
     run_scenario,
     run_scenarios,
 )
@@ -49,6 +51,33 @@ class TestCheckRegression:
         ):
             failures = check_regression(rows)
             assert failures and "compared nothing" in failures[0]
+
+
+class TestCodecBench:
+    def test_small_run_passes_its_own_gate(self):
+        rows = run_codec_bench(
+            items=200, repeat=1, block_items=(64,), include_transport=False
+        )
+        assert check_codec(rows) == []
+        kinds = {r["kind"] for r in rows if r["scenario"] == "codec"}
+        assert kinds == {"int", "str", "bytes", "tuple"}
+
+    def test_gate_catches_failed_roundtrip(self):
+        rows = run_codec_bench(
+            items=50, repeat=1, block_items=(16,), include_transport=False
+        )
+        rows[0]["ok"] = False
+        failures = check_codec(rows)
+        assert failures and "round-trip failed" in failures[0]
+
+    def test_gate_catches_wrong_codec_selection(self):
+        rows = run_codec_bench(
+            items=50, repeat=1, block_items=(16,), include_transport=False
+        )
+        for row in rows:
+            if row["scenario"] == "codec" and row["kind"] == "int":
+                row["codec"] = "p"
+        assert any("selected codec" in f for f in check_codec(rows))
 
 
 class TestScenarios:
