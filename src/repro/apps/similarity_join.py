@@ -31,6 +31,7 @@ from repro.engine.metrics import EngineMetrics
 from repro.engine.routing import a2a_meeting_table, a2a_memberships
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.metrics import JobMetrics
+from repro.obs.profiler import PhaseProfiler
 from repro.obs.trace import Tracer
 from repro.planner import JobSpec, Plan
 from repro.workloads.documents import Document, jaccard
@@ -118,6 +119,7 @@ def run_similarity_join(
     num_workers: int | None = None,
     config: ExecutionConfig | None = None,
     tracer: Tracer | None = None,
+    profiler: PhaseProfiler | None = None,
 ) -> SimilarityJoinRun:
     """Run the schema-driven similarity join end to end.
 
@@ -139,7 +141,9 @@ def run_similarity_join(
     *documents* may be a :class:`~repro.dataset.Dataset` (materialized
     once for schema planning — the sizes must be known before any record
     is routed).  A *tracer* records ``plan``/``score:*`` spans and, on
-    the engine path, the ``map``/``shuffle``/``reduce`` phase spans.
+    the engine path, the ``map``/``shuffle``/``reduce`` phase spans; a
+    *profiler* attributes CPU/RSS and function time to those phases
+    (engine path only).
     """
     if isinstance(documents, Dataset):
         documents = documents.materialize()
@@ -163,6 +167,7 @@ def run_similarity_join(
             reduce_fn,
             config=execution,
             tracer=tracer,
+            profiler=profiler,
         )
         return SimilarityJoinRun(
             pairs=tuple(result.outputs),

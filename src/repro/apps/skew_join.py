@@ -22,6 +22,7 @@ from repro.engine.metrics import EngineMetrics
 from repro.engine.routing import x2y_memberships, x2y_meeting_table
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.metrics import JobMetrics
+from repro.obs.profiler import PhaseProfiler
 from repro.obs.trace import Tracer
 from repro.planner import Environment, JobSpec, Plan
 from repro.workloads.relations import Relation, Tuple2, heavy_hitters
@@ -199,6 +200,7 @@ def schema_skew_join(
     num_workers: int | None = None,
     config: ExecutionConfig | None = None,
     tracer: Tracer | None = None,
+    profiler: PhaseProfiler | None = None,
 ) -> SkewJoinRun:
     """Skew-aware join: X2Y mapping schemas for heavy keys, hashing for light.
 
@@ -219,7 +221,9 @@ def schema_skew_join(
     plans every heavy key's schema cost-based under *objective* and —
     when no execution knobs are given — resolves the engine configuration
     from the environment probe.  A *tracer* records one ``plan`` span per
-    heavy key plus the engine phase spans on engine-backed runs.
+    heavy key plus the engine phase spans on engine-backed runs; a
+    *profiler* attributes CPU/RSS and function time to those phases
+    (engine path only).
     """
     heavy = heavy_hitters(x, y, q)
     heavy_set = frozenset(heavy)
@@ -297,6 +301,7 @@ def schema_skew_join(
             reducer_capacity=q,
             strict_capacity=True,
             tracer=tracer,
+            profiler=profiler,
         )
         result = engine.run(records)
         return SkewJoinRun(

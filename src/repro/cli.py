@@ -40,6 +40,12 @@ Commands:
 * ``metrics --log obs.ndjson`` — summarize a service observation log
   (written by ``serve --obs-log``) as a per-backend table: job counts,
   cache hit rate, wall-clock percentiles, phase means.
+* ``history record|report|compare|check|gc --file history.ndjson`` —
+  the per-commit perf history: append records (from ``bench
+  --json-out`` rows, a ``--profile`` export, or explicit flags), print
+  per-series trend tables, compare two commits, trend-gate the latest
+  run against the rolling median (``check`` exits 1 on a regression),
+  and bound the file's growth.
 
 ``run`` and ``bench`` accept ``--inject-faults SPEC`` (e.g.
 ``crash=0.2,kill=0.05,delay=0.1:0.02,transient=0.1,seed=7``) for
@@ -53,9 +59,15 @@ before exiting 0.
 
 ``run``, ``bench``, and ``submit`` accept ``--trace out.json`` to export
 the run's spans as Chrome trace-event JSON (openable in Perfetto or
-``chrome://tracing``); ``serve --trace`` additionally streams every
-finished span as an NDJSON ``{"event": "span", ...}`` line, and a
-``{"metrics": true}`` request line answers with a metrics snapshot.
+``chrome://tracing``) and ``--profile out.json`` to attach the
+continuous profiler (background RSS/CPU sampler plus per-phase function
+capture; the export includes flamegraph-ready collapsed stacks);
+``serve --trace`` additionally streams every finished span as an NDJSON
+``{"event": "span", ...}`` line, a ``{"metrics": true}`` request line
+answers with a metrics snapshot, and a ``{"health": true}`` request
+line answers with the live-service SLO snapshot (queue-latency
+percentiles, slot utilization, rolling failure rate, pool rebuilds,
+peak RSS).
 
 ``repro --version`` prints the package version.  Exit status is 0 on
 success, 1 on infeasible/invalid input, mirroring what a scheduler
@@ -289,7 +301,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--threshold", type=float, default=0.3, help="similarity: threshold"
     )
     run.add_argument(
-        "--profile", default="zipf", help="similarity: size distribution"
+        "--dist", default="zipf", help="similarity: size distribution"
     )
     run.add_argument(
         "--tuples", type=int, default=400, help="skew-join: tuples per relation"
@@ -304,6 +316,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         default=None,
         help="write the run's spans to this file as Chrome trace-event JSON",
+    )
+    run.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="profile the run (resource sampler + per-phase function "
+        "capture) and write the profile JSON here",
     )
     run.add_argument(
         "--inject-faults",
@@ -429,6 +448,12 @@ def build_parser() -> argparse.ArgumentParser:
         "trace-event JSON",
     )
     bench.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="profile the scenario runs and write the profile JSON here",
+    )
+    bench.add_argument(
         "--inject-faults",
         type=_fault_spec,
         default=None,
@@ -527,6 +552,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the job's spans to this file as Chrome trace-event JSON",
     )
+    submit.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="profile the job and write the profile JSON here",
+    )
 
     metrics = commands.add_parser(
         "metrics",
@@ -537,6 +568,114 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics.add_argument(
         "--json", action="store_true", help="print the summary as JSON"
+    )
+
+    history = commands.add_parser(
+        "history",
+        help="per-commit perf history: record, report, and trend-gate "
+        "profile records",
+    )
+    history_actions = history.add_subparsers(dest="history_command")
+    history_actions.required = True
+    h_record = history_actions.add_parser(
+        "record", help="append one or more records to a history file"
+    )
+    h_record.add_argument(
+        "--file", required=True, help="history NDJSON file to append to"
+    )
+    h_record.add_argument(
+        "--from-bench",
+        default=None,
+        metavar="ROWS_JSON",
+        help="bench --json-out file: record one entry per scenario row",
+    )
+    h_record.add_argument(
+        "--from-profile",
+        default=None,
+        metavar="PROFILE_JSON",
+        help="--profile output file: record one entry per phase",
+    )
+    h_record.add_argument(
+        "--bench",
+        default=None,
+        help="bench name for the records (required with explicit "
+        "--scenario/--wall; defaults to 'bench'/'profile' for file "
+        "sources)",
+    )
+    h_record.add_argument(
+        "--scenario", default=None, help="explicit single-record scenario"
+    )
+    h_record.add_argument(
+        "--wall",
+        type=_positive_float,
+        default=None,
+        help="explicit single-record wall seconds",
+    )
+    h_record.add_argument(
+        "--commit",
+        default=None,
+        help="commit id (default: REPRO_COMMIT, GITHUB_SHA, or git HEAD)",
+    )
+    h_record.add_argument(
+        "--hardware",
+        default=None,
+        help="hardware class label (default: '<available workers>w')",
+    )
+    h_report = history_actions.add_parser(
+        "report", help="per-series trend table from a history file"
+    )
+    h_report.add_argument("--file", required=True)
+    h_report.add_argument("--bench", default=None, help="filter by bench")
+    h_report.add_argument(
+        "--window",
+        type=_positive_int,
+        default=None,
+        help="trend window (median of this many previous runs)",
+    )
+    h_report.add_argument(
+        "--json", action="store_true", help="print the rows as JSON"
+    )
+    h_compare = history_actions.add_parser(
+        "compare", help="wall-clock ratios between two commits"
+    )
+    h_compare.add_argument("--file", required=True)
+    h_compare.add_argument("--base", required=True, help="baseline commit id")
+    h_compare.add_argument("--to", required=True, help="candidate commit id")
+    h_compare.add_argument(
+        "--json", action="store_true", help="print the rows as JSON"
+    )
+    h_check = history_actions.add_parser(
+        "check",
+        help="trend gate: exit 1 when the latest run of any series is "
+        "slower than tolerance x the rolling median",
+    )
+    h_check.add_argument("--file", required=True)
+    h_check.add_argument("--bench", default=None, help="filter by bench")
+    h_check.add_argument(
+        "--window", type=_positive_int, default=None,
+        help="median window (default 5)",
+    )
+    h_check.add_argument(
+        "--tolerance",
+        type=_positive_float,
+        default=None,
+        help="allowed latest/median ratio (default 1.5)",
+    )
+    h_check.add_argument(
+        "--min-wall",
+        type=_positive_float,
+        default=None,
+        help="ignore series whose median wall is below this (default 0.02)",
+    )
+    h_gc = history_actions.add_parser(
+        "gc", help="drop the oldest records beyond --keep per series"
+    )
+    h_gc.add_argument("--file", required=True)
+    h_gc.add_argument(
+        "--keep",
+        type=_positive_int,
+        default=50,
+        help="records retained per series (newest kept)",
     )
 
     lint = commands.add_parser(
@@ -656,6 +795,32 @@ def _write_trace(tracer, path: str | None) -> None:
     print(f"trace: {count} events written to {path}", file=sys.stderr)
 
 
+def _profiler_for(path: str | None):
+    """A live PhaseProfiler when ``--profile PATH`` was given, else None."""
+    if not path:
+        return None
+    from repro.obs.profiler import PhaseProfiler
+
+    return PhaseProfiler()
+
+
+def _write_profile(profiler, path: str | None) -> None:
+    """Export a profiler to *path*; summary goes to stderr so the profile
+    line never corrupts ``--json`` stdout output."""
+    if profiler is None or not path:
+        return
+    payload = profiler.write(path)
+    phases = payload.get("phases", {})
+    functions = sum(
+        len(entry.get("functions", {})) for entry in phases.values()
+    )
+    print(
+        f"profile: {len(phases)} phases, {functions} functions, "
+        f"peak_rss={payload.get('peak_rss_bytes', 0)} written to {path}",
+        file=sys.stderr,
+    )
+
+
 def _run_app(args: argparse.Namespace) -> int:
     """Handle ``repro run``: generate a workload, execute it, print metrics."""
     from repro.engine.config import ExecutionConfig
@@ -663,6 +828,7 @@ def _run_app(args: argparse.Namespace) -> int:
     plan_mode = args.plan == "auto"
     method = "planned" if plan_mode else args.method
     tracer = _tracer_for(args.trace)
+    profiler = _profiler_for(args.profile)
     retry = None
     if args.max_attempts is not None:
         from repro.faults import RetryPolicy
@@ -705,7 +871,7 @@ def _run_app(args: argparse.Namespace) -> int:
         from repro.workloads.documents import document_dataset
 
         documents = document_dataset(
-            args.m, args.q, profile=args.profile, seed=args.seed
+            args.m, args.q, profile=args.dist, seed=args.seed
         )
         run = run_similarity_join(
             documents,
@@ -715,6 +881,7 @@ def _run_app(args: argparse.Namespace) -> int:
             objective=args.objective,
             config=config,
             tracer=tracer,
+            profiler=profiler,
         )
         print(f"app       : similarity join ({args.m} documents, q={args.q})")
         print(f"schema    : {run.schema.algorithm}, {run.schema.num_reducers} reducers")
@@ -736,6 +903,7 @@ def _run_app(args: argparse.Namespace) -> int:
             objective=args.objective,
             config=config,
             tracer=tracer,
+            profiler=profiler,
         )
         print(
             f"app       : skew join ({args.tuples}x{args.tuples} tuples, "
@@ -777,6 +945,7 @@ def _run_app(args: argparse.Namespace) -> int:
             f"peak buffered {metrics.peak_buffered_pairs})"
         )
     _write_trace(tracer, args.trace)
+    _write_profile(profiler, args.profile)
     return 0
 
 
@@ -813,7 +982,10 @@ def _run_serve(args: argparse.Namespace) -> int:
     collected trace is written as Chrome trace-event JSON on exit; a
     ``{"metrics": true}`` request line answers with one
     ``{"event": "metrics", ...}`` snapshot of the service's counters,
-    gauges, histograms, and plan-cache stats.
+    gauges, histograms, and plan-cache stats; a ``{"health": true}``
+    request line answers with one ``{"event": "health", ...}`` SLO
+    snapshot (queue-latency p50/p95, slot utilization, rolling failure
+    rate, pool rebuilds, sampler state, peak RSS).
 
     SIGINT/SIGTERM shut the loop down gracefully: input reading stops, a
     ``{"event": "shutdown", ...}`` line is emitted, in-flight jobs drain
@@ -873,6 +1045,9 @@ def _run_serve(args: argparse.Namespace) -> int:
             return
         if isinstance(request, dict) and request.get("metrics"):
             emit_line({"event": "metrics", **service.metrics_snapshot()})
+            return
+        if isinstance(request, dict) and request.get("health"):
+            emit_line({"event": "health", **service.health_snapshot()})
             return
         if not isinstance(request, dict) or "spec" not in request:
             emit_line(
@@ -973,7 +1148,8 @@ def _run_submit(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args, "submit")
     execute = not args.plan_only and spec.kind != "multiway"
     tracer = _tracer_for(args.trace)
-    service = JobService(slots=1, tracer=tracer)
+    profiler = _profiler_for(args.profile)
+    service = JobService(slots=1, tracer=tracer, profiler=profiler)
     closed = False
     try:
         handle = service.submit_spec(
@@ -1032,6 +1208,7 @@ def _run_submit(args: argparse.Namespace) -> int:
         if not closed:
             service.close()
         _write_trace(tracer, args.trace)
+        _write_profile(profiler, args.profile)
     return 0
 
 
@@ -1066,6 +1243,163 @@ def _run_metrics(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def _history_records_from_args(args: argparse.Namespace) -> list:
+    """Build the HistoryRecords a ``history record`` invocation describes."""
+    import json
+
+    from repro.obs.history import (
+        HistoryRecord,
+        current_commit,
+        hardware_class,
+    )
+
+    commit = args.commit or current_commit()
+    records: list[HistoryRecord] = []
+    if args.from_bench:
+        with open(args.from_bench) as handle:
+            payload = json.load(handle)
+        hardware = args.hardware or hardware_class(
+            int(payload.get("workers", 0)) or None
+        )
+        bench = args.bench or "bench"
+        for row in payload.get("rows", []):
+            if "wall_s" not in row or "scenario" not in row:
+                continue
+            wall = float(row["wall_s"])
+            if wall <= 0:
+                continue
+            records.append(
+                HistoryRecord(
+                    bench=bench,
+                    scenario=f"{row['scenario']}/{row.get('backend', '?')}",
+                    hardware_class=hardware,
+                    commit=commit,
+                    wall_seconds=wall,
+                )
+            )
+    if args.from_profile:
+        with open(args.from_profile) as handle:
+            payload = json.load(handle)
+        hardware = args.hardware or hardware_class()
+        bench = args.bench or "profile"
+        for name, phase in sorted(payload.get("phases", {}).items()):
+            wall = float(phase.get("wall_seconds", 0.0))
+            if wall <= 0:
+                continue
+            records.append(
+                HistoryRecord(
+                    bench=bench,
+                    scenario=name,
+                    hardware_class=hardware,
+                    commit=commit,
+                    wall_seconds=wall,
+                    cpu_seconds=float(phase.get("cpu_seconds", 0.0)),
+                    peak_rss_bytes=int(phase.get("peak_rss_bytes", 0)),
+                )
+            )
+    if args.scenario is not None or args.wall is not None:
+        if args.scenario is None or args.wall is None or args.bench is None:
+            raise InvalidInstanceError(
+                "an explicit record needs --bench, --scenario, and --wall "
+                "together"
+            )
+        records.append(
+            HistoryRecord(
+                bench=args.bench,
+                scenario=args.scenario,
+                hardware_class=args.hardware or hardware_class(),
+                commit=commit,
+                wall_seconds=args.wall,
+            )
+        )
+    if not records:
+        raise InvalidInstanceError(
+            "nothing to record: give --from-bench, --from-profile, or "
+            "--bench/--scenario/--wall"
+        )
+    return records
+
+
+def _run_history(args: argparse.Namespace) -> int:
+    """Handle ``repro history``: the per-commit perf-history store."""
+    import json
+
+    from repro.obs.history import ProfileHistory
+
+    history = ProfileHistory(args.file)
+    if args.history_command == "record":
+        try:
+            records = _history_records_from_args(args)
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        except (ValueError, json.JSONDecodeError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        count = history.extend(records)
+        print(
+            f"recorded {count} record(s) to {args.file} "
+            f"(commit {records[0].commit}, {records[0].hardware_class})"
+        )
+        return 0
+    try:
+        if args.history_command == "report":
+            kwargs = {"bench": args.bench}
+            if args.window is not None:
+                kwargs["window"] = args.window
+            rows = history.report(**kwargs)
+            if args.json:
+                print(json.dumps(rows, default=str))
+            elif rows:
+                print(format_table(rows, title=f"perf history ({args.file})"))
+            else:
+                print(f"no history in {args.file}")
+            return 0
+        if args.history_command == "compare":
+            rows = history.compare(args.base, args.to)
+            if args.json:
+                print(json.dumps(rows, default=str))
+            elif rows:
+                print(
+                    format_table(
+                        rows, title=f"{args.base} vs {args.to} ({args.file})"
+                    )
+                )
+            else:
+                print(
+                    f"no series has records for both {args.base!r} and "
+                    f"{args.to!r}"
+                )
+            return 0
+        if args.history_command == "check":
+            kwargs = {"bench": args.bench}
+            if args.window is not None:
+                kwargs["window"] = args.window
+            if args.tolerance is not None:
+                kwargs["tolerance"] = args.tolerance
+            if args.min_wall is not None:
+                kwargs["min_wall"] = args.min_wall
+            failures, notes = history.check(**kwargs)
+            for note in notes:
+                print(f"history: {note}", file=sys.stderr)
+            for failure in failures:
+                print(f"PERF TREND REGRESSION: {failure}", file=sys.stderr)
+            if failures:
+                return 1
+            print(f"history check: ok ({args.file})")
+            return 0
+        # gc
+        kept, dropped = history.gc(keep=args.keep)
+        print(
+            f"history gc: kept {kept}, dropped {dropped} "
+            f"(keep={args.keep} per series)"
+        )
+        return 0
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
 
 def _run_lint(args: argparse.Namespace) -> int:
@@ -1181,12 +1515,14 @@ def _run_bench(args: argparse.Namespace) -> int:
             objective=args.objective,
         )
     tracer = _tracer_for(args.trace)
+    profiler = _profiler_for(args.profile)
     rows += run_scenarios(
         backends=backends,
         scale=args.scale,
         repeat=args.repeat,
         num_workers=args.num_workers,
         tracer=tracer,
+        profiler=profiler,
     )
     print(
         format_table(
@@ -1266,6 +1602,7 @@ def _run_bench(args: argparse.Namespace) -> int:
             )
         )
     _write_trace(tracer, args.trace)
+    _write_profile(profiler, args.profile)
     params = {
         "tuples": args.tuples,
         "scale": args.scale,
@@ -1380,6 +1717,8 @@ def main(argv: list[str] | None = None) -> int:
             return _run_submit(args)
         elif args.command == "metrics":
             return _run_metrics(args)
+        elif args.command == "history":
+            return _run_history(args)
         elif args.command == "lint":
             return _run_lint(args)
         elif args.command == "verify":

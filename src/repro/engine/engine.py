@@ -72,6 +72,7 @@ from repro.exceptions import (
 )
 from repro.faults import FaultInjector, FaultSpec, RetryPolicy, as_fault_spec
 from repro.mapreduce.metrics import JobMetrics
+from repro.obs.profiler import PhaseProfiler, as_profiler, profile_worker_task
 from repro.obs.trace import Tracer, as_tracer, worker_span
 from repro.mapreduce.shuffle import (
     map_record,
@@ -412,6 +413,14 @@ class ExecutionEngine:
             spans plus per-task worker spans (propagated through the
             pickling path on pooled backends) and per-flush ``spill``
             spans.  ``None`` (the default) disables tracing at zero cost.
+        profiler: optional :class:`~repro.obs.profiler.PhaseProfiler`;
+            when given, each phase additionally records CPU seconds and
+            peak RSS (from the profiler's background sampler) plus
+            deterministic ``cProfile`` function tables — captured inside
+            worker tasks for map/reduce (stats ride the same pickling
+            path as worker spans) and parent-side for shuffle/post.
+            ``None`` (the default) disables profiling at zero cost,
+            exactly like *tracer*.
         retry: per-task :class:`~repro.faults.RetryPolicy`.  Any
             fault-plane knob (retry, faults, task_timeout, deadline)
             routes map/reduce dispatch through
@@ -450,6 +459,7 @@ class ExecutionEngine:
     memory_budget: int | None = None
     spill_dir: str | None = None
     tracer: Tracer | None = None
+    profiler: PhaseProfiler | None = None
     retry: RetryPolicy | None = None
     faults: FaultSpec | str | None = None
     task_timeout: float | None = None
@@ -653,6 +663,7 @@ class ExecutionEngine:
         """The three phases plus the post-pass (spill dir and block
         transport are owned by :meth:`_run_on`)."""
         tracer = as_tracer(self.tracer)
+        profiler = as_profiler(self.profiler)
         resilient, retry_counter = self._fault_plane(
             backend, tracer, deadline_at
         )
@@ -669,7 +680,7 @@ class ExecutionEngine:
             # (overflow beyond the memory budget goes to sorted spill runs).
             with tracer.span(
                 "map", category="engine", backend=backend.name
-            ) as map_span:
+            ) as map_span, profiler.phase("map"):
                 map_started = time.perf_counter()
                 chunk_size = self.map_chunk_size or self._default_chunk(
                     dataset.length, backend, self.memory_budget
@@ -698,22 +709,21 @@ class ExecutionEngine:
                     encode=backend.ships_blocks,
                 )
                 ctx = tracer.worker_context()
+                pctx = profiler.worker_context()
+                task_fn: Any = map_task
                 if ctx is not None:
-                    map_results = self._merge_map_spans(
-                        tracer,
-                        run_phase(
-                            partial(
-                                _traced_task,
-                                inner=map_task,
-                                ctx=ctx,
-                                name="map_task",
-                            ),
-                            chunks,
-                            "map",
-                        ),
+                    task_fn = partial(
+                        _traced_task, inner=task_fn, ctx=ctx, name="map_task"
                     )
+                if pctx is not None:
+                    task_fn = partial(profile_worker_task, inner=task_fn)
+                raw_map = run_phase(task_fn, chunks, "map")
+                if pctx is not None:
+                    raw_map = profiler.merge_worker_results("map", raw_map)
+                if ctx is not None:
+                    map_results = self._merge_map_spans(tracer, raw_map)
                 else:
-                    map_results = run_phase(map_task, chunks, "map")
+                    map_results = raw_map
                 map_span.set("tasks", len(map_results))
                 map_seconds = time.perf_counter() - map_started
 
@@ -724,7 +734,9 @@ class ExecutionEngine:
             # partitions; no per-pair or per-key work happens here.  With
             # a shared-memory transport, each partition's blocks are then
             # staged into one segment and replaced by slice descriptors.
-            with tracer.span("shuffle", category="engine") as shuffle_span:
+            with tracer.span(
+                "shuffle", category="engine"
+            ) as shuffle_span, profiler.phase("shuffle", capture=True):
                 shuffle_started = time.perf_counter()
                 map_inputs = sum(result[3] for result in map_results)
                 map_pairs = sum(result[1] for result in map_results)
@@ -769,11 +781,25 @@ class ExecutionEngine:
                     shuffle_span.set("encoded_bytes", encoded_bytes)
                 if shm_segments:
                     shuffle_span.set("shm_segments", shm_segments)
+                if spill_runs and profiler.enabled:
+                    profiler.record(
+                        "spill",
+                        sum(
+                            duration
+                            for result in map_results
+                            if result[5] is not None
+                            for _, duration, _ in result[5].flush_windows
+                        ),
+                        bytes=spilled_bytes,
+                        runs=spill_runs,
+                    )
                 shuffle_seconds = time.perf_counter() - shuffle_started
 
             # --- reduce phase: each task merges its partition's sources,
             # accounts per-key loads, and reduces.
-            with tracer.span("reduce", category="engine") as reduce_span:
+            with tracer.span(
+                "reduce", category="engine"
+            ) as reduce_span, profiler.phase("reduce"):
                 reduce_started = time.perf_counter()
                 reduce_task = partial(
                     _run_reduce_task,
@@ -783,24 +809,28 @@ class ExecutionEngine:
                     strict=self.strict_capacity,
                 )
                 ctx = tracer.worker_context()
+                pctx = profiler.worker_context()
+                task_fn = reduce_task
+                if ctx is not None:
+                    task_fn = partial(
+                        _traced_task,
+                        inner=task_fn,
+                        ctx=ctx,
+                        name="reduce_task",
+                    )
+                if pctx is not None:
+                    task_fn = partial(profile_worker_task, inner=task_fn)
+                raw_reduce = run_phase(task_fn, partitions, "reduce")
+                if pctx is not None:
+                    raw_reduce = profiler.merge_worker_results(
+                        "reduce", raw_reduce
+                    )
                 if ctx is not None:
                     task_results = self._merge_reduce_spans(
-                        tracer,
-                        run_phase(
-                            partial(
-                                _traced_task,
-                                inner=reduce_task,
-                                ctx=ctx,
-                                name="reduce_task",
-                            ),
-                            partitions,
-                            "reduce",
-                        ),
+                        tracer, raw_reduce
                     )
                 else:
-                    task_results = run_phase(
-                        reduce_task, partitions, "reduce"
-                    )
+                    task_results = raw_reduce
                 reduce_span.set("tasks", len(partitions))
                 reduce_run_seconds = time.perf_counter() - reduce_started
 
@@ -809,7 +839,9 @@ class ExecutionEngine:
         # (identical to the simulator), and reassemble outputs in that same
         # order.
         post_started = time.perf_counter()
-        with tracer.span("post", category="engine") as post_span:
+        with tracer.span(
+            "post", category="engine"
+        ) as post_span, profiler.phase("post", capture=True):
             loads: dict[Hashable, int] = {}
             outputs_by_key: dict[Hashable, list[Any]] = {}
             task_loads: list[int] = []
@@ -986,6 +1018,7 @@ def execute_schema(
     spill_dir: str | None = None,
     config: ExecutionConfig | None = None,
     tracer: Tracer | None = None,
+    profiler: PhaseProfiler | None = None,
 ) -> EngineResult:
     """Execute a solved mapping schema over per-input records.
 
@@ -1002,8 +1035,9 @@ def execute_schema(
     Execution knobs can be given individually or bundled in *config* (an
     :class:`~repro.engine.config.ExecutionConfig`), which takes precedence
     over the individual keyword arguments when both are supplied.
-    *tracer* rides alongside either form: it is a live object, never part
-    of the serializable config, and ``None`` keeps tracing disabled.
+    *tracer* and *profiler* ride alongside either form: they are live
+    objects, never part of the serializable config, and ``None`` keeps
+    each disabled.
     """
     map_fn, size_of, wrapped = build_schema_plan(schema, records)
     if config is None:
@@ -1024,5 +1058,6 @@ def execute_schema(
         reducer_capacity=schema.instance.q,
         strict_capacity=strict_capacity,
         tracer=tracer,
+        profiler=profiler,
     )
     return engine.run(wrapped)

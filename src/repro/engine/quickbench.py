@@ -117,13 +117,16 @@ def run_scenario(
     retry: Any = None,
     faults: Any = None,
     tracer: Tracer | None = None,
+    profiler: Any = None,
 ) -> tuple[EngineResult, float]:
     """Run one scenario on one backend; returns the result and wall seconds.
 
     Records are fed as a streaming :class:`~repro.dataset.Dataset` (a
     range factory), so the engine's out-of-core data path — lazy chunking
     plus, with a *memory_budget*, the spill-to-disk shuffle — is what gets
-    measured.  A *tracer* records the run's phase and task spans.
+    measured.  A *tracer* records the run's phase and task spans; a
+    *profiler* (:class:`~repro.obs.profiler.PhaseProfiler`) attributes
+    CPU/RSS and function time to the phases.
     *retry*/*faults* (with pinned *map_chunk_size*/*num_reduce_tasks*, so
     the task decomposition — and therefore the injected fault pattern —
     is identical on every backend) drive the fault-injection bench.
@@ -142,6 +145,7 @@ def run_scenario(
         retry=retry,
         faults=faults,
         tracer=tracer,
+        profiler=profiler,
     )
     started = time.perf_counter()
     result = engine.run(records)
@@ -157,6 +161,7 @@ def run_scenarios(
     num_workers: int | None = None,
     memory_budget: int | None = None,
     tracer: Tracer | None = None,
+    profiler: Any = None,
 ) -> list[dict[str, object]]:
     """Benchmark scenarios × backends; best-of-*repeat* wall per cell.
 
@@ -180,6 +185,7 @@ def run_scenarios(
                     num_workers=num_workers,
                     memory_budget=memory_budget,
                     tracer=tracer,
+                    profiler=profiler,
                 )
                 if best is None or wall < best[1]:
                     best = (result, wall)
@@ -427,6 +433,80 @@ def run_trace_overhead(
                     round(best_wall / base_wall, 3) if base_wall else ""
                 ),
                 "spans": best_spans,
+            }
+        )
+    return rows
+
+
+def run_profile_overhead(
+    *,
+    scenario: str = "map_heavy",
+    backend: str = "serial",
+    scale: float = 1.0,
+    repeat: int = 3,
+    num_workers: int | None = None,
+) -> list[dict[str, object]]:
+    """E25: profiler overhead on one scenario — off, null profiler, enabled.
+
+    The profiling twin of :func:`run_trace_overhead`: best-of-*repeat*
+    with no profiler at all (the default code path), with
+    :data:`~repro.obs.profiler.NULL_PROFILER` passed explicitly (proves
+    the disabled object costs nothing beyond the ``None`` default), and
+    with a live :class:`~repro.obs.profiler.PhaseProfiler` (background
+    sampler plus worker-side ``cProfile``).  Rows carry the wall clock,
+    the overhead ratio against the unprofiled run, and — for the enabled
+    row — the phase count, profiled-function count, and peak RSS, so the
+    committed artifact also documents what enabling profiling buys.
+    """
+    from repro.obs.profiler import NULL_PROFILER, PhaseProfiler
+
+    rows: list[dict[str, object]] = []
+    base_wall: float | None = None
+    for mode in ("off", "null", "on"):
+        best_wall: float | None = None
+        best_phases = 0
+        best_functions = 0
+        best_rss = 0
+        for _ in range(max(1, repeat)):
+            profiler = {
+                "off": None,
+                "null": NULL_PROFILER,
+                "on": PhaseProfiler(),
+            }[mode]
+            _, wall = run_scenario(
+                scenario,
+                backend,
+                scale=scale,
+                num_workers=num_workers,
+                profiler=profiler,
+            )
+            phases = functions = rss = 0
+            if profiler is not None and profiler.enabled:
+                profiler.stop()
+                payload = profiler.to_dict()
+                phases = len(payload["phases"])
+                functions = sum(
+                    len(entry["functions"])
+                    for entry in payload["phases"].values()
+                )
+                rss = payload["peak_rss_bytes"]
+            if best_wall is None or wall < best_wall:
+                best_wall = wall
+                best_phases, best_functions, best_rss = phases, functions, rss
+        if mode == "off":
+            base_wall = best_wall
+        rows.append(
+            {
+                "scenario": scenario,
+                "backend": backend,
+                "profiling": mode,
+                "wall_s": round(best_wall, 3),
+                "overhead_vs_off": (
+                    round(best_wall / base_wall, 3) if base_wall else ""
+                ),
+                "phases": best_phases,
+                "functions": best_functions,
+                "peak_rss_mb": round(best_rss / (1024 * 1024), 1),
             }
         )
     return rows

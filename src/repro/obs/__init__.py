@@ -16,18 +16,45 @@ module here:
   :class:`ObservationRecord` per executed job (plan fingerprint plus
   measured phase timings and job metrics), appended to an NDJSON log —
   the input the self-calibrating-planner roadmap item consumes next.
+* :mod:`repro.obs.profiler` — *why a phase cost what it did*: an opt-in
+  :class:`PhaseProfiler` pairing a background RSS/CPU sampler with
+  per-phase ``cProfile`` capture (worker-side for map/reduce, via the
+  same pickling path as worker spans), exported as JSON with
+  flamegraph-ready collapsed stacks.  Disabled profiling
+  (:data:`NULL_PROFILER`) is zero-cost, mirroring the tracer.
+* :mod:`repro.obs.history` — *how the numbers move across commits*: a
+  :class:`ProfileHistory` append-only NDJSON trajectory keyed by
+  (bench, scenario, hardware class, commit) with a rolling-median trend
+  gate — ``check_baseline`` generalized to an enforced time-series.
 
-The engine, planner, and service accept an optional ``tracer``; the CLI
-surfaces all three layers (``--trace``, ``repro metrics``, ``repro
-serve --obs-log``).
+The engine, planner, and service accept an optional ``tracer`` and
+``profiler``; the CLI surfaces every layer (``--trace``, ``--profile``,
+``repro metrics``, ``repro history``, ``repro serve --obs-log`` and its
+``{"health": true}`` request).
 """
 
+from repro.obs.history import (
+    HistoryRecord,
+    ProfileHistory,
+    current_commit,
+    hardware_class,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     percentile,
+)
+from repro.obs.profiler import (
+    NULL_PROFILER,
+    NullProfiler,
+    PhaseProfiler,
+    ResourceSampler,
+    as_profiler,
+    profile_worker_task,
+    validate_collapsed,
+    write_profile,
 )
 from repro.obs.store import (
     ObservationRecord,
@@ -52,20 +79,32 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HistoryRecord",
     "MetricsRegistry",
+    "NULL_PROFILER",
     "NULL_TRACER",
+    "NullProfiler",
     "NullTracer",
     "ObservationRecord",
     "ObservationStore",
+    "PhaseProfiler",
+    "ProfileHistory",
+    "ResourceSampler",
     "Span",
     "Tracer",
+    "as_profiler",
     "as_tracer",
+    "current_commit",
+    "hardware_class",
     "load_observations",
     "next_span_id",
     "percentile",
+    "profile_worker_task",
     "summarize_observations",
     "to_chrome_trace",
     "validate_chrome_trace",
+    "validate_collapsed",
     "worker_span",
     "write_chrome_trace",
+    "write_profile",
 ]

@@ -1,0 +1,383 @@
+"""Per-commit performance history: an enforced time-series of bench runs.
+
+``check_baseline`` (:mod:`repro.engine.quickbench`) gates against *one*
+committed snapshot; this module generalizes it to an append-only NDJSON
+trajectory.  Each :class:`HistoryRecord` keys one measured number by
+``(bench, scenario, hardware_class, commit)``; :class:`ProfileHistory`
+appends, loads, summarizes, and — the point — **gates**: the newest
+record of every series must stay within ``tolerance`` of the rolling
+median of its predecessors, so a regression has to beat the recent
+*trend*, not a single lucky baseline run (perun-style continuous
+performance testing).
+
+Comparisons only bite within one hardware class (same effective worker
+count) — a series recorded on different hardware is skipped with a
+note, exactly like ``check_baseline``'s worker-count guard — and
+sub-``min_wall`` cells are skipped as noise.  ``repro history`` is the
+CLI surface (``record``/``report``/``compare``/``check``/``gc``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+import warnings
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterable
+
+__all__ = [
+    "HistoryRecord",
+    "ProfileHistory",
+    "current_commit",
+    "hardware_class",
+]
+
+#: Default rolling-median window (prior records per series).
+DEFAULT_WINDOW = 5
+
+#: Default slowdown tolerance against the rolling median.
+DEFAULT_TOLERANCE = 1.5
+
+#: Cells faster than this are pure noise; never gated.
+DEFAULT_MIN_WALL = 0.02
+
+#: Minimum records a series needs before the gate bites.
+DEFAULT_MIN_HISTORY = 3
+
+_COMMIT_CACHE: dict[str, str] = {}
+
+
+def hardware_class(workers: int | None = None) -> str:
+    """Coarse hardware key: the effective worker count, e.g. ``"8w"``.
+
+    Wall-clock comparisons across different machines are meaningless;
+    this is the join key that keeps the trend gate honest (mirroring
+    ``check_baseline``'s worker-count skip).
+    """
+    if workers is None:
+        from repro.engine.backends import available_workers
+
+        workers = available_workers()
+    return f"{workers}w"
+
+
+def current_commit(default: str = "unknown") -> str:
+    """Current commit id (12 hex chars), best-effort and cached.
+
+    Resolution order: ``REPRO_COMMIT`` env override, ``GITHUB_SHA``
+    (CI), ``git rev-parse HEAD``, then *default* — history recording
+    must work in exported tarballs too.
+    """
+    cached = _COMMIT_CACHE.get("commit")
+    if cached is not None:
+        return cached
+    commit = os.environ.get("REPRO_COMMIT") or os.environ.get("GITHUB_SHA")
+    if not commit:
+        try:
+            proc = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=10,
+                check=False,
+            )
+            if proc.returncode == 0:
+                commit = proc.stdout.strip()
+        except (OSError, subprocess.SubprocessError):
+            commit = ""
+    commit = (commit or default)[:12]
+    _COMMIT_CACHE["commit"] = commit
+    return commit
+
+
+@dataclass(frozen=True)
+class HistoryRecord:
+    """One measured perf point on the per-commit trajectory.
+
+    ``bench`` names the producing harness (``perf-smoke``, ``E25``, a
+    profile export); ``scenario`` the cell within it (conventionally
+    ``scenario/backend``); ``wall_seconds`` is the gated number, with
+    ``cpu_seconds``/``peak_rss_bytes`` carried for attribution.  ``at``
+    is wall-clock for humans; ordering within a series is append order.
+    """
+
+    bench: str
+    scenario: str
+    hardware_class: str
+    commit: str
+    wall_seconds: float
+    cpu_seconds: float = 0.0
+    peak_rss_bytes: int = 0
+    at: float = field(default_factory=time.time)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def key(self) -> tuple[str, str, str]:
+        """Series key: hardware-scoped (bench, scenario) trajectory."""
+        return (self.bench, self.scenario, self.hardware_class)
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "HistoryRecord":
+        known = set(cls.__dataclass_fields__)
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+class ProfileHistory:
+    """Append-only NDJSON store of :class:`HistoryRecord` lines.
+
+    The file is the contract: one JSON object per line, append-only, so
+    CI can cat a new record onto a downloaded artifact and re-upload.
+    Loading tolerates a truncated *final* line (crash mid-append) with a
+    counted warning; corruption anywhere else still raises.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+
+    # -- persistence --------------------------------------------------
+
+    def append(self, record: HistoryRecord) -> None:
+        line = json.dumps(record.to_dict(), sort_keys=True, default=str)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+
+    def extend(self, records: Iterable[HistoryRecord]) -> int:
+        count = 0
+        for record in records:
+            self.append(record)
+            count += 1
+        return count
+
+    def load(self) -> list[HistoryRecord]:
+        """All records in append order (empty when the file is absent)."""
+        if not os.path.exists(self.path):
+            return []
+        with open(self.path, encoding="utf-8") as handle:
+            lines = handle.readlines()
+        last_content = max(
+            (i for i, line in enumerate(lines) if line.strip()), default=-1
+        )
+        records: list[HistoryRecord] = []
+        for index, line in enumerate(lines):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                records.append(HistoryRecord.from_dict(json.loads(stripped)))
+            except (json.JSONDecodeError, TypeError) as exc:
+                if index == last_content:
+                    warnings.warn(
+                        f"{self.path}:{index + 1}: skipped truncated final "
+                        f"history record (1 record dropped): {exc}",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    continue
+                raise ValueError(
+                    f"{self.path}:{index + 1}: malformed history line: {exc}"
+                ) from exc
+        return records
+
+    def series(self) -> dict[tuple[str, str, str], list[HistoryRecord]]:
+        """Records grouped by series key, each in append order."""
+        grouped: dict[tuple[str, str, str], list[HistoryRecord]] = {}
+        for record in self.load():
+            grouped.setdefault(record.key(), []).append(record)
+        return grouped
+
+    # -- reporting ----------------------------------------------------
+
+    def report(
+        self, *, bench: str | None = None, window: int = DEFAULT_WINDOW
+    ) -> list[dict[str, Any]]:
+        """One summary row per series: latest point vs rolling median."""
+        rows: list[dict[str, Any]] = []
+        grouped = self.series()
+        for key in sorted(grouped):
+            records = grouped[key]
+            if bench is not None and key[0] != bench:
+                continue
+            latest = records[-1]
+            prior = records[:-1][-window:]
+            median = _median([r.wall_seconds for r in prior]) if prior else None
+            rows.append(
+                {
+                    "bench": key[0],
+                    "scenario": key[1],
+                    "hardware": key[2],
+                    "runs": len(records),
+                    "commit": latest.commit,
+                    "wall_s": round(latest.wall_seconds, 4),
+                    "median_s": (
+                        round(median, 4) if median is not None else None
+                    ),
+                    "trend": (
+                        round(latest.wall_seconds / median, 3)
+                        if median
+                        else None
+                    ),
+                    "peak_rss_mb": round(
+                        latest.peak_rss_bytes / (1024 * 1024), 1
+                    ),
+                }
+            )
+        return rows
+
+    def compare(self, base: str, to: str) -> list[dict[str, Any]]:
+        """Per-series wall ratio between two commits (latest record each)."""
+        by_commit: dict[
+            tuple[str, str, str], dict[str, HistoryRecord]
+        ] = {}
+        for record in self.load():
+            by_commit.setdefault(record.key(), {})[record.commit] = record
+        rows: list[dict[str, Any]] = []
+        for key in sorted(by_commit):
+            pair = by_commit[key]
+            left, right = pair.get(base), pair.get(to)
+            if left is None or right is None:
+                continue
+            rows.append(
+                {
+                    "bench": key[0],
+                    "scenario": key[1],
+                    "hardware": key[2],
+                    "base_s": round(left.wall_seconds, 4),
+                    "to_s": round(right.wall_seconds, 4),
+                    "ratio": (
+                        round(right.wall_seconds / left.wall_seconds, 3)
+                        if left.wall_seconds > 0
+                        else None
+                    ),
+                }
+            )
+        return rows
+
+    # -- the gate -----------------------------------------------------
+
+    def check(
+        self,
+        *,
+        window: int = DEFAULT_WINDOW,
+        tolerance: float = DEFAULT_TOLERANCE,
+        min_wall: float = DEFAULT_MIN_WALL,
+        min_history: int = DEFAULT_MIN_HISTORY,
+        bench: str | None = None,
+        hardware: str | None = None,
+    ) -> tuple[list[str], list[str]]:
+        """Trend gate: ``(failures, notes)``, like ``check_baseline``.
+
+        For every series in the gated hardware class (default: this
+        machine's), the newest record must satisfy
+        ``wall <= tolerance * median(previous window records)``.  Series
+        on other hardware, series shorter than *min_history*, and cells
+        under *min_wall* are skipped with a note — a fresh trajectory
+        accretes before it enforces.  A missing or empty history file is
+        a failure: a gate pointed at nothing is a misconfigured gate.
+        """
+        failures: list[str] = []
+        notes: list[str] = []
+        gated_hw = hardware if hardware is not None else hardware_class()
+        grouped = self.series()
+        if bench is not None:
+            grouped = {k: v for k, v in grouped.items() if k[0] == bench}
+        if not grouped:
+            failures.append(
+                f"history check compared nothing: no records in "
+                f"{self.path}"
+                + (f" for bench {bench!r}" if bench is not None else "")
+            )
+            return failures, notes
+        skipped_hw = 0
+        compared = 0
+        for key in sorted(grouped):
+            series_name = f"{key[0]}/{key[1]}"
+            records = grouped[key]
+            if key[2] != gated_hw:
+                skipped_hw += 1
+                continue
+            if len(records) < min_history:
+                notes.append(
+                    f"{series_name}: only {len(records)} record(s) "
+                    f"(< {min_history}); trend gate not yet active"
+                )
+                continue
+            latest = records[-1]
+            prior = records[:-1][-window:]
+            median = _median([r.wall_seconds for r in prior])
+            if median < min_wall:
+                notes.append(
+                    f"{series_name}: median {median:.4f}s under "
+                    f"{min_wall}s floor; skipped as noise"
+                )
+                continue
+            compared += 1
+            if latest.wall_seconds > tolerance * median:
+                failures.append(
+                    f"{series_name} [{key[2]}] commit {latest.commit}: "
+                    f"{latest.wall_seconds:.4f}s vs rolling median "
+                    f"{median:.4f}s over {len(prior)} run(s) "
+                    f"(> {tolerance:.2f}x)"
+                )
+        if skipped_hw:
+            notes.append(
+                f"skipped {skipped_hw} series recorded on other hardware "
+                f"classes (gating {gated_hw})"
+            )
+        if compared == 0 and not failures:
+            notes.append(
+                "no series were gated (all skipped); trajectory is still "
+                "accreting"
+            )
+        return failures, notes
+
+    # -- maintenance --------------------------------------------------
+
+    def gc(self, *, keep: int = 50) -> tuple[int, int]:
+        """Bound each series to its newest *keep* records.
+
+        Rewrites the file atomically, preserving append order among the
+        survivors; returns ``(kept, dropped)``.
+        """
+        if keep <= 0:
+            raise ValueError(f"keep must be positive, got {keep}")
+        records = self.load()
+        per_key: dict[tuple[str, str, str], int] = {}
+        for record in records:
+            per_key[record.key()] = per_key.get(record.key(), 0) + 1
+        drop_budget = {
+            key: max(0, count - keep) for key, count in per_key.items()
+        }
+        survivors: list[HistoryRecord] = []
+        for record in records:
+            if drop_budget.get(record.key(), 0) > 0:
+                drop_budget[record.key()] -= 1
+                continue
+            survivors.append(record)
+        from repro.io import atomic_write_text
+
+        atomic_write_text(
+            self.path,
+            "".join(
+                json.dumps(r.to_dict(), sort_keys=True, default=str) + "\n"
+                for r in survivors
+            ),
+        )
+        return len(survivors), len(records) - len(survivors)
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    count = len(ordered)
+    if count == 0:
+        return 0.0
+    middle = count // 2
+    if count % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2.0

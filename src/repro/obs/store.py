@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+import warnings
 from collections import deque
 from dataclasses import asdict, dataclass, field
 from typing import Any, Iterable
@@ -53,6 +54,12 @@ class ObservationRecord:
     ``decode_seconds``/``shm_segments``) likewise default to zero so
     logs written before the block codec landed load unchanged; they are
     only nonzero on backends that ship encoded blocks.
+
+    ``commit`` and ``hardware_class`` key the record against the
+    profile-history trajectory (:mod:`repro.obs.history`), and
+    ``peak_rss_bytes``/``cpu_seconds`` carry the resource sampler's
+    per-job attribution; all four default (empty/zero) so older logs
+    load unchanged.
     """
 
     job_id: str
@@ -80,11 +87,15 @@ class ObservationRecord:
     encode_seconds: float = 0.0
     decode_seconds: float = 0.0
     shm_segments: int = 0
+    commit: str = ""
+    hardware_class: str = ""
+    peak_rss_bytes: int = 0
+    cpu_seconds: float = 0.0
     at: float = field(default_factory=time.time)
 
     @classmethod
     def from_result(
-        cls, result: Any, *, queue_seconds: float = 0.0
+        cls, result: Any, *, queue_seconds: float = 0.0, **extra: Any
     ) -> "ObservationRecord":
         """Build a record from a service :class:`JobResult`-shaped object.
 
@@ -92,7 +103,9 @@ class ObservationRecord:
         ``engine``/``wall_seconds`` attributes) so this module never
         imports the service layer.  Plan-only results produce a record
         with zeroed execution fields — still useful for cache-hit-rate
-        accounting over time.
+        accounting over time.  ``extra`` passes caller-measured fields
+        (``commit``, ``hardware_class``, ``peak_rss_bytes``,
+        ``cpu_seconds``) straight through to the constructor.
         """
         metrics = getattr(result, "metrics", None)
         engine = getattr(result, "engine", None)
@@ -102,6 +115,7 @@ class ObservationRecord:
             "cache_hit": result.cache_hit,
             "wall_seconds": result.wall_seconds,
             "queue_seconds": queue_seconds,
+            **extra,
         }
         if engine is not None:
             kwargs.update(
@@ -194,22 +208,38 @@ class ObservationStore:
 def load_observations(path: str) -> list[ObservationRecord]:
     """Read an NDJSON observation log back into records.
 
-    Blank lines are skipped; a malformed line raises ``ValueError`` with
-    its line number — a corrupt log should fail loudly, not feed half a
-    dataset into a calibration fit.
+    Blank lines are skipped.  A malformed *final* line is the signature
+    of a crash mid-append (the writer died between ``write`` and the
+    newline hitting disk); that partial record is skipped with a counted
+    ``RuntimeWarning`` so a log survives its writer.  A malformed line
+    anywhere *else* is real corruption and still raises ``ValueError``
+    with its line number — a corrupt log should fail loudly, not feed
+    half a dataset into a calibration fit.
     """
     records: list[ObservationRecord] = []
     with open(path, encoding="utf-8") as handle:
-        for number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
+        lines = handle.readlines()
+    last_content = max(
+        (i for i, line in enumerate(lines) if line.strip()), default=-1
+    )
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            records.append(ObservationRecord.from_dict(json.loads(stripped)))
+        except (json.JSONDecodeError, TypeError) as exc:
+            if index == last_content:
+                warnings.warn(
+                    f"{path}:{index + 1}: skipped truncated final "
+                    f"observation record (1 record dropped): {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
                 continue
-            try:
-                records.append(ObservationRecord.from_dict(json.loads(line)))
-            except (json.JSONDecodeError, TypeError) as exc:
-                raise ValueError(
-                    f"{path}:{number}: malformed observation line: {exc}"
-                ) from exc
+            raise ValueError(
+                f"{path}:{index + 1}: malformed observation line: {exc}"
+            ) from exc
     return records
 
 

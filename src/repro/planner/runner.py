@@ -22,6 +22,7 @@ from repro.engine.config import ExecutionConfig
 from repro.engine.engine import EngineResult, execute_schema
 from repro.exceptions import InvalidInstanceError
 from repro.mapreduce.types import ReduceFn
+from repro.obs.profiler import PhaseProfiler
 from repro.obs.trace import Tracer
 from repro.planner.plan import Plan
 
@@ -35,6 +36,7 @@ def run(
     strict_capacity: bool = True,
     config: ExecutionConfig | None = None,
     tracer: Tracer | None = None,
+    profiler: PhaseProfiler | None = None,
 ) -> EngineResult:
     """Execute a plan's chosen schema over *records* on the engine.
 
@@ -44,7 +46,9 @@ def run(
     plans.  *config* overrides the plan's resolved execution
     configuration (e.g. to pin a backend in a benchmark sweep); by
     default the plan runs exactly as planned.  *tracer* (optional)
-    collects the engine's phase and task spans for this run.
+    collects the engine's phase and task spans for this run; *profiler*
+    (optional) additionally attributes CPU/RSS and function time to the
+    engine phases.
     """
     if plan.spec.kind == "multiway":
         raise InvalidInstanceError(
@@ -60,4 +64,5 @@ def run(
         strict_capacity=strict_capacity,
         config=config if config is not None else plan.execution,
         tracer=tracer,
+        profiler=profiler,
     )

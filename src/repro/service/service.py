@@ -48,7 +48,13 @@ from repro.exceptions import (
 )
 from repro.faults import RetryPolicy
 from repro.mapreduce.types import ReduceFn
+from repro.obs.history import current_commit, hardware_class
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import (
+    PhaseProfiler,
+    ResourceSampler,
+    read_cpu_seconds,
+)
 from repro.obs.store import ObservationRecord, ObservationStore
 from repro.obs.trace import Span, Tracer, as_tracer
 from repro.planner.environment import Environment
@@ -265,6 +271,15 @@ class JobService:
             :class:`~repro.obs.store.ObservationRecord` (plan
             fingerprint + measured timings) there via the service's
             :class:`~repro.obs.store.ObservationStore`.
+        profiler: optional
+            :class:`~repro.obs.profiler.PhaseProfiler` shared by every
+            executed job (engine phases accumulate across the service's
+            lifetime); its resource sampler doubles as the service's.
+            ``None`` disables phase profiling — the service still runs
+            its own :class:`~repro.obs.profiler.ResourceSampler`
+            (started lazily with the first executed job, stopped by
+            :meth:`close`) for the per-job peak-RSS/CPU observation
+            fields and the ``health`` snapshot.
     """
 
     def __init__(
@@ -277,6 +292,7 @@ class JobService:
         default_priority: int = 0,
         tracer: Tracer | None = None,
         obs_log: str | None = None,
+        profiler: PhaseProfiler | None = None,
     ):
         self.env = env if env is not None else Environment.detect()
         self.plan_cache = PlanCache(plan_cache_size)
@@ -284,6 +300,13 @@ class JobService:
         self.tracer = as_tracer(tracer)
         self.metrics = MetricsRegistry()
         self.observations = ObservationStore(path=obs_log)
+        self.profiler = profiler
+        self._sampler = (
+            profiler.sampler
+            if profiler is not None and profiler.enabled
+            else ResourceSampler()
+        )
+        self._started_mono = time.perf_counter()
         self.events = EventLog(tracer=self.tracer)
         self.default_priority = default_priority
         self._records: dict[str, _JobRecord] = {}
@@ -571,6 +594,9 @@ class JobService:
             self._backends.clear()
         for backend in backends:
             backend.close()
+        # The sampler thread must not outlive the service: chaos-smoke
+        # asserts no repro-* threads remain after a serve shutdown.
+        self._sampler.stop()
 
     def __enter__(self) -> "JobService":
         return self
@@ -656,6 +682,13 @@ class JobService:
                 self.metrics.histogram("job.latency_seconds").observe(
                     time.perf_counter() - record.submitted_mono
                 )
+                if state in (DONE, FAILED):
+                    # 0/1 outcomes into a bounded-reservoir histogram:
+                    # its windowed mean IS the rolling failure rate the
+                    # health snapshot reports.
+                    self.metrics.histogram("job.failures").observe(
+                        1.0 if state == FAILED else 0.0
+                    )
             # Emit inside the lock: the commit and its event are atomic,
             # so observers can never see e.g. a 'cancelling' event arrive
             # after the job's terminal event (the lock is reentrant, so
@@ -787,6 +820,51 @@ class JobService:
         snapshot["plan_cache"] = self.plan_cache.stats()
         return snapshot
 
+    def health_snapshot(self) -> dict[str, Any]:
+        """Rolling-window service-level health (SLO view of the metrics).
+
+        Where :meth:`metrics_snapshot` dumps everything, this distills
+        the numbers an operator pages on: queue-latency p50/p95 and the
+        failure rate over the histograms' bounded reservoirs (so both
+        are *rolling* windows, not lifetime aggregates), current slot
+        utilization and queue depth, pool rebuild totals, and the
+        resource sampler's process-wide peak RSS / CPU.  This is the
+        payload of the ``{"health": true}`` request on ``repro serve``.
+        """
+        self._update_scheduler_gauges()
+        snapshot = self.metrics.snapshot()
+        queue = snapshot["histograms"].get("job.queue_seconds", {})
+        outcomes = snapshot["histograms"].get("job.failures", {})
+        counters = snapshot["counters"]
+        with self._backend_lock:
+            pool_rebuilds = sum(
+                backend.pool_rebuilds for backend in self._backends.values()
+            )
+        with self._lock:
+            closed = self._closed
+        return {
+            "status": "closing" if closed else "ok",
+            "uptime_seconds": round(
+                time.perf_counter() - self._started_mono, 3
+            ),
+            "slots": self.scheduler.slots,
+            "queued": self.scheduler.queued_count,
+            "running": self.scheduler.running_count,
+            "slot_utilization": snapshot["gauges"].get(
+                "scheduler.slot_utilization", 0.0
+            ),
+            "queue_p50_s": round(queue.get("p50", 0.0), 6),
+            "queue_p95_s": round(queue.get("p95", 0.0), 6),
+            "window_jobs": outcomes.get("count", 0),
+            "failure_rate": round(outcomes.get("mean", 0.0), 4),
+            "jobs_done": int(counters.get("jobs.done", 0)),
+            "jobs_failed": int(counters.get("jobs.failed", 0)),
+            "pool_rebuilds": pool_rebuilds,
+            "sampler_running": self._sampler.running,
+            "peak_rss_bytes": self._sampler.peak_rss_bytes(),
+            "cpu_seconds": round(self._sampler.cpu_seconds(), 3),
+        }
+
     def _execute_job(self, record: _JobRecord) -> None:
         """One job's worker-side pipeline: plan, execute, store, account."""
         if record.cancel_requested:
@@ -809,6 +887,14 @@ class JobService:
         self.metrics.histogram("job.queue_seconds").observe(queue_seconds)
         self._update_scheduler_gauges()
         self._transition(record, RUNNING)
+        # Lazy sampler start: services that only plan never pay for the
+        # thread; per-job peak RSS is a window query from the job's start
+        # (peak_rss_bytes always takes a fresh reading, so plan-only jobs
+        # still report a real figure without the thread).
+        if record.records is not None:
+            self._sampler.start()
+        job_mono = time.monotonic()
+        job_cpu0 = read_cpu_seconds()
         started = time.perf_counter()
         fingerprint = ""
         pool_key: tuple[str, int | None] | None = None
@@ -854,6 +940,7 @@ class JobService:
                         strict_capacity=record.strict_capacity,
                         config=config,
                         tracer=tracer,
+                        profiler=self.profiler,
                     )
                     result = JobResult(
                         job_id=record.job_id,
@@ -873,6 +960,19 @@ class JobService:
                     return
                 with tracer.span("store", category="service"):
                     self.results.put(result)
+            # Build the observation *before* the terminal transition:
+            # ``wait()`` unblocks on DONE, and ``current_commit()`` can
+            # shell out to git on first use — doing that work after the
+            # transition opens a window where a waiter reads the
+            # observation snapshot before the record lands.
+            observation = ObservationRecord.from_result(
+                result,
+                queue_seconds=queue_seconds,
+                commit=current_commit(),
+                hardware_class=hardware_class(self.env.num_workers),
+                peak_rss_bytes=self._sampler.peak_rss_bytes(since=job_mono),
+                cpu_seconds=max(0.0, read_cpu_seconds() - job_cpu0),
+            )
             self._transition(
                 record,
                 DONE,
@@ -884,11 +984,7 @@ class JobService:
                 self.metrics.histogram("job.wall_seconds").observe(
                     result.wall_seconds
                 )
-                self.observations.record(
-                    ObservationRecord.from_result(
-                        result, queue_seconds=queue_seconds
-                    )
-                )
+                self.observations.record(observation)
         except Exception as error:  # noqa: BLE001 - recorded, not raised
             with self._lock:
                 record.exception = error
@@ -908,19 +1004,24 @@ class JobService:
                         workers=pool_key[1] or 0,
                         error=type(error).__name__,
                     )
-            self._transition(record, FAILED, detail=record.error)
-            self.observations.record(
-                ObservationRecord(
-                    job_id=record.job_id,
-                    fingerprint=fingerprint,
-                    cache_hit=bool(record.cache_hit),
-                    wall_seconds=time.perf_counter() - started,
-                    queue_seconds=queue_seconds,
-                    status=FAILED,
-                    error=record.error,
-                    task_retries=max(getattr(error, "attempts", 1) - 1, 0),
-                )
+            # As on the success path, measure before the terminal
+            # transition so waiters unblocked by FAILED find the record.
+            observation = ObservationRecord(
+                job_id=record.job_id,
+                fingerprint=fingerprint,
+                cache_hit=bool(record.cache_hit),
+                wall_seconds=time.perf_counter() - started,
+                queue_seconds=queue_seconds,
+                status=FAILED,
+                error=record.error,
+                task_retries=max(getattr(error, "attempts", 1) - 1, 0),
+                commit=current_commit(),
+                hardware_class=hardware_class(self.env.num_workers),
+                peak_rss_bytes=self._sampler.peak_rss_bytes(since=job_mono),
+                cpu_seconds=max(0.0, read_cpu_seconds() - job_cpu0),
             )
+            self._transition(record, FAILED, detail=record.error)
+            self.observations.record(observation)
         finally:
             self._update_scheduler_gauges()
 

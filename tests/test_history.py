@@ -1,0 +1,361 @@
+"""Per-commit perf history: the NDJSON store and the trend gate."""
+
+import json
+
+import pytest
+
+from repro.obs.history import (
+    HistoryRecord,
+    ProfileHistory,
+    current_commit,
+    hardware_class,
+)
+
+
+def make_record(
+    wall,
+    *,
+    bench="perf-smoke",
+    scenario="map_heavy/serial",
+    hardware="2w",
+    commit="c0",
+    **overrides,
+):
+    return HistoryRecord(
+        bench=bench,
+        scenario=scenario,
+        hardware_class=hardware,
+        commit=commit,
+        wall_seconds=wall,
+        **overrides,
+    )
+
+
+class TestHistoryRecord:
+    def test_key_and_round_trip(self):
+        record = make_record(1.5, cpu_seconds=2.0, peak_rss_bytes=1 << 20)
+        assert record.key() == ("perf-smoke", "map_heavy/serial", "2w")
+        clone = HistoryRecord.from_dict(record.to_dict())
+        assert clone == record
+
+    def test_from_dict_ignores_unknown_keys(self):
+        payload = make_record(1.0).to_dict()
+        payload["future_field"] = "ignored"
+        assert HistoryRecord.from_dict(payload).wall_seconds == 1.0
+
+    def test_hardware_class_format(self):
+        assert hardware_class(8) == "8w"
+        # Default probes this machine: always "<positive int>w".
+        label = hardware_class()
+        assert label.endswith("w") and int(label[:-1]) >= 1
+
+    def test_current_commit_env_override(self, monkeypatch):
+        from repro.obs import history
+
+        monkeypatch.setattr(history, "_COMMIT_CACHE", {})
+        monkeypatch.setenv("REPRO_COMMIT", "abcdef0123456789")
+        assert current_commit() == "abcdef012345"  # truncated to 12
+
+
+class TestStore:
+    def test_append_load_round_trip(self, tmp_path):
+        history = ProfileHistory(str(tmp_path / "h.ndjson"))
+        history.append(make_record(1.0, commit="a"))
+        history.extend([make_record(1.1, commit="b")])
+        loaded = history.load()
+        assert [r.commit for r in loaded] == ["a", "b"]
+        assert len(history) == 2
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert ProfileHistory(str(tmp_path / "absent.ndjson")).load() == []
+
+    def test_truncated_final_line_warns_and_skips(self, tmp_path):
+        path = tmp_path / "h.ndjson"
+        history = ProfileHistory(str(path))
+        history.append(make_record(1.0, commit="a"))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"bench": "perf-smoke", "scena')
+        with pytest.warns(RuntimeWarning, match="1 record dropped"):
+            loaded = history.load()
+        assert [r.commit for r in loaded] == ["a"]
+
+    def test_malformed_mid_file_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "h.ndjson"
+        history = ProfileHistory(str(path))
+        history.append(make_record(1.0))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json\n")
+        history.append(make_record(1.1))
+        with pytest.raises(ValueError, match=":2:"):
+            history.load()
+
+    def test_series_groups_by_key(self, tmp_path):
+        history = ProfileHistory(str(tmp_path / "h.ndjson"))
+        history.append(make_record(1.0))
+        history.append(make_record(2.0, scenario="skew_join/threads"))
+        history.append(make_record(1.2))
+        grouped = history.series()
+        assert len(grouped) == 2
+        key = ("perf-smoke", "map_heavy/serial", "2w")
+        assert [r.wall_seconds for r in grouped[key]] == [1.0, 1.2]
+
+
+class TestTrendGate:
+    def _seed(self, tmp_path, walls, **kwargs):
+        history = ProfileHistory(str(tmp_path / "h.ndjson"))
+        for index, wall in enumerate(walls):
+            history.append(make_record(wall, commit=f"c{index}", **kwargs))
+        return history
+
+    def test_fails_on_injected_2x_slowdown(self, tmp_path):
+        history = self._seed(tmp_path, [1.0, 1.0, 1.0, 1.0, 1.0, 2.0])
+        failures, notes = history.check(hardware="2w")
+        assert len(failures) == 1
+        assert "map_heavy/serial" in failures[0]
+        assert "c5" in failures[0]
+        assert "rolling median" in failures[0]
+
+    def test_passes_within_tolerance(self, tmp_path):
+        history = self._seed(tmp_path, [1.0, 1.0, 1.0, 1.0, 1.0, 1.05])
+        failures, notes = history.check(hardware="2w")
+        assert failures == []
+
+    def test_median_is_robust_to_one_slow_outlier(self, tmp_path):
+        # One slow historical run must not relax the gate the way a mean
+        # would: the median of [1.0, 1.0, 9.0, 1.0, 1.0] is still 1.0,
+        # so a 1.4x latest passes and a 2x latest fails regardless of
+        # the 9.0 blip.
+        history = self._seed(tmp_path, [1.0, 1.0, 9.0, 1.0, 1.0, 1.4])
+        failures, _ = history.check(hardware="2w")
+        assert failures == []
+        history.append(make_record(2.0, commit="c6"))
+        failures, _ = history.check(hardware="2w")
+        assert len(failures) == 1
+
+    def test_window_bounds_the_median(self, tmp_path):
+        # Only the newest `window` prior records feed the median: the
+        # old fast runs age out, so a new plateau is accepted.
+        walls = [0.1] * 5 + [1.0] * 5 + [1.2]
+        history = self._seed(tmp_path, walls)
+        failures, _ = history.check(hardware="2w", window=5)
+        assert failures == []
+
+    def test_short_series_skipped_with_note(self, tmp_path):
+        history = self._seed(tmp_path, [1.0, 1.0])
+        failures, notes = history.check(hardware="2w")
+        assert failures == []
+        assert any("trend gate not yet active" in note for note in notes)
+
+    def test_other_hardware_skipped_with_note(self, tmp_path):
+        history = self._seed(tmp_path, [1.0] * 5 + [9.0], hardware="64w")
+        failures, notes = history.check(hardware="2w")
+        assert failures == []
+        assert any("other hardware" in note for note in notes)
+
+    def test_sub_min_wall_skipped_as_noise(self, tmp_path):
+        history = self._seed(tmp_path, [0.001] * 5 + [0.9])
+        failures, notes = history.check(hardware="2w")
+        assert failures == []
+        assert any("noise" in note for note in notes)
+
+    def test_empty_history_is_a_failure(self, tmp_path):
+        history = ProfileHistory(str(tmp_path / "absent.ndjson"))
+        failures, _ = history.check(hardware="2w")
+        assert len(failures) == 1
+        assert "compared nothing" in failures[0]
+
+    def test_bench_filter(self, tmp_path):
+        history = self._seed(tmp_path, [1.0] * 5 + [9.0])
+        failures, _ = history.check(hardware="2w", bench="other-bench")
+        assert "compared nothing" in failures[0]
+        failures, _ = history.check(hardware="2w", bench="perf-smoke")
+        assert len(failures) == 1
+
+
+class TestReportCompareGc:
+    def test_report_rows(self, tmp_path):
+        history = ProfileHistory(str(tmp_path / "h.ndjson"))
+        for index, wall in enumerate([1.0, 1.0, 2.0]):
+            history.append(make_record(wall, commit=f"c{index}"))
+        (row,) = history.report()
+        assert row["runs"] == 3 and row["commit"] == "c2"
+        assert row["median_s"] == 1.0 and row["trend"] == 2.0
+
+    def test_compare_ratio(self, tmp_path):
+        history = ProfileHistory(str(tmp_path / "h.ndjson"))
+        history.append(make_record(2.0, commit="base"))
+        history.append(make_record(1.0, commit="cand"))
+        history.append(
+            make_record(1.0, commit="base", scenario="only-base")
+        )
+        rows = history.compare("base", "cand")
+        assert len(rows) == 1  # series missing a commit are dropped
+        assert rows[0]["ratio"] == 0.5
+
+    def test_gc_drops_oldest_per_series(self, tmp_path):
+        history = ProfileHistory(str(tmp_path / "h.ndjson"))
+        for index in range(6):
+            history.append(make_record(float(index), commit=f"c{index}"))
+        history.append(make_record(9.0, scenario="other"))
+        kept, dropped = history.gc(keep=2)
+        assert (kept, dropped) == (3, 4)
+        walls = [r.wall_seconds for r in history.load()]
+        assert walls == [4.0, 5.0, 9.0]
+
+    def test_gc_rejects_nonpositive_keep(self, tmp_path):
+        history = ProfileHistory(str(tmp_path / "h.ndjson"))
+        with pytest.raises(ValueError):
+            history.gc(keep=0)
+
+
+class TestHistoryCli:
+    def test_record_report_check_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "h.ndjson")
+        for index in range(4):
+            assert (
+                main(
+                    [
+                        "history",
+                        "record",
+                        "--file",
+                        path,
+                        "--bench",
+                        "cli",
+                        "--scenario",
+                        "s1",
+                        "--wall",
+                        "1.0",
+                        "--commit",
+                        f"c{index}",
+                        "--hardware",
+                        hardware_class(),
+                    ]
+                )
+                == 0
+            )
+        capsys.readouterr()
+        assert main(["history", "report", "--file", path, "--json"]) == 0
+        (row,) = json.loads(capsys.readouterr().out)
+        assert row["runs"] == 4 and row["bench"] == "cli"
+        assert main(["history", "check", "--file", path]) == 0
+
+    def test_check_exits_1_on_regression(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "h.ndjson")
+        history = ProfileHistory(path)
+        for index, wall in enumerate([1.0, 1.0, 1.0, 1.0, 1.0, 2.5]):
+            history.append(
+                make_record(
+                    wall, commit=f"c{index}", hardware=hardware_class()
+                )
+            )
+        assert main(["history", "check", "--file", path]) == 1
+        assert "PERF TREND REGRESSION" in capsys.readouterr().err
+
+    def test_record_from_bench_rows(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rows_path = tmp_path / "bench.json"
+        rows_path.write_text(
+            json.dumps(
+                {
+                    "workers": 2,
+                    "rows": [
+                        {
+                            "scenario": "map_heavy",
+                            "backend": "serial",
+                            "wall_s": 0.5,
+                        },
+                        {"scenario": "no_wall", "backend": "serial"},
+                    ],
+                }
+            )
+        )
+        path = str(tmp_path / "h.ndjson")
+        assert (
+            main(
+                [
+                    "history",
+                    "record",
+                    "--file",
+                    path,
+                    "--from-bench",
+                    str(rows_path),
+                    "--commit",
+                    "abc",
+                ]
+            )
+            == 0
+        )
+        (record,) = ProfileHistory(path).load()
+        assert record.scenario == "map_heavy/serial"
+        assert record.hardware_class == "2w"
+        assert record.commit == "abc"
+
+    def test_record_from_profile_phases(self, tmp_path):
+        from repro.cli import main
+
+        profile_path = tmp_path / "profile.json"
+        profile_path.write_text(
+            json.dumps(
+                {
+                    "phases": {
+                        "map": {
+                            "wall_seconds": 0.4,
+                            "cpu_seconds": 0.3,
+                            "peak_rss_bytes": 2048,
+                        },
+                        "empty": {"wall_seconds": 0.0},
+                    }
+                }
+            )
+        )
+        path = str(tmp_path / "h.ndjson")
+        assert (
+            main(
+                [
+                    "history",
+                    "record",
+                    "--file",
+                    path,
+                    "--from-profile",
+                    str(profile_path),
+                    "--commit",
+                    "abc",
+                ]
+            )
+            == 0
+        )
+        (record,) = ProfileHistory(path).load()
+        assert record.bench == "profile" and record.scenario == "map"
+        assert record.peak_rss_bytes == 2048
+
+    def test_record_nothing_is_an_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "history",
+                    "record",
+                    "--file",
+                    str(tmp_path / "h.ndjson"),
+                ]
+            )
+            == 1
+        )
+        assert "nothing to record" in capsys.readouterr().err
+
+    def test_gc_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "h.ndjson")
+        history = ProfileHistory(path)
+        for index in range(5):
+            history.append(make_record(1.0, commit=f"c{index}"))
+        assert main(["history", "gc", "--file", path, "--keep", "2"]) == 0
+        assert "kept 2, dropped 3" in capsys.readouterr().out
+        assert len(history) == 2

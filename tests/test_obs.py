@@ -161,6 +161,47 @@ class TestWorkerPropagation:
             t.parent_id == spans["reduce"].span_id for t in reduce_tasks
         )
 
+    def test_retried_tasks_export_unique_spans_under_faults(self, tmp_path):
+        # Injected faults retry tasks on the processes backend; every
+        # worker span (original and retried attempts) must still carry a
+        # unique span id and the export must stay a valid Chrome trace —
+        # a duplicated id would make Perfetto merge distinct attempts.
+        from repro.faults import RetryPolicy
+
+        tracer = Tracer("faulty")
+        engine = ExecutionEngine(
+            map_fn=fanout_map,
+            reduce_fn=sum_reduce,
+            backend="processes",
+            num_workers=2,
+            map_chunk_size=2,
+            num_reduce_tasks=4,
+            tracer=tracer,
+            retry=RetryPolicy(
+                max_attempts=6, backoff_base=0.001, backoff_max=0.01
+            ),
+            faults="crash=0.2,seed=7",
+        )
+        result = engine.run(range(40))
+        assert result.outputs
+        assert result.engine.task_retries >= 1
+        spans = tracer.spans()
+        ids = [s.span_id for s in spans]
+        assert len(ids) == len(set(ids)), "duplicate span ids"
+        phase = {s.name: s for s in spans}
+        worker_spans = [
+            s for s in spans if s.name in ("map_task", "reduce_task")
+        ]
+        assert worker_spans
+        for span in worker_spans:
+            parent = "map" if span.name == "map_task" else "reduce"
+            assert span.parent_id == phase[parent].span_id
+            assert span.trace_id == "faulty"
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(str(path), spans)
+        events = validate_chrome_trace(json.loads(path.read_text()))
+        assert count == len(events) == len(spans)
+
     def test_disabled_tracer_records_nothing_and_output_matches(self):
         traced = ExecutionEngine(
             map_fn=fanout_map,
@@ -311,10 +352,56 @@ class TestObservationStore:
         assert [r.job_id for r in store.for_fingerprint("x")] == ["a"]
 
     def test_malformed_line_raises_with_line_number(self, tmp_path):
+        # Corruption anywhere but the final line is real damage, not a
+        # crash mid-append — it must still raise with the line number.
         path = tmp_path / "obs.ndjson"
-        path.write_text('{"job_id": "a", "fingerprint": "f", "cache_hit": false}\nnot json\n')
+        path.write_text(
+            '{"job_id": "a", "fingerprint": "f", "cache_hit": false}\n'
+            "not json\n"
+            '{"job_id": "b", "fingerprint": "f", "cache_hit": false}\n'
+        )
         with pytest.raises(ValueError, match=":2:"):
             load_observations(str(path))
+
+    def test_truncated_final_line_skipped_with_warning(self, tmp_path):
+        # A crash mid-append leaves a half-written last line; loading
+        # must keep every complete record and warn about the dropped one.
+        path = tmp_path / "obs.ndjson"
+        path.write_text(
+            '{"job_id": "a", "fingerprint": "f", "cache_hit": false}\n'
+            '{"job_id": "b", "fingerprint": "f", "cache_hit": true}\n'
+            '{"job_id": "c", "fingerprint": "f", "cache_'
+        )
+        with pytest.warns(RuntimeWarning, match="1 record dropped"):
+            loaded = load_observations(str(path))
+        assert [r.job_id for r in loaded] == ["a", "b"]
+
+    def test_commit_and_hardware_fields_default_and_round_trip(
+        self, tmp_path
+    ):
+        # Old logs (no commit/hardware_class/peak_rss/cpu fields) must
+        # still load; new records carry them through the NDJSON log.
+        path = tmp_path / "obs.ndjson"
+        path.write_text(
+            '{"job_id": "old", "fingerprint": "f", "cache_hit": false}\n'
+        )
+        store = ObservationStore(path=str(path))
+        store.record(
+            self.make_record(
+                "new",
+                commit="abc123def456",
+                hardware_class="8w",
+                peak_rss_bytes=1 << 20,
+                cpu_seconds=0.25,
+            )
+        )
+        old, new = load_observations(str(path))
+        assert old.commit == "" and old.hardware_class == ""
+        assert old.peak_rss_bytes == 0 and old.cpu_seconds == 0.0
+        assert new.commit == "abc123def456"
+        assert new.hardware_class == "8w"
+        assert new.peak_rss_bytes == 1 << 20
+        assert new.cpu_seconds == 0.25
 
     def test_summarize_groups_by_backend(self):
         records = [

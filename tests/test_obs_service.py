@@ -126,6 +126,93 @@ class TestServiceTracing:
         assert service.tracer.spans() == []
 
 
+class TestServiceHealth:
+    def _repro_threads(self):
+        return [
+            t for t in threading.enumerate() if t.name.startswith("repro-")
+        ]
+
+    def test_health_snapshot_slos_after_jobs(self):
+        service = JobService(slots=2)
+        try:
+            good = service.submit_spec(JobSpec.a2a(SPEC_SIZES, 12))
+            # Sizes 7 and 6 cannot pair under q=12: planning fails, the
+            # job lands in 'failed', and the rolling failure rate sees it.
+            bad = service.submit_spec(JobSpec.a2a([7, 6], 12))
+            assert good.wait(timeout=60.0).state == "done"
+            assert bad.wait(timeout=60.0).state == "failed"
+            service.drain()
+            health = service.health_snapshot()
+        finally:
+            service.close()
+        assert health["status"] == "ok"
+        assert health["slots"] == 2
+        assert health["jobs_done"] == 1 and health["jobs_failed"] == 1
+        assert health["window_jobs"] == 2
+        assert health["failure_rate"] == pytest.approx(0.5)
+        assert health["queue_p95_s"] >= health["queue_p50_s"] >= 0.0
+        assert health["uptime_seconds"] > 0.0
+        assert health["peak_rss_bytes"] > 0
+        assert health["pool_rebuilds"] == 0
+        closed = service.health_snapshot()
+        assert closed["status"] == "closing"
+        assert closed["sampler_running"] is False
+
+    def test_sampler_starts_lazily_and_close_stops_it(self):
+        service = JobService(slots=1)
+        try:
+            # Plan-only work never starts the sampler thread.
+            service.submit_spec(
+                JobSpec.a2a(SPEC_SIZES, 12), execute=False
+            ).wait(timeout=60.0)
+            assert not service.health_snapshot()["sampler_running"]
+            # The first executed job starts it.
+            service.submit_spec(JobSpec.a2a(SPEC_SIZES, 12)).wait(
+                timeout=60.0
+            )
+            assert service.health_snapshot()["sampler_running"]
+            assert self._repro_threads()
+        finally:
+            service.close()
+        # No stray repro-* threads after close — the chaos-smoke contract.
+        assert self._repro_threads() == []
+
+    def test_observation_carries_commit_hardware_and_resources(
+        self, tmp_path
+    ):
+        obs_log = tmp_path / "obs.ndjson"
+        service = JobService(slots=1, obs_log=str(obs_log))
+        try:
+            handle = service.submit_spec(JobSpec.a2a(SPEC_SIZES, 12))
+            assert handle.wait(timeout=60.0).state == "done"
+            service.drain()
+        finally:
+            service.close()
+        (record,) = load_observations(str(obs_log))
+        assert record.commit, "commit must be resolved (env or git)"
+        assert record.hardware_class.endswith("w")
+        assert record.peak_rss_bytes > 0
+        assert record.cpu_seconds >= 0.0
+
+    def test_service_profiler_accumulates_phases_across_jobs(self):
+        from repro.obs.profiler import PhaseProfiler
+
+        profiler = PhaseProfiler(sample_interval=0.005)
+        service = JobService(slots=1, profiler=profiler)
+        try:
+            for _ in range(2):
+                handle = service.submit_spec(JobSpec.a2a(SPEC_SIZES, 12))
+                assert handle.wait(timeout=60.0).state == "done"
+            service.drain()
+        finally:
+            service.close()
+        phases = profiler.phases()
+        assert {"map", "shuffle", "reduce", "post"} <= set(phases)
+        assert phases["map"]["count"] == 2
+        # close() stopped the shared sampler along with the service.
+        assert not profiler.sampler.running
+
+
 class TestEventLogOrdering:
     def test_seq_is_gapless_and_matches_append_order(self):
         log = EventLog()
@@ -251,6 +338,30 @@ class TestObservabilityCli:
         for required in ("job", "submit", "queue", "plan", "map", "reduce"):
             assert required in names, sorted(names)
 
+    def test_submit_profile_writes_valid_export(self, tmp_path, capsys):
+        from repro.obs.profiler import validate_collapsed
+
+        profile_path = tmp_path / "profile.json"
+        exit_code = main(
+            [
+                "submit",
+                "--sizes",
+                "3,5,2,7",
+                "--q",
+                "12",
+                "--profile",
+                str(profile_path),
+            ]
+        )
+        assert exit_code == 0
+        assert "profile:" in capsys.readouterr().err
+        payload = json.loads(profile_path.read_text())
+        assert {"map", "shuffle", "reduce", "post"} <= set(payload["phases"])
+        assert payload["peak_rss_bytes"] > 0
+        assert validate_collapsed(payload["collapsed"]) == len(
+            payload["collapsed"]
+        )
+
     def test_serve_streams_spans_and_answers_metrics(self, tmp_path, capsys):
         requests = tmp_path / "jobs.ndjson"
         requests.write_text(
@@ -259,6 +370,8 @@ class TestObservabilityCli:
             )
             + "\n"
             + json.dumps({"metrics": True})
+            + "\n"
+            + json.dumps({"health": True})
             + "\n"
         )
         trace_path = tmp_path / "trace.json"
@@ -277,10 +390,21 @@ class TestObservabilityCli:
         assert exit_code == 0
         lines = _parse_ndjson(capsys.readouterr().out)
         kinds = {line["event"] for line in lines}
-        assert {"status", "result", "span", "metrics"} <= kinds
+        assert {"status", "result", "span", "metrics", "health"} <= kinds
         metrics_line = next(l for l in lines if l["event"] == "metrics")
         assert metrics_line["counters"]["jobs.submitted"] >= 1
         assert "plan_cache" in metrics_line
+        health_line = next(l for l in lines if l["event"] == "health")
+        assert health_line["status"] == "ok"
+        for key in (
+            "slot_utilization",
+            "queue_p50_s",
+            "queue_p95_s",
+            "failure_rate",
+            "pool_rebuilds",
+            "peak_rss_bytes",
+        ):
+            assert key in health_line, key
         validate_chrome_trace(json.loads(trace_path.read_text()))
         assert len(load_observations(str(obs_path))) == 1
 
